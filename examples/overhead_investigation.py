@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Investigate the sources of orchestration overhead with the microbenchmarks.
+
+Reproduces the paper's RQ2.1 methodology (Figures 9 and 10) at a reduced scale:
+
+* parallel object-storage downloads of growing size (storage I/O overhead),
+* a warm function chain with growing return payloads (payload overhead),
+* parallel sleeping functions (scheduling overhead).
+
+Run with:  python examples/overhead_investigation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figures, report
+
+
+def main() -> None:
+    print("=== Storage I/O overhead (Figure 9a) ===")
+    storage = figures.figure9a_storage_overhead(
+        download_sizes=(1 << 16, 1 << 22, 1 << 27),
+        num_functions=20,
+        burst_size=6,
+        seed=21,
+    )
+    print(report.format_series(storage))
+    print()
+
+    print("=== Return-payload latency, warm chain of 10 functions (Figure 9b) ===")
+    payload = figures.figure9b_payload_latency(
+        payload_sizes=(1 << 8, 1 << 13, 1 << 17),
+        chain_length=10,
+        burst_size=6,
+        seed=21,
+    )
+    print(report.format_series(payload))
+    print()
+
+    print("=== Parallel-sleep scheduling overhead (Figure 10) ===")
+    sleep = figures.figure10_parallel_sleep(
+        parallelism=(2, 8, 16),
+        durations_s=(1.0, 10.0),
+        burst_size=6,
+        seed=21,
+    )
+    for platform, cells in sleep.items():
+        rows = [dict(cell=key, **values) for key, values in sorted(cells.items())]
+        print(report.format_table(rows, f"[{platform}] relative overhead (runtime / sleep)"))
+        print()
+
+    print("Reading guide (matches the paper's conclusions): a large part of Azure's")
+    print("overhead comes from parallel scheduling and storage I/O through the task")
+    print("hub; payloads beyond ~16 kB add further latency on Azure; AWS and Google")
+    print("Cloud keep overhead roughly constant, with GCP growing with parallelism.")
+
+
+if __name__ == "__main__":
+    main()

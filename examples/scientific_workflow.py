@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scientific workflows on serverless platforms vs an HPC node (paper RQ3).
+
+Runs the 1000Genome workflow on the simulated clouds and on the simulated HPC
+node (the paper's Ault system), then performs the strong-scaling experiment on
+the `individuals` phase (5, 10, 20 parallel jobs over a fixed input size).
+
+Run with:  python examples/scientific_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import report
+from repro.analysis.stats import coefficient_of_variation, strong_scaling_speedups
+from repro.benchmarks import get_benchmark
+from repro.benchmarks.genome import create_individuals_scaling_benchmark
+from repro.faas import run_benchmark
+
+PLATFORMS = ("aws", "gcp", "azure", "hpc")
+JOB_COUNTS = (5, 10, 20)
+BURST_SIZE = 5
+
+
+def main() -> None:
+    print("=== Complete 1000Genome workflow (Figure 14a) ===")
+    rows = []
+    for platform in PLATFORMS:
+        result = run_benchmark(get_benchmark("genome_1000"), platform,
+                               burst_size=BURST_SIZE, seed=13)
+        runtimes = result.summary.runtimes if result.summary else []
+        rows.append(
+            {
+                "platform": platform,
+                "mean runtime [s]": round(sum(runtimes) / len(runtimes), 1) if runtimes else 0,
+                "median runtime [s]": round(result.median_runtime, 1),
+                "coefficient of variation": f"{coefficient_of_variation(runtimes):.1%}",
+            }
+        )
+    print(report.format_table(rows))
+    print("Paper reference: AWS 259.8 s, GCP 457.7 s, Azure 4590 s, Ault (HPC) 7.7 s.\n")
+
+    print("=== Strong scaling of the individuals phase (Figure 14b) ===")
+    scaling_rows = []
+    durations_per_platform = {}
+    for platform in PLATFORMS:
+        durations = {}
+        for jobs in JOB_COUNTS:
+            benchmark = create_individuals_scaling_benchmark(jobs)
+            result = run_benchmark(benchmark, platform, burst_size=BURST_SIZE, seed=13)
+            durations[jobs] = result.median_runtime
+            scaling_rows.append(
+                {
+                    "platform": platform,
+                    "individuals jobs": jobs,
+                    "median runtime [s]": round(result.median_runtime, 1),
+                }
+            )
+        durations_per_platform[platform] = durations
+    print(report.format_table(scaling_rows))
+
+    print("\nSpeedups from doubling the job count (paper: ~1.95x on the clouds, "
+          "1.51x/1.24x on Ault):")
+    for platform, durations in durations_per_platform.items():
+        speedups = strong_scaling_speedups(durations)
+        formatted = ", ".join(
+            f"{small}->{large} jobs: {value:.2f}x" for small, large, value in speedups
+        )
+        print(f"  {platform:<6} {formatted}")
+
+    print("\nConclusion: the serverless platforms achieve near-ideal strong scaling —")
+    print("but only because their baseline execution carries so much overhead that")
+    print("the HPC node still finishes the whole workflow an order of magnitude earlier.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""SeBS-Flow reproduction: benchmarking serverless cloud function workflows.
+
+This package reimplements the system described in "SeBS-Flow: Benchmarking
+Serverless Cloud Function Workflows" (EuroSys 2025) on top of a deterministic
+simulated multi-cloud substrate:
+
+* :mod:`repro.core` -- the platform-agnostic workflow model (WFD-nets with
+  resource annotations), the JSON definition language, and the transcribers to
+  AWS Step Functions, Google Cloud Workflows, and Azure Durable Functions;
+* :mod:`repro.sim` -- the simulated cloud substrate (containers, storage,
+  orchestration, platform profiles, billing);
+* :mod:`repro.faas` -- the benchmark-suite layer (deployment, triggers,
+  experiment runner, metrics, cost analysis);
+* :mod:`repro.benchmarks` -- the six application benchmarks and four
+  microbenchmarks;
+* :mod:`repro.analysis` -- statistics, the literature-survey dataset, and the
+  builders for every table and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "benchmarks", "core", "faas", "sim", "__version__"]

@@ -1,0 +1,25 @@
+"""Analysis layer: statistics, literature survey, and table/figure builders."""
+
+from . import figures, literature, report, stats, tables
+from .stats import (
+    ConfidenceInterval,
+    coefficient_of_variation,
+    interquartile_range,
+    median_confidence_interval,
+    required_repetitions,
+    speedup,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "coefficient_of_variation",
+    "figures",
+    "interquartile_range",
+    "literature",
+    "median_confidence_interval",
+    "report",
+    "required_repetitions",
+    "speedup",
+    "stats",
+    "tables",
+]

@@ -1,0 +1,377 @@
+"""Builders for every figure of the paper's evaluation (Section 7).
+
+Each ``figure*`` function runs the experiments needed for one figure on the
+simulated platforms and returns the plotted series as plain dictionaries /
+lists, so the benchmark harness can print the same rows the paper reports and
+tests can assert the expected qualitative shapes.  Figure builders accept a
+``burst_size`` (the paper uses 30) and a ``seed`` so that quick runs stay
+cheap while full runs match the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..benchmarks import get_benchmark
+from ..benchmarks.genome import create_individuals_scaling_benchmark
+from ..benchmarks.registry import APPLICATION_BENCHMARKS, PAPER_MEMORY_MB
+from ..faas import run_benchmark
+from ..faas.experiment import ExperimentResult
+from ..faas.metrics import split_warm_cold, summarize
+from ..sim import MEMORY_CONFIGURATIONS_MB, NoiseModel, RandomStreams, get_profile
+from .stats import coefficient_of_variation, speedup
+
+CLOUDS = ("gcp", "aws", "azure")
+
+
+# --------------------------------------------------------------------- helpers
+def _run(
+    benchmark_name: str,
+    platform: str,
+    burst_size: int,
+    seed: int,
+    mode: str = "burst",
+    repetitions: int = 1,
+    era: str = "2024",
+    **bench_params: object,
+) -> ExperimentResult:
+    benchmark = get_benchmark(benchmark_name, **bench_params)
+    return run_benchmark(
+        benchmark,
+        platform,
+        burst_size=burst_size,
+        repetitions=repetitions,
+        mode=mode,
+        seed=seed,
+        era=era,
+    )
+
+
+def application_comparison(
+    benchmarks: Optional[Sequence[str]] = None,
+    platforms: Sequence[str] = CLOUDS,
+    burst_size: int = 30,
+    seed: int = 0,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """Run the application benchmarks on all platforms (experiment E1).
+
+    Returns ``{benchmark: {platform: ExperimentResult}}`` -- the raw material
+    for Figures 7, 8, 11, 15 and Table 5.
+    """
+    names = list(benchmarks) if benchmarks is not None else sorted(APPLICATION_BENCHMARKS)
+    results: Dict[str, Dict[str, ExperimentResult]] = {}
+    for name in names:
+        results[name] = {}
+        for platform in platforms:
+            results[name][platform] = _run(name, platform, burst_size, seed)
+    return results
+
+
+# -------------------------------------------------------------------- figure 7
+def figure7_runtime(
+    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    burst_size: int = 30,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Median runtime (and spread) of every application benchmark per platform."""
+    if results is None:
+        results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
+    figure: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for benchmark, per_platform in results.items():
+        figure[benchmark] = {}
+        for platform, result in per_platform.items():
+            runtimes = result.summary.runtimes if result.summary else []
+            figure[benchmark][platform] = {
+                "median_runtime_s": result.median_runtime,
+                "mean_runtime_s": statistics.fmean(runtimes) if runtimes else 0.0,
+                "min_runtime_s": min(runtimes) if runtimes else 0.0,
+                "max_runtime_s": max(runtimes) if runtimes else 0.0,
+                "cv": coefficient_of_variation(runtimes),
+            }
+    return figure
+
+
+# -------------------------------------------------------------------- figure 8
+def figure8_breakdown(
+    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    burst_size: int = 30,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Critical path vs orchestration overhead per benchmark and platform."""
+    if results is None:
+        results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
+    figure: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for benchmark, per_platform in results.items():
+        figure[benchmark] = {}
+        for platform, result in per_platform.items():
+            figure[benchmark][platform] = {
+                "median_critical_path_s": result.median_critical_path,
+                "median_overhead_s": result.median_overhead,
+                "mean_overhead_s": result.summary.mean_overhead if result.summary else 0.0,
+                "median_runtime_s": result.median_runtime,
+            }
+    return figure
+
+
+# ------------------------------------------------------------------- figure 9a
+def figure9a_storage_overhead(
+    download_sizes: Sequence[int] = tuple(2**exp for exp in range(12, 28, 3)),
+    num_functions: int = 20,
+    burst_size: int = 10,
+    seed: int = 0,
+    platforms: Sequence[str] = CLOUDS,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Workflow overhead of parallel object-storage downloads vs file size."""
+    series: Dict[str, List[Dict[str, float]]] = {platform: [] for platform in platforms}
+    for size in download_sizes:
+        for platform in platforms:
+            result = _run(
+                "storage_io", platform, burst_size, seed,
+                num_functions=num_functions, download_bytes=int(size), memory_mb=512,
+            )
+            series[platform].append(
+                {"download_bytes": float(size), "median_overhead_s": result.median_overhead}
+            )
+    return series
+
+
+# ------------------------------------------------------------------- figure 9b
+def figure9b_payload_latency(
+    payload_sizes: Sequence[int] = tuple(2**exp for exp in range(6, 18, 2)),
+    chain_length: int = 10,
+    burst_size: int = 10,
+    seed: int = 0,
+    platforms: Sequence[str] = CLOUDS,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Latency of a warm function chain vs return-payload size."""
+    series: Dict[str, List[Dict[str, float]]] = {platform: [] for platform in platforms}
+    for size in payload_sizes:
+        for platform in platforms:
+            result = _run(
+                "function_chain", platform, burst_size, seed, mode="warm",
+                length=chain_length, payload_bytes=int(size), memory_mb=256,
+            )
+            warm = split_warm_cold(result.measurements)["warm"] or result.measurements
+            overheads = [m.overhead() for m in warm if m.functions]
+            series[platform].append(
+                {
+                    "payload_bytes": float(size),
+                    "median_latency_s": statistics.median(overheads) if overheads else 0.0,
+                }
+            )
+    return series
+
+
+# ------------------------------------------------------------------- figure 10
+def figure10_parallel_sleep(
+    parallelism: Sequence[int] = (2, 4, 8, 16),
+    durations_s: Sequence[float] = (1.0, 5.0, 10.0, 20.0),
+    burst_size: int = 10,
+    seed: int = 0,
+    platforms: Sequence[str] = CLOUDS,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Relative overhead of the parallel-sleep microbenchmark per (N, T) cell."""
+    heatmaps: Dict[str, Dict[str, Dict[str, float]]] = {p: {} for p in platforms}
+    for n in parallelism:
+        for t in durations_s:
+            for platform in platforms:
+                result = _run(
+                    "parallel_sleep", platform, burst_size, seed,
+                    num_functions=int(n), sleep_seconds=float(t), memory_mb=256,
+                )
+                relative = result.median_runtime / float(t) if t else 0.0
+                heatmaps[platform][f"N={n},T={int(t)}"] = {
+                    "parallelism": float(n),
+                    "sleep_s": float(t),
+                    "relative_overhead": relative,
+                    "median_runtime_s": result.median_runtime,
+                }
+    return heatmaps
+
+
+# ------------------------------------------------------------------- figure 11
+def figure11_scaling_profiles(
+    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    burst_size: int = 30,
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[Dict[str, float]]]]:
+    """Distinct containers over time for a burst of workflow invocations."""
+    if results is None:
+        names = list(benchmarks) if benchmarks is not None else [
+            "video_analysis", "excamera", "mapreduce", "trip_booking", "ml",
+        ]
+        results = application_comparison(names, burst_size=burst_size, seed=seed)
+    profiles: Dict[str, Dict[str, List[Dict[str, float]]]] = {}
+    for benchmark, per_platform in results.items():
+        profiles[benchmark] = {
+            platform: result.scaling_profile for platform, result in per_platform.items()
+        }
+    return profiles
+
+
+# ------------------------------------------------------------------- figure 12
+def figure12_warm_cold(
+    benchmarks: Sequence[str] = ("ml", "mapreduce"),
+    burst_size: int = 30,
+    seed: int = 0,
+    platforms: Sequence[str] = CLOUDS,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Critical path and overhead of cold (burst) vs warm invocations."""
+    figure: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for benchmark in benchmarks:
+        figure[benchmark] = {}
+        for platform in platforms:
+            cold_result = _run(benchmark, platform, burst_size, seed, mode="burst")
+            warm_result = _run(benchmark, platform, burst_size, seed + 1, mode="warm")
+            warm_measurements = split_warm_cold(warm_result.measurements)["warm"]
+            warm_summary = summarize(benchmark, platform, warm_measurements or warm_result.measurements)
+            figure[benchmark][platform] = {
+                "cold_critical_path_s": cold_result.median_critical_path,
+                "cold_overhead_s": cold_result.median_overhead,
+                "warm_critical_path_s": warm_summary.median_critical_path,
+                "warm_overhead_s": warm_summary.median_overhead,
+                "speedup_critical_path": speedup(
+                    cold_result.median_critical_path,
+                    warm_summary.median_critical_path or cold_result.median_critical_path,
+                ),
+            }
+    return figure
+
+
+# ------------------------------------------------------------------- figure 13
+def figure13_os_noise(
+    memory_configurations: Sequence[int] = MEMORY_CONFIGURATIONS_MB,
+    events: int = 5000,
+    seed: int = 0,
+    platforms: Sequence[str] = CLOUDS,
+) -> Dict[str, object]:
+    """Suspension-time curves (13a) and normalised critical paths (13b/13c)."""
+    suspension: Dict[str, List[Dict[str, float]]] = {}
+    for platform in platforms:
+        profile = get_profile(platform)
+        noise = NoiseModel(platform, profile.cpu_model, RandomStreams(seed))
+        curve = noise.suspension_curve(memory_configurations, events=events)
+        suspension[platform] = [
+            {
+                "memory_mb": float(memory),
+                "measured_suspension": values["measured_suspension"],
+                "documented_suspension": values["documented_suspension"],
+            }
+            for memory, values in sorted(curve.items())
+        ]
+
+    normalized: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for benchmark, memory in (("mapreduce", 256), ("ml", 1024)):
+        normalized[benchmark] = {}
+        for platform in platforms:
+            result = _run(benchmark, platform, 10, seed)
+            profile = get_profile(platform)
+            share = profile.cpu_model.suspension(memory)
+            critical = result.median_critical_path
+            normalized[benchmark][platform] = {
+                "original_critical_path_s": critical,
+                "normalized_critical_path_s": critical * (1.0 - share),
+                "suspension_share": share,
+            }
+    return {"suspension": suspension, "normalized_critical_path": normalized}
+
+
+# ------------------------------------------------------------------- figure 14
+def figure14_genome_scaling(
+    job_counts: Sequence[int] = (5, 10, 20),
+    burst_size: int = 5,
+    seed: int = 0,
+    platforms: Sequence[str] = ("aws", "gcp", "azure", "hpc"),
+) -> Dict[str, object]:
+    """1000Genome on clouds vs the HPC system: full workflow and strong scaling."""
+    full_workflow: Dict[str, Dict[str, float]] = {}
+    for platform in platforms:
+        result = _run("genome_1000", platform, burst_size, seed)
+        runtimes = result.summary.runtimes if result.summary else []
+        full_workflow[platform] = {
+            "mean_runtime_s": statistics.fmean(runtimes) if runtimes else 0.0,
+            "median_runtime_s": result.median_runtime,
+            "cv": coefficient_of_variation(runtimes),
+        }
+
+    individuals_scaling: Dict[str, Dict[int, float]] = {platform: {} for platform in platforms}
+    for platform in platforms:
+        for jobs in job_counts:
+            benchmark = create_individuals_scaling_benchmark(jobs)
+            result = run_benchmark(
+                benchmark, platform, burst_size=burst_size, seed=seed, repetitions=1
+            )
+            individuals_scaling[platform][int(jobs)] = result.median_runtime
+
+    speedups: Dict[str, List[Dict[str, float]]] = {}
+    for platform, durations in individuals_scaling.items():
+        speedups[platform] = [
+            {"from_jobs": float(small), "to_jobs": float(large), "speedup": value}
+            for small, large, value in _pairwise_speedups(durations)
+        ]
+    return {
+        "full_workflow": full_workflow,
+        "individuals_scaling": individuals_scaling,
+        "speedups": speedups,
+    }
+
+
+def _pairwise_speedups(durations: Dict[int, float]):
+    jobs = sorted(durations)
+    for small, large in zip(jobs, jobs[1:]):
+        yield small, large, speedup(durations[small], durations[large])
+
+
+# ------------------------------------------------------------------- figure 15
+def figure15_pricing(
+    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    burst_size: int = 30,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Price per 1000 workflow executions, split into function and orchestration cost."""
+    if results is None:
+        results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
+    figure: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for benchmark, per_platform in results.items():
+        figure[benchmark] = {}
+        for platform, result in per_platform.items():
+            if result.cost is None:
+                continue
+            breakdown = result.cost.per_1000_executions
+            figure[benchmark][platform] = {
+                "function_usd": breakdown.function_usd,
+                "orchestration_usd": breakdown.orchestration_usd,
+                "storage_usd": breakdown.storage_usd,
+                "nosql_usd": breakdown.nosql_usd,
+                "total_usd": breakdown.total_usd,
+            }
+    return figure
+
+
+# ------------------------------------------------------------------- figure 16
+def figure16_evolution(
+    benchmarks: Sequence[str] = ("mapreduce", "ml"),
+    eras: Sequence[str] = ("2022", "2024"),
+    burst_size: int = 30,
+    seed: int = 0,
+    platforms: Sequence[str] = CLOUDS,
+) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
+    """Critical path and overhead of MapReduce and ML in 2022 vs 2024."""
+    figure: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    for benchmark in benchmarks:
+        figure[benchmark] = {}
+        for platform in platforms:
+            figure[benchmark][platform] = {}
+            for era in eras:
+                result = _run(benchmark, platform, burst_size, seed, era=era)
+                figure[benchmark][platform][era] = {
+                    "median_critical_path_s": result.median_critical_path,
+                    "median_overhead_s": result.median_overhead,
+                    "median_runtime_s": result.median_runtime,
+                }
+    return figure

@@ -1,0 +1,174 @@
+"""Literature-survey dataset (paper Table 1 and Section 6.1).
+
+The paper analyses 72 research papers on serverless workflows found via Google
+Scholar (keywords *cloud*, *orchestration*, *serverless workflow* / *serverless
+DAG*, published 2017 or later, in English, using a workflow benchmark).  Each
+paper is categorised by its primary contribution and by the benchmark classes,
+platforms, and artifact availability of its evaluation.
+
+The original per-paper spreadsheet is part of the paper's supplementary
+material and is not redistributable here, so this module ships a synthetic
+per-paper dataset whose aggregate counts reproduce Table 1 exactly and whose
+expressiveness attributes reproduce the Section 6.1 findings (53 of 58
+analysable papers fully supported, two not representable, three not
+transcribable, 14 with insufficient detail).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+class Category(enum.Enum):
+    """Primary contribution of a surveyed paper."""
+
+    ANALYSIS = "Analysis"
+    OPTIMIZATION = "Optimization"
+    APPLICATION = "Application"
+    PROGRAMMING_MODEL = "Prog. Model"
+
+
+class Expressiveness(enum.Enum):
+    """Whether the paper's workflows can be expressed in the SeBS-Flow model."""
+
+    SUPPORTED = "supported"
+    INSUFFICIENT_DETAIL = "insufficient-detail"
+    NOT_REPRESENTABLE = "not-representable"
+    NOT_TRANSCRIBABLE = "not-transcribable"
+
+
+@dataclass(frozen=True)
+class SurveyedPaper:
+    """One paper of the survey with its evaluation characteristics."""
+
+    identifier: str
+    category: Category
+    workload_classes: tuple
+    platforms: tuple
+    research_platform: bool
+    artifact_available: bool
+    expressiveness: Expressiveness
+
+
+#: Aggregate counts of Table 1, keyed by category.
+TABLE1_COUNTS: Dict[Category, Dict[str, int]] = {
+    Category.ANALYSIS: {
+        "Total": 14, "Micro": 7, "Webapp": 1, "Multimedia": 4, "Data Proc.": 2,
+        "ML": 4, "Scientific": 2, "AWS": 8, "Azure": 4, "GCP": 3, "Other": 3,
+        "Research": 3, "Artifact": 5,
+    },
+    Category.OPTIMIZATION: {
+        "Total": 17, "Micro": 8, "Webapp": 3, "Multimedia": 4, "Data Proc.": 4,
+        "ML": 5, "Scientific": 6, "AWS": 9, "Azure": 0, "GCP": 2, "Other": 2,
+        "Research": 7, "Artifact": 4,
+    },
+    Category.APPLICATION: {
+        "Total": 18, "Micro": 1, "Webapp": 4, "Multimedia": 1, "Data Proc.": 4,
+        "ML": 1, "Scientific": 7, "AWS": 15, "Azure": 5, "GCP": 5, "Other": 2,
+        "Research": 3, "Artifact": 9,
+    },
+    Category.PROGRAMMING_MODEL: {
+        "Total": 23, "Micro": 10, "Webapp": 6, "Multimedia": 5, "Data Proc.": 8,
+        "ML": 11, "Scientific": 8, "AWS": 10, "Azure": 3, "GCP": 1, "Other": 2,
+        "Research": 16, "Artifact": 11,
+    },
+}
+
+#: Section 6.1 expressiveness findings.
+EXPRESSIVENESS_COUNTS: Dict[Expressiveness, int] = {
+    Expressiveness.INSUFFICIENT_DETAIL: 14,
+    Expressiveness.NOT_REPRESENTABLE: 2,
+    Expressiveness.NOT_TRANSCRIBABLE: 3,
+    Expressiveness.SUPPORTED: 53,
+}
+
+_WORKLOAD_COLUMNS = ("Micro", "Webapp", "Multimedia", "Data Proc.", "ML", "Scientific")
+_PLATFORM_COLUMNS = ("AWS", "Azure", "GCP", "Other")
+
+
+def _build_papers() -> List[SurveyedPaper]:
+    """Construct a synthetic per-paper list consistent with the aggregate counts."""
+    papers: List[SurveyedPaper] = []
+    expressiveness_pool: List[Expressiveness] = []
+    for expressiveness, count in EXPRESSIVENESS_COUNTS.items():
+        expressiveness_pool.extend([expressiveness] * count)
+
+    index = 0
+    for category, counts in TABLE1_COUNTS.items():
+        total = counts["Total"]
+        # Spread every column's count over the category's papers with a rolling
+        # cursor so that each per-category column count is met exactly (a paper
+        # may use several workload classes / platforms, or none -- papers that
+        # only evaluate on research prototypes list no commercial platform).
+        workload_assignments: List[List[str]] = [[] for _ in range(total)]
+        cursor = 0
+        for column in _WORKLOAD_COLUMNS:
+            for _ in range(counts[column]):
+                workload_assignments[cursor % total].append(column)
+                cursor += 1
+        platform_assignments: List[List[str]] = [[] for _ in range(total)]
+        cursor = 0
+        for column in _PLATFORM_COLUMNS:
+            for _ in range(counts[column]):
+                platform_assignments[cursor % total].append(column)
+                cursor += 1
+
+        research_flags = [i < counts["Research"] for i in range(total)]
+        artifact_flags = [i < counts["Artifact"] for i in range(total)]
+
+        for paper_index in range(total):
+            papers.append(
+                SurveyedPaper(
+                    identifier=f"{category.value.lower().replace(' ', '-').replace('.', '')}-{paper_index + 1:02d}",
+                    category=category,
+                    workload_classes=tuple(workload_assignments[paper_index]),
+                    platforms=tuple(platform_assignments[paper_index]),
+                    research_platform=research_flags[paper_index],
+                    artifact_available=artifact_flags[paper_index],
+                    expressiveness=expressiveness_pool[index],
+                )
+            )
+            index += 1
+    return papers
+
+
+SURVEYED_PAPERS: List[SurveyedPaper] = _build_papers()
+
+
+def papers_by_category(category: Category) -> List[SurveyedPaper]:
+    return [paper for paper in SURVEYED_PAPERS if paper.category is category]
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Table 1 of the paper as a list of rows (one per category)."""
+    rows: List[Dict[str, object]] = []
+    for category, counts in TABLE1_COUNTS.items():
+        row: Dict[str, object] = {"Papers": category.value}
+        row.update(counts)
+        rows.append(row)
+    return rows
+
+
+def total_papers() -> int:
+    return sum(counts["Total"] for counts in TABLE1_COUNTS.values())
+
+
+def expressiveness_summary() -> Dict[str, int]:
+    """Section 6.1 numbers: how many surveyed workflows the model supports."""
+    analysed = total_papers() - EXPRESSIVENESS_COUNTS[Expressiveness.INSUFFICIENT_DETAIL]
+    return {
+        "total_papers": total_papers(),
+        "insufficient_detail": EXPRESSIVENESS_COUNTS[Expressiveness.INSUFFICIENT_DETAIL],
+        "analysed": analysed,
+        "not_representable": EXPRESSIVENESS_COUNTS[Expressiveness.NOT_REPRESENTABLE],
+        "not_transcribable": EXPRESSIVENESS_COUNTS[Expressiveness.NOT_TRANSCRIBABLE],
+        "fully_supported": EXPRESSIVENESS_COUNTS[Expressiveness.SUPPORTED],
+    }
+
+
+def coverage_fraction() -> float:
+    """Fraction of analysable papers whose workflows the model fully supports."""
+    summary = expressiveness_summary()
+    return summary["fully_supported"] / summary["analysed"]

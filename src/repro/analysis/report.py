@@ -1,0 +1,93 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints its reproduction of every table and figure as
+text (the original artifact plots PDFs; a text rendering keeps the offline
+reproduction dependency-free).  The helpers here format rows of dictionaries
+as aligned tables and figure series as per-platform listings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(
+    series: Mapping[str, Sequence[Mapping[str, object]]], title: str = ""
+) -> str:
+    """Render per-platform series ({platform: [points]}) as stacked tables."""
+    blocks: List[str] = []
+    if title:
+        blocks.append(title)
+    for platform in sorted(series):
+        blocks.append(format_table(list(series[platform]), title=f"[{platform}]"))
+    return "\n\n".join(blocks)
+
+
+def format_nested(
+    nested: Mapping[str, Mapping[str, Mapping[str, object]]], title: str = ""
+) -> str:
+    """Render {group: {key: {metric: value}}} structures (figures 7, 8, 15, 16)."""
+    rows: List[Dict[str, object]] = []
+    for group in sorted(nested):
+        for key in sorted(nested[group]):
+            row: Dict[str, object] = {"group": group, "key": key}
+            row.update(nested[group][key])
+            rows.append(row)
+    return format_table(rows, title=title)
+
+
+def comparison_summary(
+    figure7: Mapping[str, Mapping[str, Mapping[str, float]]]
+) -> List[str]:
+    """One line per benchmark naming the fastest and slowest platform."""
+    lines = []
+    for benchmark in sorted(figure7):
+        medians = {
+            platform: values["median_runtime_s"]
+            for platform, values in figure7[benchmark].items()
+        }
+        fastest = min(medians, key=medians.get)
+        slowest = max(medians, key=medians.get)
+        lines.append(
+            f"{benchmark}: fastest={fastest} ({medians[fastest]:.1f}s), "
+            f"slowest={slowest} ({medians[slowest]:.1f}s)"
+        )
+    return lines

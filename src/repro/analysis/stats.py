@@ -1,0 +1,137 @@
+"""Statistics used by the paper's methodology.
+
+* non-parametric confidence intervals on the median (used in Section 7.1 to
+  decide how many repetitions each experiment needs);
+* coefficient of variation (used in RQ3 to compare run-to-run stability);
+* repetition-count estimation: the smallest number of repetitions for which
+  the CI of the median lies within a target fraction of the median.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A non-parametric confidence interval on the median."""
+
+    lower: float
+    upper: float
+    median: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    @property
+    def relative_width(self) -> float:
+        """Half-width of the interval relative to the median (the paper's 5 % target)."""
+        if self.median == 0:
+            return 0.0
+        return max(self.upper - self.median, self.median - self.lower) / abs(self.median)
+
+    def within(self, fraction: float) -> bool:
+        return self.relative_width <= fraction
+
+
+def median_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Distribution-free CI of the median based on order statistics.
+
+    Uses the normal approximation to the binomial to pick the order-statistic
+    ranks (standard approach; see Hoefler & Belli, SC'15).
+    """
+    values = sorted(samples)
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot compute a confidence interval of an empty sample")
+    med = statistics.median(values)
+    if n < 6:
+        return ConfidenceInterval(values[0], values[-1], med, confidence)
+    z = _z_score(confidence)
+    half = z * math.sqrt(n) / 2.0
+    lower_rank = max(0, int(math.floor(n / 2.0 - half)))
+    upper_rank = min(n - 1, int(math.ceil(n / 2.0 + half)) - 1)
+    return ConfidenceInterval(values[lower_rank], values[upper_rank], med, confidence)
+
+
+def _z_score(confidence: float) -> float:
+    lookup = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+    if confidence in lookup:
+        return lookup[confidence]
+    # Rational approximation of the probit function for other levels.
+    p = 1.0 - (1.0 - confidence) / 2.0
+    t = math.sqrt(-2.0 * math.log(1.0 - p))
+    return t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
+
+
+def required_repetitions(
+    samples: Sequence[float],
+    target_relative_width: float = 0.05,
+    confidence: float = 0.95,
+    batch_size: int = 30,
+    max_batches: int = 20,
+) -> int:
+    """Number of batches needed until the median CI is within the target width.
+
+    Mirrors the paper's procedure: measurements arrive in bursts of
+    ``batch_size``; batches are added until the non-parametric CI of the median
+    lies within ``target_relative_width`` of the median.
+    """
+    if not samples:
+        raise ValueError("need at least one batch of samples")
+    for batches in range(1, max_batches + 1):
+        subset = list(samples)[: batches * batch_size]
+        if len(subset) < batch_size:
+            subset = list(samples)
+        interval = median_confidence_interval(subset, confidence)
+        if interval.within(target_relative_width):
+            return batches
+        if len(subset) >= len(samples):
+            break
+    return max(1, math.ceil(len(samples) / batch_size))
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """Standard deviation divided by the mean (0 for degenerate samples)."""
+    values = list(samples)
+    if len(values) < 2:
+        return 0.0
+    mean = statistics.fmean(values)
+    if mean == 0:
+        return 0.0
+    return statistics.stdev(values) / mean
+
+
+def interquartile_range(samples: Sequence[float]) -> Tuple[float, float]:
+    """(Q1, Q3) of a sample using the nearest-rank method."""
+    values = sorted(samples)
+    if not values:
+        raise ValueError("empty sample")
+    q1 = values[len(values) // 4]
+    q3 = values[(3 * len(values)) // 4] if len(values) > 1 else values[0]
+    return q1, q3
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Baseline time divided by improved time (``inf``-safe)."""
+    if improved <= 0:
+        return 0.0
+    return baseline / improved
+
+
+def strong_scaling_speedups(durations_by_jobs: dict) -> List[Tuple[int, int, float]]:
+    """Pairwise speedups for consecutive job counts (Figure 14b analysis)."""
+    jobs = sorted(durations_by_jobs)
+    results: List[Tuple[int, int, float]] = []
+    for smaller, larger in zip(jobs, jobs[1:]):
+        results.append(
+            (smaller, larger, speedup(durations_by_jobs[smaller], durations_by_jobs[larger]))
+        )
+    return results

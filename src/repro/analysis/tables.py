@@ -1,0 +1,117 @@
+"""Builders for every table of the paper.
+
+* Table 1 -- literature survey (from :mod:`repro.analysis.literature`);
+* Table 2 -- key features of the workflow platforms;
+* Table 3 -- pricing constants;
+* Table 4 -- key features of the benchmarks (computed from the definitions);
+* Table 5 -- cold-start fractions and state-transition counts (from experiment
+  results plus the platform transcribers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..benchmarks import get_benchmark
+from ..benchmarks.registry import APPLICATION_BENCHMARKS
+from ..core.transcription import compare_transitions
+from ..faas.experiment import ExperimentResult
+from ..sim import PRICING_BY_PLATFORM, get_profile
+from .literature import table1_rows
+
+#: Display order of the application benchmarks, matching the paper's tables.
+BENCHMARK_ORDER = (
+    "video_analysis",
+    "trip_booking",
+    "mapreduce",
+    "excamera",
+    "ml",
+    "genome_1000",
+)
+
+
+def table1_literature() -> List[Dict[str, object]]:
+    """Table 1: analysis of research papers on serverless workflows."""
+    return table1_rows()
+
+
+def table2_platform_features() -> List[Dict[str, object]]:
+    """Table 2: key features of the serverless workflow platforms."""
+    rows = []
+    features = {
+        "aws": {
+            "Prog. Model": "State Machine",
+            "Model Flexibility": "Static",
+            "Max. Parallelism": "40",
+            "Interface": "JSON",
+        },
+        "azure": {
+            "Prog. Model": "Orchestrator Function",
+            "Model Flexibility": "Dynamic",
+            "Max. Parallelism": "Unlimited",
+            "Interface": "Durable Functions",
+        },
+        "gcp": {
+            "Prog. Model": "State Machine",
+            "Model Flexibility": "Semi-dynamic",
+            "Max. Parallelism": "20",
+            "Interface": "JSON/YAML",
+        },
+    }
+    for platform in ("aws", "azure", "gcp"):
+        profile = get_profile(platform)
+        row: Dict[str, object] = {"Platform": profile.display_name}
+        row.update(features[platform])
+        row["Simulated max parallelism"] = profile.orchestration.max_parallelism
+        rows.append(row)
+    return rows
+
+
+def table3_pricing() -> List[Dict[str, object]]:
+    """Table 3: pricing of compute, invocations, and orchestration per platform."""
+    rows = []
+    for platform in ("aws", "gcp", "azure"):
+        pricing = PRICING_BY_PLATFORM[platform]
+        rows.append(
+            {
+                "Platform": platform.upper() if platform != "azure" else "Azure",
+                "Compute time [$/GBs]": pricing.compute_gbs_usd,
+                "Invocation [$ per 1M]": pricing.invocations_per_million_usd,
+                "Orchestration [$ per 1000 transitions]": pricing.transitions_per_1000_usd,
+                "Orchestration [$/GBs]": pricing.orchestration_gbs_usd,
+            }
+        )
+    return rows
+
+
+def table4_benchmarks(benchmarks: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+    """Table 4: #functions, parallelism, critical path, and data volume per benchmark."""
+    names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_ORDER)
+    rows = []
+    for name in names:
+        if name not in APPLICATION_BENCHMARKS:
+            raise KeyError(f"unknown application benchmark {name!r}")
+        benchmark = get_benchmark(name)
+        rows.append(benchmark.statistics().as_row())
+    return rows
+
+
+def table5_cold_starts_and_transitions(
+    results: Dict[str, Dict[str, ExperimentResult]],
+) -> List[Dict[str, object]]:
+    """Table 5: cold-start fractions (from experiments) and state transitions
+    (from the platform transcribers) per benchmark."""
+    rows = []
+    for benchmark_name, per_platform in results.items():
+        benchmark = get_benchmark(benchmark_name)
+        comparison = compare_transitions(benchmark.definition, benchmark.array_sizes)
+        row: Dict[str, object] = {"Benchmark": benchmark_name}
+        for platform in ("aws", "gcp", "azure"):
+            result = per_platform.get(platform)
+            if result is not None:
+                row[f"Cold starts {platform.upper()}"] = round(result.cold_start_fraction, 4)
+        row["State transitions AWS"] = comparison.aws_transitions
+        row["State transitions GCP"] = comparison.gcp_transitions
+        row["History events Azure"] = comparison.azure_history_events
+        rows.append(row)
+    return rows

@@ -1,0 +1,31 @@
+"""The SeBS-Flow benchmark applications and microbenchmarks."""
+
+from . import excamera, genome, mapreduce, ml, trip_booking, video_analysis
+from .micro import function_chain, parallel_sleep, selfish_detour, storage_io
+from .registry import (
+    ALL_BENCHMARKS,
+    APPLICATION_BENCHMARKS,
+    MICRO_BENCHMARKS,
+    PAPER_MEMORY_MB,
+    benchmark_names,
+    get_benchmark,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "APPLICATION_BENCHMARKS",
+    "MICRO_BENCHMARKS",
+    "PAPER_MEMORY_MB",
+    "benchmark_names",
+    "excamera",
+    "function_chain",
+    "genome",
+    "get_benchmark",
+    "mapreduce",
+    "ml",
+    "parallel_sleep",
+    "selfish_detour",
+    "storage_io",
+    "trip_booking",
+    "video_analysis",
+]

@@ -1,0 +1,5 @@
+"""The four microbenchmarks of SeBS-Flow."""
+
+from . import function_chain, parallel_sleep, selfish_detour, storage_io
+
+__all__ = ["function_chain", "parallel_sleep", "selfish_detour", "storage_io"]

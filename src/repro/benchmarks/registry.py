@@ -1,0 +1,65 @@
+"""Registry of all SeBS-Flow benchmarks.
+
+Provides a single lookup point for the six application benchmarks and the four
+microbenchmarks, so the experiment harness, the examples, and the figure
+benches can construct benchmarks by name with optional parameter overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..faas.benchmark import WorkflowBenchmark
+from . import excamera, genome, mapreduce, ml, trip_booking, video_analysis
+from .micro import function_chain, parallel_sleep, selfish_detour, storage_io
+
+BenchmarkFactory = Callable[..., WorkflowBenchmark]
+
+APPLICATION_BENCHMARKS: Dict[str, BenchmarkFactory] = {
+    "video_analysis": video_analysis.create_benchmark,
+    "trip_booking": trip_booking.create_benchmark,
+    "mapreduce": mapreduce.create_benchmark,
+    "excamera": excamera.create_benchmark,
+    "ml": ml.create_benchmark,
+    "genome_1000": genome.create_benchmark,
+}
+
+MICRO_BENCHMARKS: Dict[str, BenchmarkFactory] = {
+    "function_chain": function_chain.create_benchmark,
+    "storage_io": storage_io.create_benchmark,
+    "parallel_sleep": parallel_sleep.create_benchmark,
+    "selfish_detour": selfish_detour.create_benchmark,
+}
+
+ALL_BENCHMARKS: Dict[str, BenchmarkFactory] = {
+    **APPLICATION_BENCHMARKS,
+    **MICRO_BENCHMARKS,
+}
+
+#: Memory configuration the paper uses for each application benchmark (Figure 7).
+PAPER_MEMORY_MB: Dict[str, int] = {
+    "video_analysis": 2048,
+    "excamera": 256,
+    "mapreduce": 256,
+    "trip_booking": 128,
+    "ml": 1024,
+    "genome_1000": 2048,
+}
+
+
+def benchmark_names(category: str = "all") -> List[str]:
+    """Names of the registered benchmarks (``all``, ``application``, or ``micro``)."""
+    if category == "application":
+        return sorted(APPLICATION_BENCHMARKS)
+    if category == "micro":
+        return sorted(MICRO_BENCHMARKS)
+    if category == "all":
+        return sorted(ALL_BENCHMARKS)
+    raise KeyError(f"unknown benchmark category {category!r}")
+
+
+def get_benchmark(name: str, **params: object) -> WorkflowBenchmark:
+    """Construct a benchmark by name, forwarding parameter overrides to its factory."""
+    if name not in ALL_BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; available: {sorted(ALL_BENCHMARKS)}")
+    return ALL_BENCHMARKS[name](**params)

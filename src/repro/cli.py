@@ -1,0 +1,179 @@
+"""Command-line interface of the SeBS-Flow reproduction.
+
+Mirrors the workflow of the original suite's ``sebs.py`` tool at a smaller
+scale: list the available benchmarks and platforms, inspect a benchmark's
+model statistics, transcribe its definition for a platform, run an experiment,
+and compare platforms.
+
+Usage examples::
+
+    repro-flow list
+    repro-flow stats mapreduce
+    repro-flow transcribe mapreduce --platform gcp
+    repro-flow run mapreduce --platform aws --burst-size 10 --output result.json
+    repro-flow compare ml --burst-size 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import report
+from .benchmarks import benchmark_names, get_benchmark
+from .core.transcription import AWSTranscriber, AzureTranscriber, GCPTranscriber
+from .faas import compare_platforms, run_benchmark
+from .faas.results import result_to_dict
+from .sim.platforms.profiles import available_platforms
+
+_TRANSCRIBERS = {
+    "aws": AWSTranscriber,
+    "gcp": GCPTranscriber,
+    "azure": AzureTranscriber,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description="SeBS-Flow reproduction: benchmark serverless workflows on simulated clouds",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list benchmarks and platforms")
+
+    stats = subparsers.add_parser("stats", help="show a benchmark's model statistics")
+    stats.add_argument("benchmark", help="benchmark name (see `repro-flow list`)")
+
+    transcribe = subparsers.add_parser(
+        "transcribe", help="transcribe a benchmark definition to a platform format"
+    )
+    transcribe.add_argument("benchmark")
+    transcribe.add_argument("--platform", default="aws", choices=sorted(_TRANSCRIBERS))
+    transcribe.add_argument("--output", help="write the document to this file instead of stdout")
+
+    run = subparsers.add_parser("run", help="run one benchmark on one platform")
+    run.add_argument("benchmark")
+    run.add_argument("--platform", default="aws")
+    run.add_argument("--burst-size", type=int, default=30)
+    run.add_argument("--repetitions", type=int, default=1)
+    run.add_argument("--mode", choices=("burst", "warm"), default="burst")
+    run.add_argument("--era", choices=("2022", "2024"), default="2024")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--memory-mb", type=int, default=None)
+    run.add_argument("--output", help="write the full result as JSON to this file")
+
+    compare = subparsers.add_parser("compare", help="run one benchmark on all cloud platforms")
+    compare.add_argument("benchmark")
+    compare.add_argument("--burst-size", type=int, default=30)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--platforms", nargs="+", default=["gcp", "aws", "azure"])
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Application benchmarks:")
+    for name in benchmark_names("application"):
+        print(f"  {name}")
+    print("Microbenchmarks:")
+    for name in benchmark_names("micro"):
+        print(f"  {name}")
+    print("Platforms:")
+    for name in available_platforms():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_stats(benchmark_name: str) -> int:
+    benchmark = get_benchmark(benchmark_name)
+    stats = benchmark.statistics()
+    print(report.format_table([stats.as_row()], f"Model statistics for {benchmark_name}"))
+    print(f"memory configuration: {benchmark.memory_mb} MB")
+    print(f"functions: {', '.join(benchmark.function_names())}")
+    problems = benchmark.definition.validate(known_functions=benchmark.functions)
+    print(f"definition problems: {problems or 'none'}")
+    return 0
+
+
+def _cmd_transcribe(benchmark_name: str, platform: str, output: Optional[str]) -> int:
+    benchmark = get_benchmark(benchmark_name)
+    transcriber = _TRANSCRIBERS[platform]()
+    result = transcriber.transcribe(benchmark.definition, benchmark.array_sizes)
+    document = json.dumps(result.document, indent=2, default=str)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {platform} document for {benchmark_name} to {output}")
+    else:
+        print(document)
+    print(
+        f"# states: {result.state_count}, estimated transitions/history events per "
+        f"execution: {result.transition_estimate}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.benchmark)
+    result = run_benchmark(
+        benchmark,
+        args.platform,
+        burst_size=args.burst_size,
+        repetitions=args.repetitions,
+        mode=args.mode,
+        seed=args.seed,
+        era=args.era,
+        memory_mb=args.memory_mb,
+    )
+    summary_row = result.summary.as_row() if result.summary else {}
+    print(report.format_table([summary_row], f"{args.benchmark} on {args.platform}"))
+    if result.cost is not None:
+        print(report.format_table([result.cost.per_1000_executions.as_row()],
+                                  "cost per 1000 executions [$]"))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result_to_dict(result), handle, indent=2)
+        print(f"full result written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.benchmark)
+    results = compare_platforms(
+        benchmark, platforms=args.platforms, burst_size=args.burst_size, seed=args.seed
+    )
+    rows = [result.summary.as_row() for result in results.values() if result.summary]
+    print(report.format_table(rows, f"{args.benchmark}: platform comparison"))
+    medians = {platform: result.median_runtime for platform, result in results.items()}
+    fastest = min(medians, key=medians.get)
+    slowest = max(medians, key=medians.get)
+    print(f"fastest: {fastest} ({medians[fastest]:.2f} s), "
+          f"slowest: {slowest} ({medians[slowest]:.2f} s)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "stats":
+            return _cmd_stats(args.benchmark)
+        if args.command == "transcribe":
+            return _cmd_transcribe(args.benchmark, args.platform, args.output)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - unreachable with required subparsers
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Data-flow anti-pattern analysis on WFD-nets.
+
+WFD-nets were originally proposed to discover data-flow errors in business
+workflows (Trcka et al., "Data-Flow Anti-patterns").  SeBS-Flow reuses the
+formalism and additionally checks resource-annotation consistency.  This module
+packages both analyses behind a single report object so that workflow authors
+can lint a definition before deploying it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .wfdnet import ConsistencyIssue, ResourceAnnotation, TransitionKind, WFDNet
+
+
+@dataclass(frozen=True)
+class AntiPattern:
+    """A detected data-flow anti-pattern."""
+
+    name: str
+    element: str
+    transitions: tuple
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - human readable
+        involved = ", ".join(self.transitions)
+        return f"{self.name}({self.element}) at [{involved}]: {self.description}"
+
+
+@dataclass
+class DataFlowReport:
+    """Full result of analysing a WFD-net."""
+
+    anti_patterns: List[AntiPattern] = field(default_factory=list)
+    consistency_issues: List[ConsistencyIssue] = field(default_factory=list)
+    structural_problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.anti_patterns or self.consistency_issues or self.structural_problems)
+
+    def summary(self) -> str:
+        lines = []
+        if self.structural_problems:
+            lines.append("structural problems:")
+            lines.extend(f"  - {p}" for p in self.structural_problems)
+        if self.anti_patterns:
+            lines.append("data-flow anti-patterns:")
+            lines.extend(f"  - {p}" for p in self.anti_patterns)
+        if self.consistency_issues:
+            lines.append("resource-annotation issues:")
+            lines.extend(f"  - {i}" for i in self.consistency_issues)
+        if not lines:
+            lines.append("no data-flow problems detected")
+        return "\n".join(lines)
+
+
+class DataFlowAnalyzer:
+    """Detect data-flow anti-patterns in a WFD-net.
+
+    Implemented anti-patterns (subset of Trcka et al. relevant to acyclic
+    serverless workflow graphs):
+
+    * **missing data** -- an element may be read before any transition on a
+      path from the source has written it;
+    * **redundant data** -- an element is written but never read afterwards
+      and is not a workflow output;
+    * **lost data** -- an element is overwritten by a second writer before any
+      reader consumed the first value;
+    * **inconsistent channel** -- writer and reader disagree on the resource
+      annotation (delegated to :meth:`WFDNet.check_consistency`).
+    """
+
+    def __init__(self, net: WFDNet) -> None:
+        self._net = net
+
+    def analyse(self) -> DataFlowReport:
+        report = DataFlowReport()
+        report.structural_problems = self._net.validate_structure()
+        report.consistency_issues = [
+            issue for issue in self._net.check_consistency()
+            if issue.kind in ("channel-mismatch", "destroyed-then-read")
+        ]
+        report.anti_patterns.extend(self._missing_data())
+        report.anti_patterns.extend(self._redundant_data())
+        report.anti_patterns.extend(self._lost_data())
+        return report
+
+    # ----------------------------------------------------------------- checks
+    def _order(self) -> Dict[str, int]:
+        return self._net._topological_index()  # noqa: SLF001 - intentional reuse
+
+    def _missing_data(self) -> List[AntiPattern]:
+        patterns: List[AntiPattern] = []
+        order = self._order()
+        for element in sorted(self._net.data_elements):
+            readers = self._net.readers_of(element)
+            writers = self._net.writers_of(element)
+            for reader in readers:
+                earlier_writer = any(
+                    order.get(writer, 10**9) < order.get(reader, 0) for writer in writers
+                )
+                if earlier_writer:
+                    continue
+                access = self._net.reads(reader)[element]
+                if access.annotation in (
+                    ResourceAnnotation.PAYLOAD,
+                    ResourceAnnotation.REFERENCE,
+                    ResourceAnnotation.OBJECT_STORAGE,
+                ) and self._net._is_entry_transition(reader):  # noqa: SLF001
+                    continue  # external input
+                patterns.append(
+                    AntiPattern(
+                        "missing-data",
+                        element,
+                        (reader,),
+                        "read without a preceding writer inside the workflow",
+                    )
+                )
+        return patterns
+
+    def _redundant_data(self) -> List[AntiPattern]:
+        patterns: List[AntiPattern] = []
+        order = self._order()
+        for element in sorted(self._net.data_elements):
+            readers = self._net.readers_of(element)
+            for writer in self._net.writers_of(element):
+                if self._net._is_exit_transition(writer):  # noqa: SLF001
+                    continue
+                later_reader = any(
+                    order.get(reader, -1) >= order.get(writer, 0) for reader in readers
+                )
+                if not later_reader:
+                    patterns.append(
+                        AntiPattern(
+                            "redundant-data",
+                            element,
+                            (writer,),
+                            "written but never read by a later transition",
+                        )
+                    )
+        return patterns
+
+    def _lost_data(self) -> List[AntiPattern]:
+        patterns: List[AntiPattern] = []
+        order = self._order()
+        for element in sorted(self._net.data_elements):
+            writers = sorted(
+                self._net.writers_of(element), key=lambda t: order.get(t, 0)
+            )
+            if len(writers) < 2:
+                continue
+            readers = self._net.readers_of(element)
+            for first, second in zip(writers, writers[1:]):
+                first_depth = order.get(first, 0)
+                second_depth = order.get(second, 0)
+                if first_depth == second_depth:
+                    continue  # parallel writers (e.g. map sub-phases) write distinct shards
+                consumed_between = any(
+                    first_depth < order.get(reader, -1) <= second_depth
+                    for reader in readers
+                )
+                if not consumed_between:
+                    patterns.append(
+                        AntiPattern(
+                            "lost-data",
+                            element,
+                            (first, second),
+                            "value overwritten before any reader consumed it",
+                        )
+                    )
+        return patterns
+
+
+def analyse(net: WFDNet) -> DataFlowReport:
+    """Convenience wrapper: run the full data-flow analysis on ``net``."""
+    return DataFlowAnalyzer(net).analyse()

@@ -1,0 +1,349 @@
+"""Parsing, validation, and serialisation of workflow definitions.
+
+A workflow definition is the platform-agnostic JSON document described in the
+paper's Section 4.1: a ``root`` phase name plus a ``states`` map of phases.
+This module converts between the JSON syntax and the typed
+:class:`WorkflowDefinition` object, validates definitions (unknown ``next``
+targets, unreachable phases, cycles outside loop constructs, missing
+functions), and provides traversal helpers used by the model builder and the
+platform transcribers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Union
+
+from .phases import (
+    DefinitionError,
+    LoopPhase,
+    MapPhase,
+    ParallelBranch,
+    ParallelPhase,
+    Phase,
+    PhaseType,
+    RepeatPhase,
+    SwitchCase,
+    SwitchPhase,
+    TaskPhase,
+    iter_phases_recursive,
+)
+
+JSONDict = Dict[str, object]
+
+
+@dataclass
+class WorkflowDefinition:
+    """A complete platform-agnostic workflow definition."""
+
+    name: str
+    root: str
+    states: Dict[str, Phase] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ query
+    def phase(self, name: str) -> Phase:
+        if name not in self.states:
+            raise DefinitionError(f"workflow {self.name!r} has no phase {name!r}")
+        return self.states[name]
+
+    def top_level_order(self) -> List[Phase]:
+        """Top-level phases in execution order following ``next`` pointers.
+
+        Switch phases terminate the deterministic order; their possible targets
+        are *not* expanded here (the runtime decides).
+        """
+        order: List[Phase] = []
+        current: Optional[str] = self.root
+        seen: Set[str] = set()
+        while current is not None:
+            if current in seen:
+                raise DefinitionError(
+                    f"cycle detected in workflow {self.name!r} at phase {current!r}"
+                )
+            seen.add(current)
+            phase = self.phase(current)
+            order.append(phase)
+            if isinstance(phase, SwitchPhase):
+                break
+            current = phase.next
+        return order
+
+    def all_phases(self) -> List[Phase]:
+        """All phases including those nested inside map/loop/parallel phases."""
+        return iter_phases_recursive(list(self.states.values()))
+
+    def referenced_functions(self) -> List[str]:
+        """All serverless function names referenced anywhere in the definition."""
+        functions: List[str] = []
+        for phase in self.states.values():
+            functions.extend(phase.referenced_functions())
+        # preserve first-occurrence order, drop duplicates
+        seen: Set[str] = set()
+        unique: List[str] = []
+        for name in functions:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+    def validate(self, known_functions: Optional[Iterable[str]] = None) -> List[str]:
+        """Return a list of validation problems (empty when the definition is valid)."""
+        problems: List[str] = []
+        if self.root not in self.states:
+            problems.append(f"root phase {self.root!r} is not defined")
+            return problems
+
+        reachable = self._reachable_phase_names()
+        for name in self.states:
+            if name not in reachable:
+                problems.append(f"phase {name!r} is unreachable from root")
+
+        for name, phase in self.states.items():
+            problems.extend(self._validate_phase(name, phase))
+
+        try:
+            self.top_level_order()
+        except DefinitionError as exc:
+            problems.append(str(exc))
+
+        if known_functions is not None:
+            known = set(known_functions)
+            for func in self.referenced_functions():
+                if func not in known:
+                    problems.append(f"unknown function {func!r} referenced by workflow")
+        return problems
+
+    def _validate_phase(self, name: str, phase: Phase) -> List[str]:
+        problems: List[str] = []
+        if phase.next is not None and phase.next not in self.states:
+            problems.append(f"phase {name!r} points to unknown next phase {phase.next!r}")
+        if isinstance(phase, TaskPhase) and not phase.func_name:
+            problems.append(f"task phase {name!r} has no func_name")
+        if isinstance(phase, (MapPhase, LoopPhase)):
+            if not phase.array:
+                problems.append(f"{phase.type.value} phase {name!r} has no input array")
+            if phase.root not in phase.states:
+                problems.append(
+                    f"{phase.type.value} phase {name!r} root {phase.root!r} "
+                    "is not among its states"
+                )
+            else:
+                try:
+                    phase.sub_workflow_order()
+                except DefinitionError as exc:
+                    problems.append(str(exc))
+        if isinstance(phase, RepeatPhase):
+            if phase.count < 1:
+                problems.append(f"repeat phase {name!r} must repeat at least once")
+            if not phase.func_name:
+                problems.append(f"repeat phase {name!r} has no func_name")
+        if isinstance(phase, SwitchPhase):
+            if not phase.cases:
+                problems.append(f"switch phase {name!r} has no cases")
+            for case in phase.cases:
+                if case.next not in self.states:
+                    problems.append(
+                        f"switch phase {name!r} case points to unknown phase {case.next!r}"
+                    )
+            if phase.default is not None and phase.default not in self.states:
+                problems.append(
+                    f"switch phase {name!r} default points to unknown phase {phase.default!r}"
+                )
+        if isinstance(phase, ParallelPhase):
+            if not phase.branches:
+                problems.append(f"parallel phase {name!r} has no branches")
+            for branch in phase.branches:
+                if branch.root not in branch.states:
+                    problems.append(
+                        f"parallel phase {name!r} branch {branch.name!r} root "
+                        f"{branch.root!r} is not among its states"
+                    )
+                else:
+                    try:
+                        branch.sub_workflow_order()
+                    except DefinitionError as exc:
+                        problems.append(str(exc))
+        return problems
+
+    def _reachable_phase_names(self) -> Set[str]:
+        reachable: Set[str] = set()
+        frontier = [self.root]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable or name not in self.states:
+                continue
+            reachable.add(name)
+            phase = self.states[name]
+            if phase.next is not None:
+                frontier.append(phase.next)
+            if isinstance(phase, SwitchPhase):
+                frontier.extend(phase.possible_targets())
+        return reachable
+
+    # -------------------------------------------------------------- serialise
+    def to_dict(self) -> JSONDict:
+        return {
+            "name": self.name,
+            "root": self.root,
+            "states": {name: _phase_to_dict(p) for name, p in self.states.items()},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    # ----------------------------------------------------------------- parse
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object], name: Optional[str] = None) -> "WorkflowDefinition":
+        if "root" not in document:
+            raise DefinitionError("workflow definition is missing the 'root' entry")
+        if "states" not in document or not isinstance(document["states"], Mapping):
+            raise DefinitionError("workflow definition is missing the 'states' mapping")
+        states_doc = document["states"]
+        states = {
+            str(phase_name): _phase_from_dict(str(phase_name), spec)
+            for phase_name, spec in states_doc.items()
+        }
+        return cls(
+            name=str(name or document.get("name", "workflow")),
+            root=str(document["root"]),
+            states=states,
+        )
+
+    @classmethod
+    def from_json(cls, text: str, name: Optional[str] = None) -> "WorkflowDefinition":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DefinitionError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(document, name=name)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WorkflowDefinition":
+        path = Path(path)
+        return cls.from_json(path.read_text(), name=path.stem)
+
+
+# ----------------------------------------------------------- dict conversion
+def _phase_from_dict(name: str, spec: object) -> Phase:
+    if not isinstance(spec, Mapping):
+        raise DefinitionError(f"phase {name!r} must be a JSON object")
+    phase_type = spec.get("type")
+    if phase_type is None:
+        raise DefinitionError(f"phase {name!r} is missing 'type'")
+    try:
+        ptype = PhaseType(str(phase_type))
+    except ValueError as exc:
+        raise DefinitionError(f"phase {name!r} has unknown type {phase_type!r}") from exc
+
+    next_phase = spec.get("next")
+    next_name = str(next_phase) if next_phase is not None else None
+
+    if ptype is PhaseType.TASK:
+        if "func_name" not in spec:
+            raise DefinitionError(f"task phase {name!r} is missing 'func_name'")
+        return TaskPhase(name=name, func_name=str(spec["func_name"]), next=next_name)
+
+    if ptype in (PhaseType.MAP, PhaseType.LOOP):
+        states = {
+            str(sub_name): _phase_from_dict(str(sub_name), sub_spec)
+            for sub_name, sub_spec in dict(spec.get("states", {})).items()
+        }
+        cls = MapPhase if ptype is PhaseType.MAP else LoopPhase
+        return cls(
+            name=name,
+            array=str(spec.get("array", "")),
+            root=str(spec.get("root", "")),
+            states=states,
+            common_parameters=(
+                str(spec["common_parameters"]) if "common_parameters" in spec else None
+            ),
+            next=next_name,
+        )
+
+    if ptype is PhaseType.REPEAT:
+        return RepeatPhase(
+            name=name,
+            func_name=str(spec.get("func_name", "")),
+            count=int(spec.get("count", 1)),
+            next=next_name,
+        )
+
+    if ptype is PhaseType.SWITCH:
+        cases = [
+            SwitchCase(
+                variable=str(case["variable"]),
+                operator=str(case["operator"]),
+                value=case["value"],
+                next=str(case["next"]),
+            )
+            for case in list(spec.get("cases", []))
+        ]
+        default = spec.get("default")
+        return SwitchPhase(
+            name=name,
+            cases=cases,
+            default=str(default) if default is not None else None,
+            next=next_name,
+        )
+
+    if ptype is PhaseType.PARALLEL:
+        branches = []
+        for branch_spec in list(spec.get("branches", [])):
+            branch_states = {
+                str(sub_name): _phase_from_dict(str(sub_name), sub_spec)
+                for sub_name, sub_spec in dict(branch_spec.get("states", {})).items()
+            }
+            branches.append(
+                ParallelBranch(
+                    name=str(branch_spec.get("name", f"{name}_branch{len(branches)}")),
+                    root=str(branch_spec.get("root", "")),
+                    states=branch_states,
+                )
+            )
+        return ParallelPhase(name=name, branches=branches, next=next_name)
+
+    raise DefinitionError(f"unhandled phase type {ptype}")  # pragma: no cover
+
+
+def _phase_to_dict(phase: Phase) -> JSONDict:
+    base: JSONDict = {"type": phase.type.value}
+    if phase.next is not None:
+        base["next"] = phase.next
+    if isinstance(phase, TaskPhase):
+        base["func_name"] = phase.func_name
+    elif isinstance(phase, (MapPhase, LoopPhase)):
+        base["array"] = phase.array
+        base["root"] = phase.root
+        base["states"] = {n: _phase_to_dict(p) for n, p in phase.states.items()}
+        if phase.common_parameters is not None:
+            base["common_parameters"] = phase.common_parameters
+    elif isinstance(phase, RepeatPhase):
+        base["func_name"] = phase.func_name
+        base["count"] = phase.count
+    elif isinstance(phase, SwitchPhase):
+        base["cases"] = [
+            {
+                "variable": case.variable,
+                "operator": case.operator,
+                "value": case.value,
+                "next": case.next,
+            }
+            for case in phase.cases
+        ]
+        if phase.default is not None:
+            base["default"] = phase.default
+    elif isinstance(phase, ParallelPhase):
+        base["branches"] = [
+            {
+                "name": branch.name,
+                "root": branch.root,
+                "states": {n: _phase_to_dict(p) for n, p in branch.states.items()},
+            }
+            for branch in phase.branches
+        ]
+    return base

@@ -1,0 +1,275 @@
+"""Phase types of the platform-agnostic workflow definition language.
+
+The SeBS-Flow definition language (paper Section 4.1) describes a workflow as a
+set of named *phases*.  Each phase has a ``type`` selecting one of six routing
+constructs:
+
+* ``task``     -- execute a single serverless function (sequential routing);
+* ``map``      -- execute a sub-workflow concurrently for every element of an
+  input array;
+* ``loop``     -- like ``map`` but traverses the array sequentially;
+* ``repeat``   -- execute a function a fixed number of times (syntactic sugar
+  for a chain of tasks);
+* ``switch``   -- conditional routing, choosing the next phase at runtime;
+* ``parallel`` -- execute several sub-workflows concurrently.
+
+Phases are plain dataclasses; parsing from / serialising to the JSON syntax is
+implemented in :mod:`repro.core.definition`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+class PhaseType(enum.Enum):
+    TASK = "task"
+    MAP = "map"
+    LOOP = "loop"
+    REPEAT = "repeat"
+    SWITCH = "switch"
+    PARALLEL = "parallel"
+
+
+class DefinitionError(Exception):
+    """Raised when a workflow definition is syntactically or semantically invalid."""
+
+
+@dataclass
+class Phase:
+    """Common fields of every phase."""
+
+    name: str
+    next: Optional[str] = None
+
+    @property
+    def type(self) -> PhaseType:
+        raise NotImplementedError
+
+    def referenced_functions(self) -> List[str]:
+        """Names of serverless functions invoked (directly or nested) by this phase."""
+        raise NotImplementedError
+
+    def children(self) -> List["Phase"]:
+        """Nested phases (for map/loop/parallel/switch)."""
+        return []
+
+
+@dataclass
+class TaskPhase(Phase):
+    """Execute one serverless function."""
+
+    func_name: str = ""
+
+    @property
+    def type(self) -> PhaseType:
+        return PhaseType.TASK
+
+    def referenced_functions(self) -> List[str]:
+        return [self.func_name]
+
+
+@dataclass
+class MapPhase(Phase):
+    """Run the nested sub-workflow concurrently over every element of ``array``."""
+
+    array: str = ""
+    root: str = ""
+    states: Dict[str, Phase] = field(default_factory=dict)
+    common_parameters: Optional[str] = None
+
+    @property
+    def type(self) -> PhaseType:
+        return PhaseType.MAP
+
+    def referenced_functions(self) -> List[str]:
+        functions: List[str] = []
+        for phase in self.states.values():
+            functions.extend(phase.referenced_functions())
+        return functions
+
+    def children(self) -> List[Phase]:
+        return list(self.states.values())
+
+    def sub_workflow_order(self) -> List[Phase]:
+        """Nested phases in execution order, starting at ``root``."""
+        order: List[Phase] = []
+        current: Optional[str] = self.root
+        seen = set()
+        while current is not None:
+            if current in seen:
+                raise DefinitionError(
+                    f"cycle detected in sub-workflow of map phase {self.name!r}"
+                )
+            seen.add(current)
+            if current not in self.states:
+                raise DefinitionError(
+                    f"map phase {self.name!r} references unknown state {current!r}"
+                )
+            phase = self.states[current]
+            order.append(phase)
+            current = phase.next
+        return order
+
+
+@dataclass
+class LoopPhase(MapPhase):
+    """Run the nested sub-workflow sequentially over every element of ``array``."""
+
+    @property
+    def type(self) -> PhaseType:
+        return PhaseType.LOOP
+
+
+@dataclass
+class RepeatPhase(Phase):
+    """Execute ``func_name`` ``count`` times in sequence (chain of tasks)."""
+
+    func_name: str = ""
+    count: int = 1
+
+    @property
+    def type(self) -> PhaseType:
+        return PhaseType.REPEAT
+
+    def referenced_functions(self) -> List[str]:
+        return [self.func_name]
+
+    def unrolled(self) -> List[TaskPhase]:
+        """Expand the repeat into an explicit chain of task phases."""
+        tasks: List[TaskPhase] = []
+        for index in range(self.count):
+            is_last = index == self.count - 1
+            tasks.append(
+                TaskPhase(
+                    name=f"{self.name}__iter{index}",
+                    func_name=self.func_name,
+                    next=self.next if is_last else f"{self.name}__iter{index + 1}",
+                )
+            )
+        return tasks
+
+
+@dataclass
+class SwitchCase:
+    """One case of a switch phase: a condition on the payload and the target phase."""
+
+    variable: str
+    operator: str
+    value: object
+    next: str
+
+    _OPERATORS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+
+    def evaluate(self, payload: Mapping[str, object]) -> bool:
+        """Evaluate the condition against a payload dictionary."""
+        if self.operator not in self._OPERATORS:
+            raise DefinitionError(f"unsupported switch operator {self.operator!r}")
+        if self.variable not in payload:
+            return False
+        return self._OPERATORS[self.operator](payload[self.variable], self.value)
+
+
+@dataclass
+class SwitchPhase(Phase):
+    """Conditional routing: the first case whose condition holds selects the next phase."""
+
+    cases: List[SwitchCase] = field(default_factory=list)
+    default: Optional[str] = None
+
+    @property
+    def type(self) -> PhaseType:
+        return PhaseType.SWITCH
+
+    def referenced_functions(self) -> List[str]:
+        return []
+
+    def select(self, payload: Mapping[str, object]) -> Optional[str]:
+        """Return the name of the next phase for ``payload`` (or the default/None)."""
+        for case in self.cases:
+            if case.evaluate(payload):
+                return case.next
+        return self.default
+
+    def possible_targets(self) -> List[str]:
+        targets = [case.next for case in self.cases]
+        if self.default is not None:
+            targets.append(self.default)
+        return targets
+
+
+@dataclass
+class ParallelBranch:
+    """One branch of a parallel phase: an independent sub-workflow."""
+
+    name: str
+    root: str
+    states: Dict[str, Phase] = field(default_factory=dict)
+
+    def referenced_functions(self) -> List[str]:
+        functions: List[str] = []
+        for phase in self.states.values():
+            functions.extend(phase.referenced_functions())
+        return functions
+
+    def sub_workflow_order(self) -> List[Phase]:
+        order: List[Phase] = []
+        current: Optional[str] = self.root
+        seen = set()
+        while current is not None:
+            if current in seen:
+                raise DefinitionError(
+                    f"cycle detected in parallel branch {self.name!r}"
+                )
+            seen.add(current)
+            if current not in self.states:
+                raise DefinitionError(
+                    f"parallel branch {self.name!r} references unknown state {current!r}"
+                )
+            phase = self.states[current]
+            order.append(phase)
+            current = phase.next
+        return order
+
+
+@dataclass
+class ParallelPhase(Phase):
+    """Run several sub-workflows concurrently and join before the next phase."""
+
+    branches: List[ParallelBranch] = field(default_factory=list)
+
+    @property
+    def type(self) -> PhaseType:
+        return PhaseType.PARALLEL
+
+    def referenced_functions(self) -> List[str]:
+        functions: List[str] = []
+        for branch in self.branches:
+            functions.extend(branch.referenced_functions())
+        return functions
+
+    def children(self) -> List[Phase]:
+        phases: List[Phase] = []
+        for branch in self.branches:
+            phases.extend(branch.states.values())
+        return phases
+
+
+def iter_phases_recursive(phases: Sequence[Phase]) -> List[Phase]:
+    """Flatten a phase list, including all nested sub-workflow phases."""
+    result: List[Phase] = []
+    stack: List[Phase] = list(phases)
+    while stack:
+        phase = stack.pop()
+        result.append(phase)
+        stack.extend(phase.children())
+    return result

@@ -1,0 +1,18 @@
+"""Platform-specific transcription of the platform-agnostic workflow definition."""
+
+from .aws import AWSTranscriber
+from .azure import AzureTranscriber
+from .base import Transcriber, TranscriptionError, TranscriptionResult
+from .gcp import GCPTranscriber
+from .transitions import TransitionComparison, compare_transitions
+
+__all__ = [
+    "AWSTranscriber",
+    "AzureTranscriber",
+    "GCPTranscriber",
+    "Transcriber",
+    "TranscriptionError",
+    "TranscriptionResult",
+    "TransitionComparison",
+    "compare_transitions",
+]

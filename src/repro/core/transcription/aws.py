@@ -1,0 +1,241 @@
+"""Transcription to AWS Step Functions (Amazon States Language).
+
+AWS Step Functions model a workflow as a static state machine defined in a
+JSON document (ASL).  The transcriber maps SeBS-Flow phases as follows
+(paper Section 4.2.1):
+
+* ``task``     -> a ``Task`` state invoking the Lambda function;
+* ``map``      -> a ``Map`` state with an ``Iterator`` sub-state machine;
+* ``loop``     -> Step Functions have no sequential array iteration, so we use
+  a ``Map`` state with ``MaxConcurrency: 1`` (the workaround described in the
+  paper; the documented alternative of a Lambda-based iterator is inefficient);
+* ``repeat``   -> an unrolled chain of ``Task`` states;
+* ``switch``   -> a ``Choice`` state;
+* ``parallel`` -> a ``Parallel`` state with one branch per sub-workflow.
+
+The transcriber also estimates the number of billable state transitions per
+execution, which the cost analysis (Figure 15) multiplies by the per-transition
+price of Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..definition import WorkflowDefinition
+from ..phases import (
+    LoopPhase,
+    MapPhase,
+    ParallelPhase,
+    Phase,
+    RepeatPhase,
+    SwitchPhase,
+    TaskPhase,
+)
+from .base import Transcriber, TranscriptionError, TranscriptionResult
+
+#: Maximum parallelism of an AWS Step Functions Map state (paper Table 2).
+MAX_PARALLELISM = 40
+
+_COMPARATORS = {
+    "==": "NumericEquals",
+    "!=": "NumericNotEquals",
+    "<": "NumericLessThan",
+    "<=": "NumericLessThanEquals",
+    ">": "NumericGreaterThan",
+    ">=": "NumericGreaterThanEquals",
+}
+
+
+class AWSTranscriber(Transcriber):
+    """Generates Amazon States Language documents from workflow definitions."""
+
+    platform = "aws"
+
+    def __init__(self, account: str = "123456789012", region: str = "us-east-1") -> None:
+        self._account = account
+        self._region = region
+
+    def function_arn(self, func_name: str) -> str:
+        return f"arn:aws:lambda:{self._region}:{self._account}:function:{func_name}"
+
+    # ------------------------------------------------------------------ public
+    def transcribe(
+        self,
+        definition: WorkflowDefinition,
+        array_sizes: Optional[Dict[str, int]] = None,
+    ) -> TranscriptionResult:
+        array_sizes = dict(array_sizes or {})
+        states: Dict[str, object] = {}
+        order = definition.top_level_order()
+        if not order:
+            raise TranscriptionError("workflow has no phases")
+
+        transition_estimate = 2  # workflow start + end bookkeeping transitions
+        for phase in order:
+            state, transitions = self._phase_to_state(phase, array_sizes)
+            states[phase.name] = state
+            transition_estimate += transitions
+
+        # Switch targets may not be on the linear order; emit them too.
+        for phase in definition.states.values():
+            if phase.name not in states:
+                state, transitions = self._phase_to_state(phase, array_sizes)
+                states[phase.name] = state
+                # Only one of the alternative switch branches runs per execution;
+                # count it once (the cheapest consistent estimate).
+                transition_estimate += 0
+
+        document = {
+            "Comment": f"SeBS-Flow workflow {definition.name}",
+            "StartAt": definition.root,
+            "States": states,
+        }
+        return TranscriptionResult(
+            platform=self.platform,
+            workflow=definition.name,
+            document=document,
+            state_count=len(states),
+            transition_estimate=transition_estimate,
+            functions=definition.referenced_functions(),
+        )
+
+    # ----------------------------------------------------------------- states
+    def _phase_to_state(
+        self, phase: Phase, array_sizes: Dict[str, int]
+    ) -> "tuple[Dict[str, object], int]":
+        if isinstance(phase, TaskPhase):
+            return self._task_state(phase), 1
+        if isinstance(phase, LoopPhase):
+            return self._map_state(phase, array_sizes, max_concurrency=1)
+        if isinstance(phase, MapPhase):
+            if phase.states and len(phase.sub_workflow_order()) > 0:
+                return self._map_state(phase, array_sizes, max_concurrency=MAX_PARALLELISM)
+            raise TranscriptionError(f"map phase {phase.name!r} has no sub-workflow")
+        if isinstance(phase, RepeatPhase):
+            return self._repeat_states(phase)
+        if isinstance(phase, SwitchPhase):
+            return self._choice_state(phase)
+        if isinstance(phase, ParallelPhase):
+            return self._parallel_state(phase, array_sizes)
+        raise TranscriptionError(f"unsupported phase type {type(phase).__name__}")
+
+    def _terminate_or_next(self, state: Dict[str, object], phase: Phase) -> None:
+        if phase.next is None:
+            state["End"] = True
+        else:
+            state["Next"] = phase.next
+
+    def _task_state(self, phase: TaskPhase) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "Type": "Task",
+            "Resource": self.function_arn(phase.func_name),
+            "Parameters": {"payload.$": "$"},
+            "ResultPath": "$",
+        }
+        self._terminate_or_next(state, phase)
+        return state
+
+    def _map_state(
+        self, phase: MapPhase, array_sizes: Dict[str, int], max_concurrency: int
+    ) -> "tuple[Dict[str, object], int]":
+        iterator_states: Dict[str, object] = {}
+        sub_order = phase.sub_workflow_order()
+        for sub in sub_order:
+            if not isinstance(sub, TaskPhase):
+                raise TranscriptionError(
+                    f"map phase {phase.name!r} contains non-task sub-phase {sub.name!r}"
+                )
+            sub_state: Dict[str, object] = {
+                "Type": "Task",
+                "Resource": self.function_arn(sub.func_name),
+                "Parameters": {"payload.$": "$.payload"},
+            }
+            if sub.next is None:
+                sub_state["End"] = True
+            else:
+                sub_state["Next"] = sub.next
+            iterator_states[sub.name] = sub_state
+
+        state: Dict[str, object] = {
+            "Type": "Map",
+            "ItemsPath": f"$.{phase.array}",
+            "MaxConcurrency": max_concurrency,
+            "Parameters": {"payload.$": "$$.Map.Item.Value"},
+            "Iterator": {"StartAt": phase.root, "States": iterator_states},
+            "ResultPath": "$.results",
+        }
+        self._terminate_or_next(state, phase)
+
+        array_length = max(1, array_sizes.get(phase.array, 1))
+        # One transition to enter the Map state plus one per iteration item per
+        # sub-state executed inside the iterator.
+        transitions = 1 + array_length * len(sub_order)
+        return state, transitions
+
+    def _repeat_states(self, phase: RepeatPhase) -> "tuple[Dict[str, object], int]":
+        # The repeat phase is unrolled; represented as a Map over a constant
+        # range with MaxConcurrency 1 to keep the state machine compact.
+        state: Dict[str, object] = {
+            "Type": "Map",
+            "ItemsPath": "$.repeat_range",
+            "MaxConcurrency": 1,
+            "Parameters": {"payload.$": "$$.Map.Item.Value"},
+            "Iterator": {
+                "StartAt": phase.name + "_body",
+                "States": {
+                    phase.name
+                    + "_body": {
+                        "Type": "Task",
+                        "Resource": self.function_arn(phase.func_name),
+                        "End": True,
+                    }
+                },
+            },
+        }
+        self._terminate_or_next(state, phase)
+        return state, 1 + phase.count
+
+    def _choice_state(self, phase: SwitchPhase) -> "tuple[Dict[str, object], int]":
+        choices: List[Dict[str, object]] = []
+        for case in phase.cases:
+            if case.operator not in _COMPARATORS:
+                raise TranscriptionError(
+                    f"switch operator {case.operator!r} cannot be expressed in ASL"
+                )
+            choices.append(
+                {
+                    "Variable": f"$.{case.variable}",
+                    _COMPARATORS[case.operator]: case.value,
+                    "Next": case.next,
+                }
+            )
+        state: Dict[str, object] = {"Type": "Choice", "Choices": choices}
+        if phase.default is not None:
+            state["Default"] = phase.default
+        elif phase.next is not None:
+            state["Default"] = phase.next
+        else:
+            # AWS cannot end a workflow directly from a Choice state
+            # (limitation discussed in Section 6.1 of the paper).
+            raise TranscriptionError(
+                "AWS Step Functions cannot terminate a workflow from a Choice state; "
+                f"switch phase {phase.name!r} needs a default target"
+            )
+        return state, 1
+
+    def _parallel_state(
+        self, phase: ParallelPhase, array_sizes: Dict[str, int]
+    ) -> "tuple[Dict[str, object], int]":
+        branches = []
+        transitions = 1
+        for branch in phase.branches:
+            branch_states: Dict[str, object] = {}
+            for sub in branch.sub_workflow_order():
+                state, sub_transitions = self._phase_to_state(sub, array_sizes)
+                branch_states[sub.name] = state
+                transitions += sub_transitions
+            branches.append({"StartAt": branch.root, "States": branch_states})
+        state = {"Type": "Parallel", "Branches": branches, "ResultPath": "$.results"}
+        self._terminate_or_next(state, phase)
+        return state, transitions

@@ -1,0 +1,67 @@
+"""Common interface for platform-specific workflow transcribers.
+
+SeBS-Flow keeps the benchmark definition platform-agnostic and converts it to
+each provider's proprietary format via a *transcriber* (paper Section 4.2).
+Adding a new platform only requires implementing this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..definition import WorkflowDefinition
+
+
+class TranscriptionError(Exception):
+    """Raised when a definition cannot be expressed on the target platform."""
+
+
+@dataclass
+class TranscriptionResult:
+    """Output of transcribing a workflow to a platform-specific representation.
+
+    ``document`` holds the provider-native structure (an ASL dict for AWS, a
+    Workflows dict for Google Cloud, an orchestrator configuration for Azure).
+    ``state_count`` and ``transition_estimate`` feed the cost model: AWS and
+    Google Cloud bill per state transition of the orchestration (Table 3), so
+    the transcriber reports how many transitions one execution performs for
+    given input parameters.
+    """
+
+    platform: str
+    workflow: str
+    document: Dict[str, object]
+    state_count: int
+    transition_estimate: int
+    functions: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+
+class Transcriber(abc.ABC):
+    """Transcribes a platform-agnostic definition to one provider's format."""
+
+    #: Short platform identifier ("aws", "gcp", "azure").
+    platform: str = ""
+
+    @abc.abstractmethod
+    def transcribe(
+        self,
+        definition: WorkflowDefinition,
+        array_sizes: Optional[Dict[str, int]] = None,
+    ) -> TranscriptionResult:
+        """Produce the provider-native representation of ``definition``.
+
+        ``array_sizes`` provides concrete lengths of map/loop input arrays so
+        the transcriber can estimate how many state transitions an execution
+        will perform (needed for billing analysis, Figure 15).
+        """
+
+    def supports(self, definition: WorkflowDefinition) -> bool:
+        """Whether the definition can be expressed on this platform."""
+        try:
+            self.transcribe(definition)
+        except TranscriptionError:
+            return False
+        return True

@@ -1,0 +1,266 @@
+"""Transcription to Google Cloud Workflows.
+
+Google Cloud Workflows define a state machine in YAML/JSON.  The paper's
+Section 4.2.2 lists the workarounds this transcriber applies:
+
+* there is no native ``task`` type -- each function invocation becomes an
+  ``http.post`` call to the Cloud Function's trigger URL, followed by an extra
+  assignment step that extracts the HTTP response body into a variable;
+* the parallel ``map`` construct only accepts *sub-workflows*, not plain
+  steps, so even a single-function map body becomes a separate sub-workflow;
+* there is no mechanism for passing extra arguments to a map iteration, so the
+  benchmarking infrastructure zips the input array with an array carrying the
+  additional measurement parameters.
+
+Because of the extra parse/assign steps, Google Cloud needs more billable
+state transitions than AWS for the same workflow -- visible in the paper's
+Table 5 and in the MapReduce pricing of Figure 15.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..definition import WorkflowDefinition
+from ..phases import (
+    LoopPhase,
+    MapPhase,
+    ParallelPhase,
+    Phase,
+    RepeatPhase,
+    SwitchPhase,
+    TaskPhase,
+)
+from .base import Transcriber, TranscriptionError, TranscriptionResult
+
+#: Maximum concurrent branches/iterations of a parallel step (paper Table 2).
+MAX_PARALLELISM = 20
+
+
+class GCPTranscriber(Transcriber):
+    """Generates Google Cloud Workflows documents from workflow definitions."""
+
+    platform = "gcp"
+
+    def __init__(self, project: str = "sebs-flow", region: str = "us-east1") -> None:
+        self._project = project
+        self._region = region
+
+    def trigger_url(self, func_name: str) -> str:
+        return (
+            f"https://{self._region}-{self._project}.cloudfunctions.net/{func_name}"
+        )
+
+    # ------------------------------------------------------------------ public
+    def transcribe(
+        self,
+        definition: WorkflowDefinition,
+        array_sizes: Optional[Dict[str, int]] = None,
+    ) -> TranscriptionResult:
+        array_sizes = dict(array_sizes or {})
+        main_steps: List[Dict[str, object]] = []
+        sub_workflows: Dict[str, object] = {}
+        transition_estimate = 2  # init + return
+        notes: List[str] = []
+
+        order = definition.top_level_order()
+        if not order:
+            raise TranscriptionError("workflow has no phases")
+
+        for phase in order:
+            steps, subs, transitions = self._phase_to_steps(phase, array_sizes)
+            main_steps.extend(steps)
+            sub_workflows.update(subs)
+            transition_estimate += transitions
+
+        for phase in definition.states.values():
+            already = {list(step.keys())[0] for step in main_steps}
+            if not any(key.startswith(phase.name) for key in already):
+                steps, subs, _ = self._phase_to_steps(phase, array_sizes)
+                main_steps.extend(steps)
+                sub_workflows.update(subs)
+
+        main_steps.append({"final_return": {"return": "${payload}"}})
+
+        document: Dict[str, object] = {
+            "main": {"params": ["payload"], "steps": main_steps},
+        }
+        document.update(sub_workflows)
+
+        return TranscriptionResult(
+            platform=self.platform,
+            workflow=definition.name,
+            document=document,
+            state_count=self._count_states(document),
+            transition_estimate=transition_estimate,
+            functions=definition.referenced_functions(),
+            notes=notes,
+        )
+
+    @staticmethod
+    def _count_states(document: Dict[str, object]) -> int:
+        count = 0
+        for workflow in document.values():
+            if isinstance(workflow, dict):
+                count += len(workflow.get("steps", []))
+        return count
+
+    # ------------------------------------------------------------------ phases
+    def _phase_to_steps(
+        self, phase: Phase, array_sizes: Dict[str, int]
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object], int]:
+        if isinstance(phase, TaskPhase):
+            return self._task_steps(phase)
+        if isinstance(phase, LoopPhase):
+            return self._iteration_steps(phase, array_sizes, parallel=False)
+        if isinstance(phase, MapPhase):
+            return self._iteration_steps(phase, array_sizes, parallel=True)
+        if isinstance(phase, RepeatPhase):
+            return self._repeat_steps(phase)
+        if isinstance(phase, SwitchPhase):
+            return self._switch_steps(phase)
+        if isinstance(phase, ParallelPhase):
+            return self._parallel_steps(phase, array_sizes)
+        raise TranscriptionError(f"unsupported phase type {type(phase).__name__}")
+
+    def _task_steps(
+        self, phase: TaskPhase
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object], int]:
+        # Each task is an HTTP call plus an assignment step extracting the body
+        # of the response (GCP has no native task type, Section 4.2.2).
+        call_step = {
+            f"{phase.name}_call": {
+                "call": "http.post",
+                "args": {
+                    "url": self.trigger_url(phase.func_name),
+                    "body": {"payload": "${payload}"},
+                },
+                "result": f"{phase.name}_response",
+            }
+        }
+        assign_step = {
+            f"{phase.name}_assign": {
+                "assign": [{"payload": f"${{{phase.name}_response.body}}"}],
+            }
+        }
+        return [call_step, assign_step], {}, 2
+
+    def _iteration_steps(
+        self, phase: MapPhase, array_sizes: Dict[str, int], parallel: bool
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object], int]:
+        sub_order = phase.sub_workflow_order()
+        sub_name = f"{phase.name}_subworkflow"
+        sub_steps: List[Dict[str, object]] = []
+        per_item_transitions = 0
+        for sub in sub_order:
+            if not isinstance(sub, TaskPhase):
+                raise TranscriptionError(
+                    f"{phase.type.value} phase {phase.name!r} contains non-task "
+                    f"sub-phase {sub.name!r}"
+                )
+            sub_steps.append(
+                {
+                    f"{sub.name}_call": {
+                        "call": "http.post",
+                        "args": {
+                            "url": self.trigger_url(sub.func_name),
+                            "body": {"payload": "${elem}", "params": "${params}"},
+                        },
+                        "result": "elem_response",
+                    }
+                }
+            )
+            sub_steps.append(
+                {f"{sub.name}_assign": {"assign": [{"elem": "${elem_response.body}"}]}}
+            )
+            per_item_transitions += 2
+        sub_steps.append({"sub_return": {"return": "${elem}"}})
+
+        sub_workflow = {sub_name: {"params": ["elem", "params"], "steps": sub_steps}}
+
+        # The benchmark infrastructure zips the input array with the extra
+        # parameters because GCP maps cannot receive additional arguments.
+        zip_step = {
+            f"{phase.name}_zip_args": {
+                "assign": [
+                    {f"{phase.name}_items": f"${{zip(payload.{phase.array}, params_array)}}"}
+                ],
+            }
+        }
+        iteration_step = {
+            f"{phase.name}": {
+                "parallel" if parallel else "steps": {
+                    "for": {
+                        "value": "item",
+                        "in": f"${{{phase.name}_items}}",
+                        "steps": [
+                            {
+                                f"{phase.name}_invoke": {
+                                    "call": sub_name,
+                                    "args": {"elem": "${item[0]}", "params": "${item[1]}"},
+                                    "result": "mapped_elem",
+                                }
+                            }
+                        ],
+                    }
+                },
+                "result": f"{phase.name}_results",
+            }
+        }
+        collect_step = {
+            f"{phase.name}_collect": {
+                "assign": [{"payload": f"${{{phase.name}_results}}"}],
+            }
+        }
+        array_length = max(1, array_sizes.get(phase.array, 1))
+        transitions = 3 + array_length * (per_item_transitions + 1)
+        return [zip_step, iteration_step, collect_step], sub_workflow, transitions
+
+    def _repeat_steps(
+        self, phase: RepeatPhase
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object], int]:
+        steps: List[Dict[str, object]] = []
+        transitions = 0
+        for task in phase.unrolled():
+            task_steps, _, task_transitions = self._task_steps(task)
+            steps.extend(task_steps)
+            transitions += task_transitions
+        return steps, {}, transitions
+
+    def _switch_steps(
+        self, phase: SwitchPhase
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object], int]:
+        conditions = []
+        for case in phase.cases:
+            conditions.append(
+                {
+                    "condition": f"${{payload.{case.variable} {case.operator} {case.value!r}}}",
+                    "next": case.next,
+                }
+            )
+        if phase.default is not None:
+            conditions.append({"condition": "${true}", "next": phase.default})
+        step = {f"{phase.name}": {"switch": conditions}}
+        return [step], {}, 1
+
+    def _parallel_steps(
+        self, phase: ParallelPhase, array_sizes: Dict[str, int]
+    ) -> Tuple[List[Dict[str, object]], Dict[str, object], int]:
+        if len(phase.branches) > MAX_PARALLELISM:
+            raise TranscriptionError(
+                f"parallel phase {phase.name!r} exceeds Google Cloud's limit of "
+                f"{MAX_PARALLELISM} concurrent branches"
+            )
+        branches = []
+        sub_workflows: Dict[str, object] = {}
+        transitions = 1
+        for branch in phase.branches:
+            branch_steps: List[Dict[str, object]] = []
+            for sub in branch.sub_workflow_order():
+                steps, subs, sub_transitions = self._phase_to_steps(sub, array_sizes)
+                branch_steps.extend(steps)
+                sub_workflows.update(subs)
+                transitions += sub_transitions
+            branches.append({branch.name: {"steps": branch_steps}})
+        step = {f"{phase.name}": {"parallel": {"branches": branches}}}
+        return [step], sub_workflows, transitions

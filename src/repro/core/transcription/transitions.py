@@ -1,0 +1,60 @@
+"""State-transition accounting across platforms.
+
+AWS Step Functions and Google Cloud Workflows bill per state transition of the
+orchestration (Table 3); the number of transitions a workflow needs differs
+between the two because of the extra HTTP-call / assignment steps Google Cloud
+requires (Table 5).  This module compares transcription results and provides
+the per-benchmark transition counts used by the pricing analysis (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..definition import WorkflowDefinition
+from .aws import AWSTranscriber
+from .azure import AzureTranscriber
+from .base import TranscriptionResult
+from .gcp import GCPTranscriber
+
+
+@dataclass(frozen=True)
+class TransitionComparison:
+    """Per-platform state counts and transition estimates for one workflow."""
+
+    workflow: str
+    aws_states: int
+    gcp_states: int
+    aws_transitions: int
+    gcp_transitions: int
+    azure_history_events: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "Benchmark": self.workflow,
+            "AWS states": self.aws_states,
+            "GCP states": self.gcp_states,
+            "AWS transitions": self.aws_transitions,
+            "GCP transitions": self.gcp_transitions,
+            "Azure history events": self.azure_history_events,
+        }
+
+
+def compare_transitions(
+    definition: WorkflowDefinition,
+    array_sizes: Optional[Mapping[str, int]] = None,
+) -> TransitionComparison:
+    """Transcribe ``definition`` for all three platforms and compare transition counts."""
+    sizes = dict(array_sizes or {})
+    aws: TranscriptionResult = AWSTranscriber().transcribe(definition, sizes)
+    gcp: TranscriptionResult = GCPTranscriber().transcribe(definition, sizes)
+    azure: TranscriptionResult = AzureTranscriber().transcribe(definition, sizes)
+    return TransitionComparison(
+        workflow=definition.name,
+        aws_states=aws.state_count,
+        gcp_states=gcp.state_count,
+        aws_transitions=aws.transition_estimate,
+        gcp_transitions=gcp.transition_estimate,
+        azure_history_events=azure.transition_estimate,
+    )

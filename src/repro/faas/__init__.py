@@ -1,0 +1,46 @@
+"""Benchmark-suite layer: benchmarks, deployment, triggers, experiments, cost."""
+
+from .benchmark import WorkflowBenchmark
+from .cost import CostReport, compute_cost_report
+from .deployment import Deployment, InvocationResult
+from .experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+    compare_platforms,
+    run_benchmark,
+)
+from .metrics import (
+    BenchmarkSummary,
+    container_scaling_profile,
+    distinct_containers,
+    split_warm_cold,
+    summarize,
+)
+from .results import load_measurements, measurement_from_dict, measurement_to_dict, save_result
+from .trigger import BurstTrigger, TriggerConfig, WarmTrigger
+
+__all__ = [
+    "BenchmarkSummary",
+    "BurstTrigger",
+    "CostReport",
+    "Deployment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "InvocationResult",
+    "TriggerConfig",
+    "WarmTrigger",
+    "WorkflowBenchmark",
+    "compare_platforms",
+    "compute_cost_report",
+    "container_scaling_profile",
+    "distinct_containers",
+    "load_measurements",
+    "measurement_from_dict",
+    "measurement_to_dict",
+    "run_benchmark",
+    "save_result",
+    "split_warm_cold",
+    "summarize",
+]

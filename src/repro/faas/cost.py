@@ -1,0 +1,74 @@
+"""Cost analysis of benchmark executions (RQ4, Figure 15).
+
+Combines the billing-relevant facts collected during an experiment -- function
+execution records, orchestration statistics, storage requests, and NoSQL
+operations -- into per-execution and per-1000-executions cost breakdowns using
+the platform's pricing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.billing import CostBreakdown, FunctionExecutionRecord
+from ..sim.orchestration.events import OrchestrationStats
+from ..sim.platforms.base import Platform
+
+
+@dataclass
+class CostReport:
+    """Cost of a benchmark experiment on one platform."""
+
+    benchmark: str
+    platform: str
+    per_execution: CostBreakdown
+    per_1000_executions: CostBreakdown
+    executions: int
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"benchmark": self.benchmark}
+        row.update(self.per_1000_executions.as_row())
+        return row
+
+
+def compute_cost_report(
+    benchmark: str,
+    platform: Platform,
+    stats: Sequence[OrchestrationStats],
+    executions: Optional[Sequence[FunctionExecutionRecord]] = None,
+) -> CostReport:
+    """Average cost per workflow execution over everything recorded on ``platform``."""
+    records = list(executions if executions is not None else platform.executions)
+    stats = list(stats)
+    invocation_count = max(1, len(stats))
+
+    total_transitions = sum(s.state_transitions for s in stats)
+    orchestration_profile = platform.profile.orchestration
+    orchestrator_gb_seconds = 0.0
+    if orchestration_profile.kind == "durable":
+        orchestrator_gb_seconds = sum(
+            s.orchestrator_time_s * (orchestration_profile.orchestrator_memory_mb / 1024.0)
+            for s in stats
+        )
+        # Azure bills orchestration by duration, not per transition.
+        total_transitions = 0
+
+    storage_requests = sum(platform.object_storage.operation_counts().values())
+    nosql_cost = platform.nosql.total_cost()
+
+    aggregate = platform.billing.execution_cost(
+        records,
+        state_transitions=total_transitions,
+        orchestrator_gb_seconds=orchestrator_gb_seconds,
+        storage_requests=storage_requests,
+        nosql_cost_usd=nosql_cost,
+    )
+    per_execution = aggregate.scaled(1.0 / invocation_count)
+    return CostReport(
+        benchmark=benchmark,
+        platform=platform.profile.name,
+        per_execution=per_execution,
+        per_1000_executions=per_execution.scaled(1000.0),
+        executions=invocation_count,
+    )

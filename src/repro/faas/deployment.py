@@ -1,0 +1,115 @@
+"""Deployment of a benchmark onto a (simulated) platform.
+
+Mirrors the SeBS-Flow workflow of Figure 5: the user supplies the functions,
+the workflow data, and the platform-agnostic specification; the suite
+transcribes the workflow to the platform's representation, deploys functions,
+uploads benchmark data, executes the workflow, and collects timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.critical_path import FunctionMeasurement, WorkflowMeasurement
+from ..core.transcription import (
+    AWSTranscriber,
+    AzureTranscriber,
+    GCPTranscriber,
+    Transcriber,
+    TranscriptionResult,
+)
+from ..sim.orchestration.events import OrchestrationStats
+from ..sim.platforms.base import Platform
+from .benchmark import WorkflowBenchmark
+
+_TRANSCRIBERS: Dict[str, Transcriber] = {
+    "aws": AWSTranscriber(),
+    "gcp": GCPTranscriber(),
+    "azure": AzureTranscriber(),
+}
+
+
+@dataclass
+class InvocationResult:
+    """Result of one workflow invocation: output payload plus orchestration stats."""
+
+    invocation_id: str
+    output: object
+    stats: OrchestrationStats
+
+
+@dataclass
+class Deployment:
+    """A benchmark deployed to one platform, ready to be invoked."""
+
+    benchmark: WorkflowBenchmark
+    platform: Platform
+    transcription: Optional[TranscriptionResult] = None
+    invocations: List[InvocationResult] = field(default_factory=list)
+
+    @classmethod
+    def deploy(cls, benchmark: WorkflowBenchmark, platform: Platform) -> "Deployment":
+        """Stage benchmark data and transcribe the workflow for the platform."""
+        benchmark.prepare_platform(platform)
+        transcriber = _TRANSCRIBERS.get(platform.profile.name)
+        transcription = None
+        if transcriber is not None:
+            transcription = transcriber.transcribe(benchmark.definition, benchmark.array_sizes)
+        return cls(benchmark=benchmark, platform=platform, transcription=transcription)
+
+    # ------------------------------------------------------------------ invoke
+    def invoke_process(self, invocation_id: str, invocation_index: int = 0):
+        """Create the simulation process for one workflow invocation."""
+        payload = self.benchmark.input_payload(invocation_index)
+        return self.platform.env.process(self._run(invocation_id, payload))
+
+    def _run(self, invocation_id: str, payload: Dict[str, object]):
+        output, stats = yield from self.platform.execute_workflow(
+            self.benchmark.definition,
+            self.benchmark.functions,
+            payload,
+            invocation_id,
+            memory_mb=self.benchmark.memory_mb,
+        )
+        result = InvocationResult(invocation_id=invocation_id, output=output, stats=stats)
+        self.invocations.append(result)
+        return result
+
+    def invoke_once(self, invocation_id: str = "inv-0") -> InvocationResult:
+        """Run a single invocation to completion (convenience for examples/tests)."""
+        process = self.invoke_process(invocation_id)
+        return self.platform.env.run(until=process)
+
+    # ----------------------------------------------------------------- results
+    def measurement(self, invocation_id: str) -> WorkflowMeasurement:
+        """Assemble the WorkflowMeasurement for one invocation from the metrics store."""
+        records = self.platform.metrics.records_for(invocation_id)
+        measurement = WorkflowMeasurement(
+            workflow=self.benchmark.name,
+            platform=self.platform.profile.name,
+            invocation_id=invocation_id,
+            memory_mb=self.benchmark.memory_mb,
+        )
+        for record in records:
+            measurement.add(
+                FunctionMeasurement(
+                    function=record.function,
+                    phase=record.phase,
+                    start=record.start,
+                    end=record.end,
+                    request_id=record.request_id,
+                    container_id=record.container_id,
+                    cold_start=record.cold_start,
+                )
+            )
+        return measurement
+
+    def measurements(self) -> List[WorkflowMeasurement]:
+        return [self.measurement(result.invocation_id) for result in self.invocations]
+
+    def stats_for(self, invocation_id: str) -> OrchestrationStats:
+        for result in self.invocations:
+            if result.invocation_id == invocation_id:
+                return result.stats
+        raise KeyError(f"no invocation {invocation_id!r} recorded")

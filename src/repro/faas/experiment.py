@@ -1,0 +1,194 @@
+"""Experiment runner: the paper's measurement methodology (Section 7.1).
+
+An experiment deploys a benchmark to a platform, fires bursts of concurrent
+invocations (optionally after priming warm containers), collects per-function
+measurements from the metrics store, and produces the summary statistics, cost
+report, and scaling profile the evaluation figures are built from.
+
+The repetition policy follows the paper: the number of required repetitions is
+determined from non-parametric confidence intervals on the median (the paper
+aims at a 5 % interval of the median with 95 % confidence and conservatively
+executes every benchmark 180 times = 6 bursts of 30).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.critical_path import WorkflowMeasurement
+from ..sim.orchestration.events import OrchestrationStats
+from ..sim.platforms.base import Platform, PlatformProfile
+from ..sim.platforms.profiles import get_profile
+from .benchmark import WorkflowBenchmark
+from .cost import CostReport, compute_cost_report
+from .deployment import Deployment
+from .metrics import BenchmarkSummary, container_scaling_profile, summarize
+from .trigger import BurstTrigger, TriggerConfig, WarmTrigger
+
+
+@dataclass
+class ExperimentConfig:
+    """How a benchmark experiment is executed."""
+
+    platform: str = "aws"
+    era: str = "2024"
+    seed: int = 0
+    burst_size: int = 30
+    repetitions: int = 1
+    mode: str = "burst"  # "burst" or "warm"
+    memory_mb: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("burst", "warm"):
+            raise ValueError(f"unknown trigger mode {self.mode!r}")
+        if self.burst_size < 1 or self.repetitions < 1:
+            raise ValueError("burst size and repetitions must be positive")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    benchmark: str
+    platform: str
+    config: ExperimentConfig
+    measurements: List[WorkflowMeasurement] = field(default_factory=list)
+    orchestration_stats: List[OrchestrationStats] = field(default_factory=list)
+    summary: Optional[BenchmarkSummary] = None
+    cost: Optional[CostReport] = None
+    scaling_profile: List[Dict[str, float]] = field(default_factory=list)
+    containers_created: int = 0
+
+    @property
+    def median_runtime(self) -> float:
+        return self.summary.median_runtime if self.summary else 0.0
+
+    @property
+    def median_critical_path(self) -> float:
+        return self.summary.median_critical_path if self.summary else 0.0
+
+    @property
+    def median_overhead(self) -> float:
+        return self.summary.median_overhead if self.summary else 0.0
+
+    @property
+    def cold_start_fraction(self) -> float:
+        return self.summary.cold_start_fraction if self.summary else 0.0
+
+
+class ExperimentRunner:
+    """Runs benchmark experiments on simulated platforms."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> ExperimentConfig:
+        return self._config
+
+    def _make_platform(self, repetition: int) -> Platform:
+        profile = get_profile(self._config.platform, era=self._config.era)
+        if self._config.memory_mb is not None:
+            profile = profile.with_overrides(default_memory_mb=self._config.memory_mb)
+        return Platform(profile, seed=self._config.seed + repetition * 977)
+
+    def run(self, benchmark: WorkflowBenchmark) -> ExperimentResult:
+        """Execute the configured number of bursts and aggregate the results."""
+        if self._config.memory_mb is not None and self._config.memory_mb != benchmark.memory_mb:
+            benchmark = _with_memory(benchmark, self._config.memory_mb)
+
+        result = ExperimentResult(
+            benchmark=benchmark.name,
+            platform=self._config.platform,
+            config=self._config,
+        )
+        trigger_config = TriggerConfig(burst_size=self._config.burst_size)
+
+        last_platform: Optional[Platform] = None
+        for repetition in range(self._config.repetitions):
+            platform = self._make_platform(repetition)
+            deployment = Deployment.deploy(benchmark, platform)
+            if self._config.mode == "warm":
+                trigger = WarmTrigger(trigger_config)
+            else:
+                trigger = BurstTrigger(trigger_config)
+            invocation_ids = trigger.fire(
+                deployment, start_index=repetition * 10 * self._config.burst_size
+            )
+            for invocation_id in invocation_ids:
+                result.measurements.append(deployment.measurement(invocation_id))
+                result.orchestration_stats.append(deployment.stats_for(invocation_id))
+            result.containers_created += platform.container_pool.containers_created()
+            last_platform = platform
+
+        result.summary = summarize(benchmark.name, self._config.platform, result.measurements)
+        result.scaling_profile = container_scaling_profile(result.measurements)
+        if last_platform is not None:
+            result.cost = compute_cost_report(
+                benchmark.name, last_platform, result.orchestration_stats
+            )
+        return result
+
+
+def run_benchmark(
+    benchmark: WorkflowBenchmark,
+    platform: str,
+    burst_size: int = 30,
+    repetitions: int = 1,
+    mode: str = "burst",
+    seed: int = 0,
+    era: str = "2024",
+    memory_mb: Optional[int] = None,
+) -> ExperimentResult:
+    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    config = ExperimentConfig(
+        platform=platform,
+        era=era,
+        seed=seed,
+        burst_size=burst_size,
+        repetitions=repetitions,
+        mode=mode,
+        memory_mb=memory_mb,
+    )
+    return ExperimentRunner(config).run(benchmark)
+
+
+def compare_platforms(
+    benchmark: WorkflowBenchmark,
+    platforms: Sequence[str] = ("gcp", "aws", "azure"),
+    burst_size: int = 30,
+    repetitions: int = 1,
+    mode: str = "burst",
+    seed: int = 0,
+    era: str = "2024",
+) -> Dict[str, ExperimentResult]:
+    """Run the same benchmark on several platforms (the paper's main comparison)."""
+    return {
+        platform: run_benchmark(
+            benchmark,
+            platform,
+            burst_size=burst_size,
+            repetitions=repetitions,
+            mode=mode,
+            seed=seed,
+            era=era,
+        )
+        for platform in platforms
+    }
+
+
+def _with_memory(benchmark: WorkflowBenchmark, memory_mb: int) -> WorkflowBenchmark:
+    """Copy of the benchmark with a different memory configuration."""
+    return WorkflowBenchmark(
+        name=benchmark.name,
+        definition=benchmark.definition,
+        functions=benchmark.functions,
+        memory_mb=memory_mb,
+        prepare=benchmark.prepare,
+        make_input=benchmark.make_input,
+        array_sizes=dict(benchmark.array_sizes),
+        data_spec=dict(benchmark.data_spec),
+        description=benchmark.description,
+        category=benchmark.category,
+    )

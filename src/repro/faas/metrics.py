@@ -1,0 +1,124 @@
+"""Aggregation of workflow measurements into the metrics the paper reports.
+
+Raw measurements (per-function timestamps) are turned into the quantities used
+throughout the evaluation: end-to-end runtime, critical path and overhead
+(Figures 7, 8, 12, 16), cold-start fraction (Table 5), container scaling
+profiles (Figure 11), and warm/cold subsets.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.critical_path import RuntimeBreakdown, WorkflowMeasurement, scaling_profile
+
+
+@dataclass
+class BenchmarkSummary:
+    """Aggregated statistics of one benchmark on one platform."""
+
+    benchmark: str
+    platform: str
+    runtimes: List[float] = field(default_factory=list)
+    critical_paths: List[float] = field(default_factory=list)
+    overheads: List[float] = field(default_factory=list)
+    cold_start_fraction: float = 0.0
+    invocations: int = 0
+
+    @property
+    def median_runtime(self) -> float:
+        return statistics.median(self.runtimes) if self.runtimes else 0.0
+
+    @property
+    def mean_runtime(self) -> float:
+        return statistics.fmean(self.runtimes) if self.runtimes else 0.0
+
+    @property
+    def median_critical_path(self) -> float:
+        return statistics.median(self.critical_paths) if self.critical_paths else 0.0
+
+    @property
+    def median_overhead(self) -> float:
+        return statistics.median(self.overheads) if self.overheads else 0.0
+
+    @property
+    def mean_overhead(self) -> float:
+        return statistics.fmean(self.overheads) if self.overheads else 0.0
+
+    @property
+    def runtime_iqr(self) -> float:
+        if len(self.runtimes) < 4:
+            return 0.0
+        ordered = sorted(self.runtimes)
+        q1 = ordered[len(ordered) // 4]
+        q3 = ordered[(3 * len(ordered)) // 4]
+        return q3 - q1
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        if len(self.runtimes) < 2 or self.mean_runtime == 0:
+            return 0.0
+        return statistics.stdev(self.runtimes) / self.mean_runtime
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "median_runtime_s": round(self.median_runtime, 3),
+            "median_critical_path_s": round(self.median_critical_path, 3),
+            "median_overhead_s": round(self.median_overhead, 3),
+            "cold_start_fraction": round(self.cold_start_fraction, 4),
+            "cv": round(self.coefficient_of_variation, 4),
+            "invocations": self.invocations,
+        }
+
+
+def summarize(
+    benchmark: str, platform: str, measurements: Sequence[WorkflowMeasurement]
+) -> BenchmarkSummary:
+    """Build a :class:`BenchmarkSummary` from raw workflow measurements."""
+    summary = BenchmarkSummary(benchmark=benchmark, platform=platform)
+    total_functions = 0
+    cold_functions = 0
+    for measurement in measurements:
+        if not measurement.functions:
+            continue
+        breakdown = RuntimeBreakdown.from_measurement(measurement)
+        summary.runtimes.append(breakdown.runtime)
+        summary.critical_paths.append(breakdown.critical_path)
+        summary.overheads.append(breakdown.overhead)
+        total_functions += len(measurement.functions)
+        cold_functions += sum(1 for f in measurement.functions if f.cold_start)
+        summary.invocations += 1
+    if total_functions:
+        summary.cold_start_fraction = cold_functions / total_functions
+    return summary
+
+
+def split_warm_cold(
+    measurements: Sequence[WorkflowMeasurement],
+) -> Dict[str, List[WorkflowMeasurement]]:
+    """Split measurements into fully-warm and cold-containing invocations (Figure 12)."""
+    warm = [m for m in measurements if m.functions and m.is_fully_warm()]
+    cold = [m for m in measurements if m.functions and not m.is_fully_warm()]
+    return {"warm": warm, "cold": cold}
+
+
+def container_scaling_profile(
+    measurements: Sequence[WorkflowMeasurement], resolution: float = 1.0
+) -> List[Dict[str, float]]:
+    """Containers active over time across a burst (Figure 11)."""
+    return scaling_profile(measurements, resolution=resolution)
+
+
+def distinct_containers(measurements: Sequence[WorkflowMeasurement]) -> int:
+    return len(
+        {
+            f.container_id
+            for m in measurements
+            for f in m.functions
+            if f.container_id
+        }
+    )

@@ -1,0 +1,103 @@
+"""Serialisation of experiment results.
+
+Experiments can take a while for the large benchmarks, so the harness supports
+persisting results as JSON documents and loading them back for analysis --
+mirroring the paper artifact's separation between measurement collection and
+plotting scripts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.critical_path import FunctionMeasurement, WorkflowMeasurement
+from .experiment import ExperimentResult
+
+
+def measurement_to_dict(measurement: WorkflowMeasurement) -> Dict[str, object]:
+    return {
+        "workflow": measurement.workflow,
+        "platform": measurement.platform,
+        "invocation_id": measurement.invocation_id,
+        "memory_mb": measurement.memory_mb,
+        "functions": [
+            {
+                "function": f.function,
+                "phase": f.phase,
+                "start": f.start,
+                "end": f.end,
+                "request_id": f.request_id,
+                "container_id": f.container_id,
+                "cold_start": f.cold_start,
+            }
+            for f in measurement.functions
+        ],
+    }
+
+
+def measurement_from_dict(document: Dict[str, object]) -> WorkflowMeasurement:
+    measurement = WorkflowMeasurement(
+        workflow=str(document["workflow"]),
+        platform=str(document["platform"]),
+        invocation_id=str(document["invocation_id"]),
+        memory_mb=int(document.get("memory_mb", 0)),
+    )
+    for entry in document.get("functions", []):
+        measurement.add(
+            FunctionMeasurement(
+                function=str(entry["function"]),
+                phase=str(entry["phase"]),
+                start=float(entry["start"]),
+                end=float(entry["end"]),
+                request_id=str(entry.get("request_id", "")),
+                container_id=str(entry.get("container_id", "")),
+                cold_start=bool(entry.get("cold_start", False)),
+            )
+        )
+    return measurement
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    document: Dict[str, object] = {
+        "benchmark": result.benchmark,
+        "platform": result.platform,
+        "config": {
+            "platform": result.config.platform,
+            "era": result.config.era,
+            "seed": result.config.seed,
+            "burst_size": result.config.burst_size,
+            "repetitions": result.config.repetitions,
+            "mode": result.config.mode,
+            "memory_mb": result.config.memory_mb,
+        },
+        "measurements": [measurement_to_dict(m) for m in result.measurements],
+        "containers_created": result.containers_created,
+        "scaling_profile": result.scaling_profile,
+    }
+    if result.summary is not None:
+        document["summary"] = result.summary.as_row()
+    if result.cost is not None:
+        document["cost_per_1000"] = result.cost.per_1000_executions.as_row()
+    document["orchestration"] = [
+        {
+            "invocation_id": s.invocation_id,
+            "state_transitions": s.state_transitions,
+            "orchestrator_time_s": s.orchestrator_time_s,
+            "activity_count": s.activity_count,
+            "wall_clock_s": s.wall_clock_s,
+        }
+        for s in result.orchestration_stats
+    ]
+    return document
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_measurements(path: Union[str, Path]) -> List[WorkflowMeasurement]:
+    document = json.loads(Path(path).read_text())
+    return [measurement_from_dict(entry) for entry in document.get("measurements", [])]

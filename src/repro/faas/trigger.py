@@ -1,0 +1,80 @@
+"""Invocation triggers: burst and warm execution modes.
+
+The paper invokes application benchmarks in *burst mode* -- 30 executions
+triggered at once -- because most serverless applications see bursty load
+(Section 7.1).  The warm mode first runs a priming burst so that subsequent
+invocations find warm containers (used for Figure 12 and the warm
+microbenchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.platforms.base import Platform
+from .deployment import Deployment, InvocationResult
+
+
+@dataclass(frozen=True)
+class TriggerConfig:
+    """How a batch of invocations is issued."""
+
+    burst_size: int = 30
+    #: Small spread between the individual triggers of one burst (HTTP fan-out
+    #: of the benchmarking client), in seconds.
+    trigger_jitter_s: float = 0.05
+
+
+class BurstTrigger:
+    """Fires ``burst_size`` invocations (almost) simultaneously."""
+
+    def __init__(self, config: TriggerConfig) -> None:
+        self._config = config
+
+    def fire(self, deployment: Deployment, start_index: int = 0) -> List[str]:
+        """Schedule one burst; returns the invocation ids.  Blocks until all finish."""
+        platform = deployment.platform
+        invocation_ids = []
+        processes = []
+        for i in range(self._config.burst_size):
+            invocation_id = f"{deployment.benchmark.name}-{start_index + i}"
+            invocation_ids.append(invocation_id)
+            delay = platform.streams.uniform(
+                f"trigger:{invocation_id}", 0.0, self._config.trigger_jitter_s
+            )
+            processes.append(
+                platform.env.process(
+                    self._delayed_invoke(deployment, invocation_id, start_index + i, delay)
+                )
+            )
+        barrier = platform.env.all_of(processes)
+        platform.env.run(until=barrier)
+        return invocation_ids
+
+    @staticmethod
+    def _delayed_invoke(deployment: Deployment, invocation_id: str, index: int, delay: float):
+        yield deployment.platform.env.timeout(delay)
+        result = yield deployment.invoke_process(invocation_id, invocation_index=index)
+        return result
+
+
+class WarmTrigger:
+    """Runs a priming burst, then measures invocations that hit warm containers."""
+
+    def __init__(self, config: TriggerConfig, priming_bursts: int = 1) -> None:
+        self._config = config
+        self._priming_bursts = priming_bursts
+        self._burst = BurstTrigger(config)
+
+    def fire(self, deployment: Deployment, start_index: int = 0) -> List[str]:
+        """Returns only the invocation ids of the measured (post-priming) burst."""
+        index = start_index
+        for _ in range(self._priming_bursts):
+            self._burst.fire(deployment, start_index=index)
+            index += self._config.burst_size
+        # Give the platform a moment of idle time so the primed containers are free.
+        platform = deployment.platform
+        settle = platform.env.timeout(5.0)
+        platform.env.run(until=settle)
+        return self._burst.fire(deployment, start_index=index)

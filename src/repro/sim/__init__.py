@@ -1,0 +1,70 @@
+"""Simulated multi-cloud substrate: engine, containers, storage, orchestration, platforms."""
+
+from .billing import (
+    AWS_PRICING,
+    AZURE_PRICING,
+    GCP_PRICING,
+    PRICING_BY_PLATFORM,
+    BillingCalculator,
+    CostBreakdown,
+    FunctionExecutionRecord,
+    PricingModel,
+)
+from .container import AcquireResult, Container, ContainerPool, ScalingPolicy
+from .engine import AllOf, AnyOf, Environment, Event, Process, Resource, SimulationError, Timeout
+from .invocation import FunctionSpec, InvocationContext
+from .noise import DetourEvent, DetourTrace, NoiseModel
+from .platforms import (
+    ALL_PLATFORMS,
+    CLOUD_PLATFORMS,
+    Platform,
+    PlatformProfile,
+    aws_profile,
+    azure_profile,
+    gcp_profile,
+    get_profile,
+    hpc_profile,
+)
+from .resources import CPUAllocation, CPUModel, MEMORY_CONFIGURATIONS_MB
+from .rng import RandomStreams
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "AWS_PRICING",
+    "AZURE_PRICING",
+    "AcquireResult",
+    "AllOf",
+    "AnyOf",
+    "BillingCalculator",
+    "CLOUD_PLATFORMS",
+    "CPUAllocation",
+    "CPUModel",
+    "Container",
+    "ContainerPool",
+    "CostBreakdown",
+    "DetourEvent",
+    "DetourTrace",
+    "Environment",
+    "Event",
+    "FunctionExecutionRecord",
+    "FunctionSpec",
+    "GCP_PRICING",
+    "InvocationContext",
+    "MEMORY_CONFIGURATIONS_MB",
+    "NoiseModel",
+    "PRICING_BY_PLATFORM",
+    "Platform",
+    "PlatformProfile",
+    "PricingModel",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "ScalingPolicy",
+    "SimulationError",
+    "Timeout",
+    "aws_profile",
+    "azure_profile",
+    "gcp_profile",
+    "get_profile",
+    "hpc_profile",
+]

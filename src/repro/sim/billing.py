@@ -1,0 +1,169 @@
+"""Billing models of the three cloud platforms (paper Table 3).
+
+Workflow executions are charged three ways:
+
+* **compute** -- the integral of memory and duration of every function
+  invocation (GB-seconds), plus a per-million-invocations fee;
+* **orchestration** -- per state transition on AWS and Google Cloud, and
+  proportional to the orchestrator function's execution time on Azure (the
+  paper estimates this because Azure only bills complete workflows);
+* **storage** -- object-storage requests and NoSQL operations, whose billing
+  models differ per provider (handled by :mod:`repro.sim.storage.nosql`).
+
+The pricing constants default to the paper's Table 3; experiments can override
+them to explore sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Price sheet of one platform."""
+
+    platform: str
+    #: Price per GB-second of function compute.
+    compute_gbs_usd: float
+    #: Price per one million function invocations.
+    invocations_per_million_usd: float
+    #: Price per 1000 orchestration state transitions (AWS / Google Cloud).
+    transitions_per_1000_usd: float
+    #: Price per GB-second of orchestrator execution (Azure Durable Functions).
+    orchestration_gbs_usd: float = 0.0
+    #: Price per 1000 object-storage requests.
+    storage_requests_per_1000_usd: float = 0.005
+
+
+#: Pricing from the vendors' documentation as quoted in Table 3 of the paper.
+AWS_PRICING = PricingModel(
+    platform="aws",
+    compute_gbs_usd=0.0000167,
+    invocations_per_million_usd=0.20,
+    transitions_per_1000_usd=0.025,
+)
+
+GCP_PRICING = PricingModel(
+    platform="gcp",
+    compute_gbs_usd=0.0000025,
+    invocations_per_million_usd=0.40,
+    transitions_per_1000_usd=0.01,
+)
+
+AZURE_PRICING = PricingModel(
+    platform="azure",
+    compute_gbs_usd=0.000016,
+    invocations_per_million_usd=0.20,
+    transitions_per_1000_usd=0.000355,
+    orchestration_gbs_usd=0.000016,
+)
+
+PRICING_BY_PLATFORM: Dict[str, PricingModel] = {
+    "aws": AWS_PRICING,
+    "gcp": GCP_PRICING,
+    "azure": AZURE_PRICING,
+}
+
+
+@dataclass
+class FunctionExecutionRecord:
+    """Billing-relevant facts about one function execution."""
+
+    function: str
+    duration_s: float
+    memory_mb: int
+    invocation_id: str = ""
+
+    @property
+    def gb_seconds(self) -> float:
+        return (self.memory_mb / 1024.0) * self.duration_s
+
+
+@dataclass
+class CostBreakdown:
+    """Cost of one (or many) workflow executions split into its components."""
+
+    platform: str
+    compute_usd: float = 0.0
+    invocations_usd: float = 0.0
+    orchestration_usd: float = 0.0
+    storage_usd: float = 0.0
+    nosql_usd: float = 0.0
+
+    @property
+    def total_usd(self) -> float:
+        return (
+            self.compute_usd
+            + self.invocations_usd
+            + self.orchestration_usd
+            + self.storage_usd
+            + self.nosql_usd
+        )
+
+    @property
+    def function_usd(self) -> float:
+        """Function-related cost (the opaque bars of Figure 15)."""
+        return self.compute_usd + self.invocations_usd
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        return CostBreakdown(
+            platform=self.platform,
+            compute_usd=self.compute_usd * factor,
+            invocations_usd=self.invocations_usd * factor,
+            orchestration_usd=self.orchestration_usd * factor,
+            storage_usd=self.storage_usd * factor,
+            nosql_usd=self.nosql_usd * factor,
+        )
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "platform": self.platform,
+            "function": round(self.function_usd, 6),
+            "orchestration": round(self.orchestration_usd, 6),
+            "storage": round(self.storage_usd, 6),
+            "nosql": round(self.nosql_usd, 6),
+            "total": round(self.total_usd, 6),
+        }
+
+
+class BillingCalculator:
+    """Computes cost breakdowns from execution records and orchestration stats."""
+
+    def __init__(self, pricing: PricingModel) -> None:
+        self._pricing = pricing
+
+    @property
+    def pricing(self) -> PricingModel:
+        return self._pricing
+
+    def execution_cost(
+        self,
+        executions: Iterable[FunctionExecutionRecord],
+        state_transitions: int = 0,
+        orchestrator_gb_seconds: float = 0.0,
+        storage_requests: int = 0,
+        nosql_cost_usd: float = 0.0,
+    ) -> CostBreakdown:
+        """Cost of one workflow execution (or an aggregate of several)."""
+        executions = list(executions)
+        gb_seconds = sum(record.gb_seconds for record in executions)
+        breakdown = CostBreakdown(platform=self._pricing.platform)
+        breakdown.compute_usd = gb_seconds * self._pricing.compute_gbs_usd
+        breakdown.invocations_usd = (
+            len(executions) / 1_000_000.0 * self._pricing.invocations_per_million_usd
+        )
+        breakdown.orchestration_usd = (
+            state_transitions / 1000.0 * self._pricing.transitions_per_1000_usd
+            + orchestrator_gb_seconds * self._pricing.orchestration_gbs_usd
+        )
+        breakdown.storage_usd = (
+            storage_requests / 1000.0 * self._pricing.storage_requests_per_1000_usd
+        )
+        breakdown.nosql_usd = nosql_cost_usd
+        return breakdown
+
+    def cost_per_1000_executions(self, per_execution: CostBreakdown) -> CostBreakdown:
+        """Scale a single-execution breakdown to the paper's price-per-1000 metric."""
+        return per_execution.scaled(1000.0)

@@ -1,0 +1,210 @@
+"""Container (sandbox) lifecycle and scaling policies of the simulated platforms.
+
+Cold starts, container reuse, and scale-up limits are where the three clouds
+differ most (paper Sections 7.3.1 and 7.3.2, Table 5, Figure 11):
+
+* **AWS** spins up new sandboxes aggressively -- a burst of concurrent workflow
+  invocations gets fresh containers (almost 100 % cold starts) but scales out
+  quickly;
+* **Google Cloud** caps scale-up and prefers reusing existing containers, so a
+  burst is served by fewer containers in waves (~70 % cold starts);
+* **Azure** keeps a function app with a small number of sandboxes (never more
+  than ~10 observed) that each handle many invocations, so almost every
+  invocation is warm -- at the price of large scheduling delays.
+
+The :class:`ContainerPool` implements these behaviours behind one interface;
+the platform profiles parameterise it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .engine import Environment, Event
+from .rng import RandomStreams
+
+
+@dataclass
+class ScalingPolicy:
+    """Parameters governing sandbox allocation on one platform."""
+
+    #: Maximum number of concurrently existing sandboxes in one pool.
+    max_containers: int
+    #: If True, every function gets its own pool; if False (Azure function
+    #: apps), all functions of a deployment share one pool.
+    per_function_pools: bool
+    #: Median cold-start latency added before the first invocation in a sandbox.
+    cold_start_median_s: float
+    #: Log-normal sigma of the cold-start latency.
+    cold_start_sigma: float
+    #: Minimum spacing between starting two new sandboxes (scale-up rate limit).
+    provisioning_interval_s: float
+    #: Delay for handing an invocation to an existing warm sandbox.
+    warm_dispatch_s: float = 0.01
+    #: Fraction of outstanding requests the platform is willing to back with
+    #: dedicated sandboxes.  1.0 (AWS) provisions one sandbox per concurrent
+    #: request; 0.5 (Google Cloud) serves a burst with roughly half as many
+    #: sandboxes, reusing them in waves; Azure's small ``max_containers``
+    #: dominates regardless.
+    scale_out_factor: float = 1.0
+    #: How many invocations a single sandbox may execute concurrently.  AWS and
+    #: Google Cloud sandboxes are single-tenant (1); Azure function-app workers
+    #: interleave many activity executions.
+    concurrency_per_container: int = 1
+
+
+@dataclass
+class Container:
+    """One sandbox: identity, reuse statistics, and concurrency state."""
+
+    container_id: str
+    function: Optional[str]
+    created_at: float
+    active: int = 0
+    invocations: int = 0
+    last_used_at: float = 0.0
+
+    @property
+    def is_new(self) -> bool:
+        return self.invocations == 0 and self.active <= 1
+
+
+@dataclass
+class AcquireResult:
+    """Outcome of requesting a sandbox for an invocation."""
+
+    container: Container
+    cold_start: bool
+    cold_start_latency: float
+    wait_time: float
+
+
+class ContainerPool:
+    """Allocates sandboxes to invocations under a platform's scaling policy."""
+
+    def __init__(
+        self,
+        env: Environment,
+        policy: ScalingPolicy,
+        streams: RandomStreams,
+        platform: str,
+    ) -> None:
+        self._env = env
+        self._policy = policy
+        self._streams = streams
+        self._platform = platform
+        self._containers: Dict[str, List[Container]] = {}
+        self._waiters: Dict[str, List[Event]] = {}
+        self._id_counter = itertools.count()
+        self._last_provision_time = -1e9
+
+    # ------------------------------------------------------------------ stats
+    def pool_key(self, function: str) -> str:
+        return function if self._policy.per_function_pools else "__app__"
+
+    def containers_created(self, function: Optional[str] = None) -> int:
+        if function is None:
+            return sum(len(pool) for pool in self._containers.values())
+        return len(self._containers.get(self.pool_key(function), []))
+
+    def active_containers(self) -> int:
+        return sum(
+            1 for pool in self._containers.values() for container in pool if container.active > 0
+        )
+
+    def outstanding(self, function: str) -> int:
+        """Requests currently holding or waiting for a sandbox in this pool."""
+        key = self.pool_key(function)
+        busy = sum(c.active for c in self._containers.get(key, []))
+        return busy + len(self._waiters.get(key, []))
+
+    # --------------------------------------------------------------- acquire
+    def acquire(self, function: str) -> Generator[Event, object, AcquireResult]:
+        """Simulation process: obtain a sandbox for one invocation of ``function``.
+
+        Yields simulation events while waiting; returns an :class:`AcquireResult`.
+        """
+        key = self.pool_key(function)
+        pool = self._containers.setdefault(key, [])
+        waiters = self._waiters.setdefault(key, [])
+        requested_at = self._env.now
+        cap = max(1, self._policy.concurrency_per_container)
+
+        while True:
+            usable = [c for c in pool if c.active < cap]
+            if usable:
+                # Reuse the most recently used sandbox (LIFO keeps the rest idle,
+                # matching observed provider behaviour).
+                container = max(usable, key=lambda c: (c.last_used_at, -c.active))
+                container.active += 1
+                yield self._env.timeout(self._policy.warm_dispatch_s)
+                container.last_used_at = self._env.now
+                return AcquireResult(
+                    container=container,
+                    cold_start=False,
+                    cold_start_latency=0.0,
+                    wait_time=self._env.now - requested_at,
+                )
+
+            outstanding = sum(c.active for c in pool) + len(waiters) + 1
+            target = min(
+                self._policy.max_containers,
+                max(1, int(-(-outstanding * self._policy.scale_out_factor // 1))),
+            )
+            if len(pool) < target:
+                container = self._provision(key, function)
+                container.active = 1
+                # Rate-limit sandbox creation (scale-up speed differs per platform).
+                provisioning_gap = max(
+                    0.0,
+                    self._policy.provisioning_interval_s
+                    - (self._env.now - self._last_provision_time),
+                )
+                self._last_provision_time = self._env.now + provisioning_gap
+                if provisioning_gap:
+                    yield self._env.timeout(provisioning_gap)
+                latency = self._cold_start_latency(function)
+                yield self._env.timeout(latency)
+                container.last_used_at = self._env.now
+                return AcquireResult(
+                    container=container,
+                    cold_start=True,
+                    cold_start_latency=latency,
+                    wait_time=self._env.now - requested_at,
+                )
+
+            # Pool saturated for the current scale-out target: wait for a release.
+            waiter = self._env.event()
+            waiters.append(waiter)
+            yield waiter
+
+    def release(self, container: Container) -> None:
+        if container.active <= 0:
+            raise ValueError("release without matching acquire")
+        container.active -= 1
+        container.invocations += 1
+        container.last_used_at = self._env.now
+        key = container.function if self._policy.per_function_pools else None
+        key = key if key is not None else "__app__"
+        waiters = self._waiters.get(key, [])
+        if waiters:
+            waiters.pop(0).succeed()
+
+    # --------------------------------------------------------------- internal
+    def _provision(self, key: str, function: str) -> Container:
+        container = Container(
+            container_id=f"{self._platform}-{key}-{next(self._id_counter)}",
+            function=function if self._policy.per_function_pools else None,
+            created_at=self._env.now,
+        )
+        self._containers[key].append(container)
+        return container
+
+    def _cold_start_latency(self, function: str) -> float:
+        return self._streams.lognormal_around(
+            f"coldstart:{self._platform}:{function}",
+            self._policy.cold_start_median_s,
+            sigma=self._policy.cold_start_sigma,
+        )

@@ -1,0 +1,270 @@
+"""Deterministic discrete-event simulation engine.
+
+The cloud substrate of this reproduction (container scheduling, orchestration,
+storage transfers) runs on a small process-based discrete-event simulator in
+the style of SimPy: *processes* are Python generators that ``yield`` events
+(timeouts, other processes, composite events) and are resumed by the
+environment when those events fire.  Virtual time only advances through
+scheduled events, so simulating a 4000-second workflow takes milliseconds of
+wall-clock time and results are fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event is *triggered* with a value via :meth:`succeed` (or with an
+    exception via :meth:`fail`); all registered callbacks then run at the
+    current simulation time.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.triggered = False
+        self.processed = False
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._exception = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator returns."""
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("a process must wrap a generator")
+        self._generator = generator
+        # Bootstrap: resume the process at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, event: Event) -> None:
+        while True:
+            try:
+                if event.exception is not None:
+                    target = self._generator.throw(event.exception)
+                else:
+                    target = self._generator.send(event.value)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:  # propagate failures to waiters
+                if not self.triggered:
+                    self.fail(exc)
+                    return
+                raise
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process yielded {target!r}, which is not an Event"
+                )
+            if target.processed:
+                # Event already fired; continue immediately with its value.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            return
+
+
+class AllOf(Event):
+    """Fires once every child event has fired; value is the list of child values."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child.value for child in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as one child fires; value is that child's value."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            self.succeed(None)
+            return
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+                break
+            child.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.exception is not None:
+            self.fail(event.exception)
+            return
+        self.succeed(event.value)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus the event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._queue: List[Any] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -------------------------------------------------------------- scheduling
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -------------------------------------------------------------- execution
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        event.processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[Event] = None, max_events: int = 10_000_000) -> Any:
+        """Run until ``until`` fires (or the queue drains).  Returns its value."""
+        processed = 0
+        while self._queue:
+            if until is not None and until.processed:
+                break
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"simulation did not settle within {max_events} events"
+                )
+        if until is not None:
+            if not until.processed:
+                raise SimulationError("simulation ended before the awaited event fired")
+            if until.exception is not None:
+                raise until.exception
+            return until.value
+        return None
+
+
+class Resource:
+    """A counted resource with FIFO queuing (e.g. container slots on a platform)."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be at least 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Returns an event that fires once a slot is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release without matching acquire")
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            waiter.succeed()
+        else:
+            self._in_use -= 1

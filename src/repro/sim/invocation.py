@@ -1,0 +1,171 @@
+"""Function specifications and the invocation context handed to benchmark code.
+
+Benchmark functions in this reproduction are real Python callables: they
+receive an :class:`InvocationContext` plus the invocation payload, perform
+actual data manipulation (word counting, training a classifier, parsing
+synthetic variant data, ...), and return the payload for the next phase.
+
+The context is the bridge between real computation and the simulated cloud:
+
+* ``ctx.compute(work)`` charges ``work`` seconds of full-vCPU compute, scaled
+  by the platform's CPU share for the configured memory and by OS noise;
+* ``ctx.download(key)`` / ``ctx.upload(key, ...)`` move data through the
+  simulated object storage and charge the transfer time;
+* ``ctx.nosql_*`` operate on the simulated key-value store;
+* ``ctx.sleep(seconds)`` charges wall-clock time without CPU (used by the
+  parallel-sleep microbenchmark);
+* ``ctx.detour_trace(...)`` runs the selfish-detour noise probe.
+
+All charged durations accumulate in ``ctx.elapsed``; the platform advances the
+virtual clock by that amount and reports the invocation's timestamps to the
+metrics store, exactly as the real SeBS-Flow functions report to Redis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .noise import DetourTrace, NoiseModel
+from .resources import CPUModel
+from .rng import RandomStreams
+from .storage.nosql import NoSQLStorage
+from .storage.object_storage import ObjectStorage, StoredObject
+from .storage.payload import PayloadChannel
+
+Payload = Dict[str, object]
+Handler = Callable[["InvocationContext", object], object]
+
+
+@dataclass
+class FunctionSpec:
+    """Static description of one serverless function of a benchmark."""
+
+    name: str
+    handler: Handler
+    #: Extra compute-seconds spent on a cold start (imports, model loading);
+    #: charged inside the function body, so it shows up on the critical path.
+    cold_init_s: float = 0.2
+    #: Memory configuration override; ``None`` uses the benchmark default.
+    memory_mb: Optional[int] = None
+    description: str = ""
+
+
+@dataclass
+class InvocationContext:
+    """Runtime services available to a function during one (simulated) invocation."""
+
+    function: str
+    phase: str
+    workflow: str
+    invocation_id: str
+    request_id: str
+    memory_mb: int
+    cold_start: bool
+    platform: str
+    cpu_model: CPUModel
+    cpu_speed: float
+    noise: NoiseModel
+    object_storage: ObjectStorage
+    nosql: NoSQLStorage
+    payload_channel: PayloadChannel
+    streams: RandomStreams
+    concurrency_hint: int = 1
+    elapsed: float = 0.0
+    storage_time: float = 0.0
+    downloaded_bytes: int = 0
+    uploaded_bytes: int = 0
+    compute_seconds: float = 0.0
+    logs: list = field(default_factory=list)
+
+    # ----------------------------------------------------------------- compute
+    def compute(self, work_seconds: float) -> float:
+        """Charge ``work_seconds`` of single-vCPU compute, scaled by CPU share and noise."""
+        if work_seconds < 0:
+            raise ValueError("work must be non-negative")
+        slowdown = self.noise.execution_slowdown(self.memory_mb, invocation=self.request_id)
+        duration = (work_seconds / max(1e-9, self.cpu_speed)) * slowdown
+        self.elapsed += duration
+        self.compute_seconds += work_seconds
+        return duration
+
+    def sleep(self, seconds: float) -> float:
+        """Charge wall-clock time that does not consume CPU (e.g. ``time.sleep``)."""
+        if seconds < 0:
+            raise ValueError("sleep duration must be non-negative")
+        self.elapsed += seconds
+        return seconds
+
+    def cold_start_initialization(self, base_seconds: float) -> float:
+        """Charge the language-runtime / dependency initialisation of a cold start."""
+        if not self.cold_start or base_seconds <= 0:
+            return 0.0
+        return self.compute(base_seconds)
+
+    # ----------------------------------------------------------------- storage
+    def download(self, key: str) -> StoredObject:
+        """Fetch an object from the bucket, charging the transfer time."""
+        obj = self.object_storage.get_object(key)
+        duration = self.object_storage.download_duration(
+            obj.size_bytes,
+            concurrency=self.concurrency_hint,
+            key=key,
+        )
+        self.elapsed += duration
+        self.storage_time += duration
+        self.downloaded_bytes += obj.size_bytes
+        return obj
+
+    def upload(self, key: str, size_bytes: int, data: Optional[bytes] = None) -> float:
+        """Store an object in the bucket, charging the transfer time."""
+        self.object_storage.put_object(key, size_bytes, data)
+        duration = self.object_storage.upload_duration(
+            size_bytes,
+            concurrency=self.concurrency_hint,
+            key=key,
+        )
+        self.elapsed += duration
+        self.storage_time += duration
+        self.uploaded_bytes += size_bytes
+        return duration
+
+    def object_exists(self, key: str) -> bool:
+        return self.object_storage.exists(key)
+
+    # ------------------------------------------------------------------- nosql
+    def nosql_put(
+        self, table: str, partition_key: str, item: Dict[str, object], sort_key: Optional[str] = None
+    ) -> None:
+        self.elapsed += self.nosql.put_item(table, partition_key, item, sort_key)
+
+    def nosql_get(
+        self, table: str, partition_key: str, sort_key: Optional[str] = None
+    ) -> Dict[str, object]:
+        item, duration = self.nosql.get_item(table, partition_key, sort_key)
+        self.elapsed += duration
+        return item
+
+    def nosql_delete(self, table: str, partition_key: str, sort_key: Optional[str] = None) -> None:
+        self.elapsed += self.nosql.delete_item(table, partition_key, sort_key)
+
+    def nosql_query(self, table: str, partition_key: str) -> list:
+        items, duration = self.nosql.query(table, partition_key)
+        self.elapsed += duration
+        return items
+
+    # ------------------------------------------------------------------- misc
+    def detour_trace(self, events: int = 5000) -> DetourTrace:
+        """Run the selfish-detour probe; the loop itself costs compute time."""
+        trace = self.noise.sample_detour_trace(
+            self.memory_mb, events_to_collect=events, invocation=self.request_id
+        )
+        # The probe loop busy-spins for a duration proportional to the events collected.
+        self.compute(events * 2e-4)
+        return trace
+
+    def log(self, message: str) -> None:
+        self.logs.append(message)
+
+    def rng(self, name: str):
+        """Deterministic per-function random generator for synthetic data."""
+        return self.streams.stream(f"handler:{self.workflow}:{self.function}:{name}")

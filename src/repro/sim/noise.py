@@ -1,0 +1,144 @@
+"""OS-noise model and the selfish-detour microbenchmark.
+
+The paper quantifies how much CPU time a serverless function actually receives
+with the *selfish detour* benchmark (Hoefler et al., Netgauge): a tight loop
+records every iteration that takes significantly longer than expected; the
+magnitude and frequency of those detours estimate the share of time the
+function was suspended by the host OS.
+
+In the simulator the ground truth is the platform's CPU model
+(:mod:`repro.sim.resources`); the selfish-detour benchmark *samples* detour
+events consistent with that ground truth plus measurement noise, so that the
+analysis pipeline of Figure 13 runs end-to-end exactly as it would against a
+real cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .resources import CPUModel
+from .rng import RandomStreams
+
+
+@dataclass
+class DetourEvent:
+    """One loop iteration that took noticeably longer than expected."""
+
+    iteration: int
+    expected_cycles: float
+    observed_cycles: float
+
+    @property
+    def lost_cycles(self) -> float:
+        return max(0.0, self.observed_cycles - self.expected_cycles)
+
+
+@dataclass
+class DetourTrace:
+    """The result of one selfish-detour run inside a simulated function."""
+
+    platform: str
+    memory_mb: int
+    events: List[DetourEvent] = field(default_factory=list)
+    total_iterations: int = 0
+    expected_cycles_per_iteration: float = 100.0
+
+    def suspension_share(self) -> float:
+        """Estimate the fraction of time the function was suspended.
+
+        The estimate divides the cycles lost to detours by the total cycles the
+        loop would have needed without interference plus the lost cycles.
+        """
+        if self.total_iterations == 0:
+            return 0.0
+        useful = self.total_iterations * self.expected_cycles_per_iteration
+        lost = sum(event.lost_cycles for event in self.events)
+        if useful + lost == 0:
+            return 0.0
+        return lost / (useful + lost)
+
+
+class NoiseModel:
+    """Generates OS-noise effects consistent with a platform's CPU allocation."""
+
+    def __init__(self, platform: str, cpu_model: CPUModel, streams: RandomStreams) -> None:
+        self._platform = platform
+        self._cpu_model = cpu_model
+        self._streams = streams
+
+    def execution_slowdown(self, memory_mb: int, invocation: str = "") -> float:
+        """Multiplier applied to compute time due to the limited CPU share.
+
+        A function with CPU share ``s`` needs ``1 / s`` wall-clock seconds per
+        second of compute; sampling noise adds a small run-to-run variation.
+        """
+        share = self._cpu_model.share(memory_mb)
+        jitter = self._streams.lognormal_around(
+            f"noise:{self._platform}:{memory_mb}:{invocation}", 1.0, sigma=0.03
+        )
+        return max(1.0, (1.0 / share) * jitter)
+
+    def sample_detour_trace(
+        self,
+        memory_mb: int,
+        events_to_collect: int = 5000,
+        invocation: str = "",
+    ) -> DetourTrace:
+        """Simulate a selfish-detour run collecting ``events_to_collect`` detours."""
+        allocation = self._cpu_model.allocation(memory_mb)
+        suspension = allocation.suspension_share
+        stream = self._streams.stream(
+            f"detour:{self._platform}:{memory_mb}:{invocation}"
+        )
+        expected_cycles = 100.0
+        trace = DetourTrace(
+            platform=self._platform,
+            memory_mb=memory_mb,
+            expected_cycles_per_iteration=expected_cycles,
+        )
+
+        if suspension <= 1e-6:
+            # Practically no noise: detours are tiny scheduler blips.
+            detour_magnitude = expected_cycles * 0.05
+            iterations_between = 10_000
+        else:
+            # Choose detour frequency/magnitude so that
+            #   lost / (useful + lost) == suspension  (in expectation).
+            iterations_between = 2_000
+            useful_between = iterations_between * expected_cycles
+            detour_magnitude = suspension * useful_between / (1.0 - suspension)
+
+        iteration = 0
+        for _ in range(events_to_collect):
+            gap = max(1, int(stream.normal(iterations_between, iterations_between * 0.05)))
+            iteration += gap
+            observed = expected_cycles + max(
+                0.0, stream.normal(detour_magnitude, detour_magnitude * 0.1)
+            )
+            trace.events.append(
+                DetourEvent(
+                    iteration=iteration,
+                    expected_cycles=expected_cycles,
+                    observed_cycles=observed,
+                )
+            )
+        trace.total_iterations = iteration
+        return trace
+
+    def suspension_curve(
+        self, memory_configurations: Sequence[int], events: int = 5000
+    ) -> Dict[int, Dict[str, float]]:
+        """Measured vs documented suspension for a sweep of memory configurations."""
+        curve: Dict[int, Dict[str, float]] = {}
+        for memory in memory_configurations:
+            allocation = self._cpu_model.allocation(memory)
+            trace = self.sample_detour_trace(memory, events_to_collect=events)
+            curve[memory] = {
+                "measured_suspension": trace.suspension_share(),
+                "documented_suspension": allocation.documented_suspension_share,
+            }
+        return curve

@@ -1,0 +1,16 @@
+"""Workflow orchestration executors for the simulated platforms."""
+
+from .durable import DurableExecutor
+from .events import OrchestrationError, OrchestrationStats, payload_size_bytes, resolve_array
+from .profile import OrchestrationProfile
+from .state_machine import StateMachineExecutor
+
+__all__ = [
+    "DurableExecutor",
+    "OrchestrationError",
+    "OrchestrationProfile",
+    "OrchestrationStats",
+    "StateMachineExecutor",
+    "payload_size_bytes",
+    "resolve_array",
+]

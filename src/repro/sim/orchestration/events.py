@@ -1,0 +1,72 @@
+"""Shared types for the workflow orchestration executors."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class OrchestrationStats:
+    """Accounting of one workflow execution's orchestration activity.
+
+    The billing model consumes ``state_transitions`` (AWS / Google Cloud) and
+    ``orchestrator_time_s`` (Azure).  ``activity_count`` is the number of
+    function invocations performed, used for the invocation fee.
+    """
+
+    platform: str
+    workflow: str
+    invocation_id: str
+    state_transitions: int = 0
+    orchestrator_time_s: float = 0.0
+    activity_count: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def wall_clock_s(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+
+class OrchestrationError(Exception):
+    """Raised when a workflow cannot be executed by the orchestrator."""
+
+
+def payload_size_bytes(payload: object) -> int:
+    """Approximate the wire size of a payload as its JSON encoding length."""
+    try:
+        return len(json.dumps(payload, default=str))
+    except (TypeError, ValueError):
+        return len(str(payload))
+
+
+def resolve_array(payload: object, array_name: str) -> List[object]:
+    """Resolve the input array of a map/loop phase from the current payload.
+
+    A dict payload is indexed by the array name; a list payload is used
+    directly (it is the output of a previous map phase).  When the previous
+    phase was a parallel phase, its output is a dict of branch results -- the
+    coordinator then resolves the array from whichever branch produced it
+    (one level of nesting).
+    """
+    if isinstance(payload, dict):
+        value = payload.get(array_name)
+        if value is None:
+            for branch_result in payload.values():
+                if isinstance(branch_result, dict) and array_name in branch_result:
+                    value = branch_result[array_name]
+                    break
+        if value is None:
+            raise OrchestrationError(
+                f"payload has no array {array_name!r}; available keys: {sorted(payload)}"
+            )
+    else:
+        value = payload
+    if not isinstance(value, list):
+        raise OrchestrationError(
+            f"map/loop input {array_name!r} is not a list (got {type(value).__name__})"
+        )
+    return value

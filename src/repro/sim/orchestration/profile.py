@@ -1,0 +1,64 @@
+"""Orchestration-service parameters of one platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OrchestrationProfile:
+    """Latency and accounting model of a platform's workflow orchestration.
+
+    ``kind`` selects the executor: ``state_machine`` (AWS Step Functions,
+    Google Cloud Workflows) or ``durable`` (Azure Durable Functions).
+
+    State-machine parameters
+        ``transition_latency_s`` is charged for every billable state
+        transition; the ``transitions_*`` counters encode how many transitions
+        each construct needs (Google Cloud needs extra call/assign steps per
+        task, which is why it is billed more transitions than AWS for the same
+        workflow -- Table 5).
+
+    Durable parameters
+        Activities are dispatched through the task-hub queue: each dispatch
+        waits ``dispatch_base_s`` plus a load-dependent term proportional to
+        the number of activities currently outstanding on the whole function
+        app.  After an activity completes, the orchestrator performs result
+        processing/checkpointing that grows with the bytes the activity moved
+        through storage (``completion_io_s_per_byte``) -- the mechanism behind
+        the storage-I/O overhead of Figure 9a -- plus a small replay cost per
+        history event.
+    """
+
+    kind: str
+    max_parallelism: int
+    # --- state-machine executors ------------------------------------------
+    transition_latency_s: float = 0.0
+    transitions_per_task: int = 1
+    transitions_map_setup: int = 1
+    transitions_per_map_item: int = 1
+    transitions_per_switch: int = 1
+    transitions_workflow_fixed: int = 2
+    # --- durable executor ---------------------------------------------------
+    dispatch_base_s: float = 0.0
+    dispatch_sigma: float = 0.3
+    dispatch_load_s_per_activity: float = 0.0
+    #: Extra dispatch latency per byte of checkpoint backlog on the task hub.
+    dispatch_backlog_s_per_byte: float = 0.0
+    completion_base_s: float = 0.0
+    completion_io_s_per_byte: float = 0.0
+    #: Bytes an activity may move through storage before checkpointing cost kicks in.
+    completion_io_threshold_bytes: int = 0
+    replay_latency_s: float = 0.0
+    orchestrator_memory_mb: int = 128
+    #: Durable Functions stage activity inputs/outputs through the task hub's
+    #: storage account: the time functions spend in object-storage transfers is
+    #: then observed outside the function's own start/end timestamps (overhead),
+    #: matching the paper's measurements on Azure.
+    stage_storage_io: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("state_machine", "durable"):
+            raise ValueError(f"unknown orchestration kind {self.kind!r}")
+        if self.max_parallelism < 1:
+            raise ValueError("max_parallelism must be at least 1")

@@ -1,0 +1,22 @@
+"""Simulated platform profiles: AWS, Google Cloud, Azure, and the HPC baseline."""
+
+from .aws import aws_profile
+from .azure import azure_profile
+from .base import Platform, PlatformProfile
+from .gcp import gcp_profile
+from .hpc import hpc_profile
+from .profiles import ALL_PLATFORMS, CLOUD_PLATFORMS, ERAS, available_platforms, get_profile
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "CLOUD_PLATFORMS",
+    "ERAS",
+    "Platform",
+    "PlatformProfile",
+    "available_platforms",
+    "aws_profile",
+    "azure_profile",
+    "gcp_profile",
+    "get_profile",
+    "hpc_profile",
+]

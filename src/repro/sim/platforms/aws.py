@@ -1,0 +1,78 @@
+"""AWS platform profile (Lambda + Step Functions + S3 + DynamoDB).
+
+Parameter choices reflect the behaviour the paper measures on AWS:
+
+* aggressive scale-out -- a burst of concurrent invocations receives fresh
+  sandboxes almost immediately (Figure 11), which also means nearly 100 % cold
+  starts in burst mode (Table 5);
+* CPU share proportional to memory (1 vCPU at 1769 MB);
+* low, roughly constant orchestration overhead per state transition and for
+  parallel fan-out (Figure 10b);
+* object storage with high per-function bandwidth (storage I/O overhead stays
+  around one second regardless of object size, Figure 9a);
+* payloads passed inline up to the Step Functions limit with constant latency
+  (Figure 9b).
+"""
+
+from __future__ import annotations
+
+from ..billing import AWS_PRICING
+from ..container import ScalingPolicy
+from ..orchestration.profile import OrchestrationProfile
+from ..resources import aws_cpu_model
+from ..storage.nosql import NoSQLProfile
+from ..storage.object_storage import StorageProfile
+from ..storage.payload import PayloadProfile
+from .base import PlatformProfile
+
+
+def aws_profile(region: str = "us-east-1") -> PlatformProfile:
+    """The AWS profile used in the paper's 2024 measurements."""
+    return PlatformProfile(
+        name="aws",
+        display_name="AWS",
+        region=region,
+        cpu_model=aws_cpu_model(),
+        cpu_speed=1.0,
+        scaling=ScalingPolicy(
+            max_containers=1000,
+            per_function_pools=True,
+            cold_start_median_s=0.45,
+            cold_start_sigma=0.35,
+            provisioning_interval_s=0.02,
+            warm_dispatch_s=0.01,
+            scale_out_factor=1.0,
+            concurrency_per_container=1,
+        ),
+        storage=StorageProfile(
+            request_latency_s=0.03,
+            per_function_bandwidth_bps=110e6,
+            aggregate_bandwidth_bps=40e9,
+            jitter_sigma=0.10,
+        ),
+        nosql=NoSQLProfile(
+            read_latency_s=0.005,
+            write_latency_s=0.008,
+            billing_model="dynamodb",
+            read_unit_price=0.25e-6,
+            write_unit_price=1.25e-6,
+        ),
+        payload=PayloadProfile(
+            max_payload_bytes=262_144,
+            base_latency_s=0.012,
+            spill_threshold_bytes=0,
+            spill_latency_per_byte_s=0.0,
+        ),
+        orchestration=OrchestrationProfile(
+            kind="state_machine",
+            max_parallelism=40,
+            transition_latency_s=0.018,
+            transitions_per_task=1,
+            transitions_map_setup=1,
+            transitions_per_map_item=1,
+            transitions_per_switch=1,
+            transitions_workflow_fixed=2,
+        ),
+        pricing=AWS_PRICING,
+        default_memory_mb=256,
+    )

@@ -1,0 +1,85 @@
+"""Azure platform profile (Functions + Durable Functions + Blob Storage + CosmosDB).
+
+Parameter choices reflect the behaviour the paper measures on Azure:
+
+* a function app is served by a small number of workers (never more than ~10
+  observed, Figure 11) that each interleave many activity executions, so burst
+  invocations are almost always warm (Table 5);
+* functions receive a generous CPU allocation independent of the configured
+  memory, giving Azure the fastest critical path at low-memory configurations
+  (Figures 8 and 13);
+* the Durable Functions task hub adds large, highly variable dispatch and
+  checkpointing latency: it grows with the number of outstanding activities on
+  the app (Figure 10a) and with the amount of data activities move through
+  storage (Figure 9a), which dominates the runtime of data-heavy, highly
+  parallel benchmarks (Video Analysis, ExCamera, 1000Genome);
+* return payloads beyond ~16 kB spill to remote storage, adding latency that
+  grows with payload size (Figure 9b).
+"""
+
+from __future__ import annotations
+
+from ..billing import AZURE_PRICING
+from ..container import ScalingPolicy
+from ..orchestration.profile import OrchestrationProfile
+from ..resources import azure_cpu_model
+from ..storage.nosql import NoSQLProfile
+from ..storage.object_storage import StorageProfile
+from ..storage.payload import PayloadProfile
+from .base import PlatformProfile
+
+
+def azure_profile(region: str = "europe-west") -> PlatformProfile:
+    """The Azure profile used in the paper's 2024 measurements."""
+    return PlatformProfile(
+        name="azure",
+        display_name="Azure",
+        region=region,
+        cpu_model=azure_cpu_model(),
+        cpu_speed=1.0,
+        scaling=ScalingPolicy(
+            max_containers=10,
+            per_function_pools=False,
+            cold_start_median_s=2.5,
+            cold_start_sigma=0.4,
+            provisioning_interval_s=1.0,
+            warm_dispatch_s=0.02,
+            scale_out_factor=1.0,
+            concurrency_per_container=8,
+        ),
+        storage=StorageProfile(
+            request_latency_s=0.06,
+            per_function_bandwidth_bps=70e6,
+            aggregate_bandwidth_bps=0.9e9,
+            jitter_sigma=0.15,
+        ),
+        nosql=NoSQLProfile(
+            read_latency_s=0.010,
+            write_latency_s=0.015,
+            billing_model="cosmosdb",
+            read_unit_price=0.23e-6,
+            write_unit_price=0.23e-6,
+        ),
+        payload=PayloadProfile(
+            max_payload_bytes=5_000_000,
+            base_latency_s=0.025,
+            spill_threshold_bytes=16_384,
+            spill_latency_per_byte_s=4.0e-6,
+        ),
+        orchestration=OrchestrationProfile(
+            kind="durable",
+            max_parallelism=10_000,
+            dispatch_base_s=0.25,
+            dispatch_sigma=0.5,
+            dispatch_load_s_per_activity=0.02,
+            dispatch_backlog_s_per_byte=4.0e-8,
+            completion_base_s=0.10,
+            completion_io_s_per_byte=2.6e-6,
+            completion_io_threshold_bytes=6_000_000,
+            replay_latency_s=0.004,
+            stage_storage_io=True,
+            orchestrator_memory_mb=128,
+        ),
+        pricing=AZURE_PRICING,
+        default_memory_mb=256,
+    )

@@ -1,0 +1,83 @@
+"""HPC comparison system (the paper's Ault node, Intel Xeon 6154 @ 3.00 GHz).
+
+RQ3 compares serverless workflow orchestration against running the same
+workflow on an HPC node: the 1000Genome workflow that takes minutes in the
+cloud finishes in seconds on Ault.  The HPC profile models a single node with
+
+* fully dedicated fast cores (no suspension, higher single-thread speed),
+* a local parallel file system instead of object storage,
+* no cold starts, no orchestration service, and no billing.
+
+It reuses the state-machine executor with all orchestration latencies set to
+zero, so the exact same benchmark code runs unchanged.
+"""
+
+from __future__ import annotations
+
+from ..billing import PricingModel
+from ..container import ScalingPolicy
+from ..orchestration.profile import OrchestrationProfile
+from ..resources import hpc_cpu_model
+from ..storage.nosql import NoSQLProfile
+from ..storage.object_storage import StorageProfile
+from ..storage.payload import PayloadProfile
+from .base import PlatformProfile
+
+HPC_PRICING = PricingModel(
+    platform="hpc",
+    compute_gbs_usd=0.0,
+    invocations_per_million_usd=0.0,
+    transitions_per_1000_usd=0.0,
+    orchestration_gbs_usd=0.0,
+    storage_requests_per_1000_usd=0.0,
+)
+
+
+def hpc_profile(cores: int = 36) -> PlatformProfile:
+    """A single HPC node comparable to the paper's Ault system."""
+    return PlatformProfile(
+        name="hpc",
+        display_name="HPC (Ault)",
+        region="local",
+        cpu_model=hpc_cpu_model(),
+        cpu_speed=8.0,
+        scaling=ScalingPolicy(
+            max_containers=cores,
+            per_function_pools=False,
+            cold_start_median_s=0.0,
+            cold_start_sigma=0.0,
+            provisioning_interval_s=0.0,
+            warm_dispatch_s=0.001,
+            scale_out_factor=1.0,
+            concurrency_per_container=1,
+        ),
+        storage=StorageProfile(
+            request_latency_s=0.001,
+            per_function_bandwidth_bps=1.5e9,
+            aggregate_bandwidth_bps=12e9,
+            jitter_sigma=0.02,
+        ),
+        nosql=NoSQLProfile(
+            read_latency_s=0.0005,
+            write_latency_s=0.0005,
+            billing_model="datastore",
+            read_unit_price=0.0,
+            write_unit_price=0.0,
+        ),
+        payload=PayloadProfile(
+            max_payload_bytes=100_000_000,
+            base_latency_s=0.0005,
+            spill_threshold_bytes=0,
+            spill_latency_per_byte_s=0.0,
+        ),
+        orchestration=OrchestrationProfile(
+            kind="state_machine",
+            max_parallelism=cores,
+            transition_latency_s=0.0005,
+            transitions_per_task=1,
+            transitions_map_setup=1,
+            transitions_per_map_item=1,
+        ),
+        pricing=HPC_PRICING,
+        default_memory_mb=2048,
+    )

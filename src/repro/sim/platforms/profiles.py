@@ -1,0 +1,83 @@
+"""Platform registry and measurement eras (RQ5: evolution of performance).
+
+The paper compares measurements from July 2022 and January 2024.  The profile
+registry exposes both eras; the 2022 era differs from 2024 in the parameters
+that visibly changed between the two measurement campaigns (Figure 16):
+
+* Azure's orchestration overhead for parallel phases roughly halved between
+  2022 and 2024 (visible in the Machine Learning benchmark), so the 2022 era
+  doubles the durable dispatch parameters;
+* AWS and Google Cloud stayed essentially stable, so their 2022 profiles only
+  differ in the deployment region (europe-west-1 for GCP in 2022) and a small
+  cold-start regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List
+
+from .aws import aws_profile
+from .azure import azure_profile
+from .base import PlatformProfile
+from .gcp import gcp_profile
+from .hpc import hpc_profile
+
+ERAS = ("2022", "2024")
+CLOUD_PLATFORMS = ("aws", "gcp", "azure")
+ALL_PLATFORMS = CLOUD_PLATFORMS + ("hpc",)
+
+
+def _aws_2022() -> PlatformProfile:
+    base = aws_profile(region="us-east-1")
+    scaling = replace(base.scaling, cold_start_median_s=base.scaling.cold_start_median_s * 1.1)
+    return base.with_overrides(scaling=scaling)
+
+
+def _gcp_2022() -> PlatformProfile:
+    base = gcp_profile(region="europe-west-1")
+    scaling = replace(base.scaling, cold_start_median_s=base.scaling.cold_start_median_s * 1.15)
+    return base.with_overrides(scaling=scaling)
+
+
+def _azure_2022() -> PlatformProfile:
+    base = azure_profile(region="europe-west")
+    orchestration = replace(
+        base.orchestration,
+        dispatch_base_s=base.orchestration.dispatch_base_s * 2.0,
+        dispatch_load_s_per_activity=base.orchestration.dispatch_load_s_per_activity * 2.0,
+        completion_base_s=base.orchestration.completion_base_s * 2.0,
+    )
+    return base.with_overrides(orchestration=orchestration)
+
+
+_REGISTRY: Dict[str, Dict[str, Callable[[], PlatformProfile]]] = {
+    "2024": {
+        "aws": aws_profile,
+        "gcp": gcp_profile,
+        "azure": azure_profile,
+        "hpc": hpc_profile,
+    },
+    "2022": {
+        "aws": _aws_2022,
+        "gcp": _gcp_2022,
+        "azure": _azure_2022,
+        "hpc": hpc_profile,
+    },
+}
+
+
+def available_platforms(era: str = "2024") -> List[str]:
+    if era not in _REGISTRY:
+        raise KeyError(f"unknown era {era!r}; available: {sorted(_REGISTRY)}")
+    return sorted(_REGISTRY[era])
+
+
+def get_profile(platform: str, era: str = "2024") -> PlatformProfile:
+    """Look up the profile of ``platform`` (``aws``/``gcp``/``azure``/``hpc``) in ``era``."""
+    if era not in _REGISTRY:
+        raise KeyError(f"unknown era {era!r}; available: {sorted(_REGISTRY)}")
+    registry = _REGISTRY[era]
+    if platform not in registry:
+        raise KeyError(f"unknown platform {platform!r}; available: {sorted(registry)}")
+    return registry[platform]()

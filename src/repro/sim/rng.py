@@ -1,0 +1,57 @@
+"""Deterministic named random streams for the cloud simulator.
+
+Every stochastic component of the simulated substrate (cold-start latency,
+scheduling jitter, OS noise, storage latency) draws from its own named stream
+so that adding a new source of randomness never perturbs existing ones, and
+experiments are exactly reproducible for a given master seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A family of independent, deterministically seeded numpy generators."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+            substream_seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(substream_seed)
+        return self._streams[name]
+
+    # Convenience wrappers used throughout the simulator -----------------------
+    def uniform(self, name: str, low: float, high: float) -> float:
+        if high < low:
+            raise ValueError("uniform bounds reversed")
+        return float(self.stream(name).uniform(low, high))
+
+    def lognormal_around(self, name: str, median: float, sigma: float = 0.25) -> float:
+        """A positive sample whose median is ``median`` (latency-style distribution)."""
+        if median <= 0:
+            return 0.0
+        return float(median * np.exp(self.stream(name).normal(0.0, sigma)))
+
+    def exponential(self, name: str, mean: float) -> float:
+        if mean <= 0:
+            return 0.0
+        return float(self.stream(name).exponential(mean))
+
+    def choice_bool(self, name: str, probability_true: float) -> bool:
+        return bool(self.stream(name).random() < probability_true)
+
+    def integers(self, name: str, low: int, high: int) -> int:
+        return int(self.stream(name).integers(low, high))

@@ -1,0 +1,23 @@
+"""Simulated storage services: object storage, NoSQL, payload channel, metrics."""
+
+from .metrics_store import MeasurementRecord, MetricsStore
+from .nosql import NoSQLError, NoSQLOperation, NoSQLProfile, NoSQLStorage, NoSQLTable
+from .object_storage import ObjectStorage, StorageError, StorageProfile, StoredObject
+from .payload import PayloadChannel, PayloadError, PayloadProfile
+
+__all__ = [
+    "MeasurementRecord",
+    "MetricsStore",
+    "NoSQLError",
+    "NoSQLOperation",
+    "NoSQLProfile",
+    "NoSQLStorage",
+    "NoSQLTable",
+    "ObjectStorage",
+    "PayloadChannel",
+    "PayloadError",
+    "PayloadProfile",
+    "StorageError",
+    "StorageProfile",
+    "StoredObject",
+]

@@ -1,0 +1,69 @@
+"""In-memory measurement collection (the paper's Redis instance).
+
+SeBS-Flow functions report start/end timestamps, request ids, and container
+ids to a Redis instance deployed in the same cloud region; an in-memory cache
+is used so that the measurement path adds sub-millisecond latency and does not
+distort results (paper Section 4.3).  The simulator's equivalent is this
+in-memory store: invocation contexts push records into it, and the experiment
+harness reads them back to assemble :class:`WorkflowMeasurement` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MeasurementRecord:
+    """One function invocation's record as reported by the function itself."""
+
+    workflow: str
+    invocation_id: str
+    phase: str
+    function: str
+    start: float
+    end: float
+    request_id: str
+    container_id: str
+    cold_start: bool
+    memory_mb: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class MetricsStore:
+    """Collects measurement records, keyed by workflow invocation."""
+
+    #: Latency of one record write -- sub-millisecond, like the Redis deployment.
+    WRITE_LATENCY_S = 0.0005
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[MeasurementRecord]] = {}
+
+    def report(self, record: MeasurementRecord) -> float:
+        """Store a record; returns the (tiny) simulated write latency."""
+        self._records.setdefault(record.invocation_id, []).append(record)
+        return self.WRITE_LATENCY_S
+
+    def records_for(self, invocation_id: str) -> List[MeasurementRecord]:
+        return list(self._records.get(invocation_id, []))
+
+    def invocations(self) -> List[str]:
+        return sorted(self._records)
+
+    def all_records(self) -> List[MeasurementRecord]:
+        return [record for records in self._records.values() for record in records]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def distinct_containers(self, invocation_id: Optional[str] = None) -> int:
+        if invocation_id is not None:
+            records = self._records.get(invocation_id, [])
+        else:
+            records = self.all_records()
+        return len({record.container_id for record in records if record.container_id})

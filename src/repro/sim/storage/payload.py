@@ -1,0 +1,74 @@
+"""Invocation-payload and return-payload channel model.
+
+Functions can exchange small data directly through the invocation payload
+(HTTP/gRPC body) or through the value they return to the orchestrator.  Each
+platform imposes size limits, and the transport behind the channel differs:
+AWS and Google Cloud pass payloads through the orchestration service with
+roughly constant latency, while Azure Durable Functions spill larger payloads
+(beyond ~16 kB in the paper's measurements, Figure 9b) to remote storage or
+queues, adding latency that grows with the payload size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rng import RandomStreams
+
+
+class PayloadError(Exception):
+    """Raised when a payload exceeds the platform's hard size limit."""
+
+
+@dataclass(frozen=True)
+class PayloadProfile:
+    """Latency model of the payload channel for one platform."""
+
+    #: Hard limit on payload size in bytes (requests above this fail).
+    max_payload_bytes: int
+    #: Base latency of handing a payload to the next function.
+    base_latency_s: float
+    #: Threshold above which the platform spills to remote storage (0 = never).
+    spill_threshold_bytes: int
+    #: Additional latency per byte once spilling kicks in.
+    spill_latency_per_byte_s: float
+    jitter_sigma: float = 0.1
+
+
+class PayloadChannel:
+    """Computes transfer latency for invocation and return payloads."""
+
+    def __init__(self, profile: PayloadProfile, streams: RandomStreams, platform: str) -> None:
+        self._profile = profile
+        self._streams = streams
+        self._platform = platform
+        self.transferred_bytes = 0
+        self.transfer_count = 0
+
+    @property
+    def max_payload_bytes(self) -> int:
+        return self._profile.max_payload_bytes
+
+    def validate(self, size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise PayloadError("payload size must be non-negative")
+        if size_bytes > self._profile.max_payload_bytes:
+            raise PayloadError(
+                f"payload of {size_bytes} bytes exceeds the {self._platform} limit of "
+                f"{self._profile.max_payload_bytes} bytes"
+            )
+
+    def transfer_duration(self, size_bytes: int, label: str = "") -> float:
+        """Simulated latency of passing ``size_bytes`` to the next function."""
+        self.validate(size_bytes)
+        duration = self._profile.base_latency_s
+        if self._profile.spill_threshold_bytes and size_bytes > self._profile.spill_threshold_bytes:
+            spilled = size_bytes - self._profile.spill_threshold_bytes
+            duration += spilled * self._profile.spill_latency_per_byte_s
+        duration = self._streams.lognormal_around(
+            f"payload:{self._platform}:{label}", duration, self._profile.jitter_sigma
+        )
+        self.transferred_bytes += size_bytes
+        self.transfer_count += 1
+        return duration

@@ -1,0 +1,111 @@
+"""Tests for the literature survey dataset, table builders, and report rendering."""
+
+import pytest
+
+from repro.analysis import literature, report, tables
+from repro.analysis.literature import Category, Expressiveness
+
+
+class TestLiterature:
+    def test_total_of_72_papers(self):
+        assert literature.total_papers() == 72
+        assert len(literature.SURVEYED_PAPERS) == 72
+
+    def test_category_totals_match_table1(self):
+        assert len(literature.papers_by_category(Category.ANALYSIS)) == 14
+        assert len(literature.papers_by_category(Category.OPTIMIZATION)) == 17
+        assert len(literature.papers_by_category(Category.APPLICATION)) == 18
+        assert len(literature.papers_by_category(Category.PROGRAMMING_MODEL)) == 23
+
+    def test_per_category_column_counts_match_table1(self):
+        for category, expected in literature.TABLE1_COUNTS.items():
+            papers = literature.papers_by_category(category)
+            for column in ("Micro", "Webapp", "Multimedia", "Data Proc.", "ML", "Scientific"):
+                observed = sum(1 for paper in papers if column in paper.workload_classes)
+                assert observed == expected[column], (category, column)
+            for column in ("AWS", "Azure", "GCP", "Other"):
+                observed = sum(1 for paper in papers if column in paper.platforms)
+                assert observed == expected[column], (category, column)
+            assert sum(paper.artifact_available for paper in papers) == expected["Artifact"]
+            assert sum(paper.research_platform for paper in papers) == expected["Research"]
+
+    def test_expressiveness_summary_matches_section_6_1(self):
+        summary = literature.expressiveness_summary()
+        assert summary["insufficient_detail"] == 14
+        assert summary["not_representable"] == 2
+        assert summary["not_transcribable"] == 3
+        assert summary["fully_supported"] == 53
+        assert summary["analysed"] == 58
+
+    def test_coverage_fraction_above_ninety_percent(self):
+        assert literature.coverage_fraction() == pytest.approx(53 / 58)
+
+    def test_expressiveness_assignment_counts(self):
+        counts = {}
+        for paper in literature.SURVEYED_PAPERS:
+            counts[paper.expressiveness] = counts.get(paper.expressiveness, 0) + 1
+        assert counts[Expressiveness.SUPPORTED] == 53
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = tables.table1_literature()
+        assert len(rows) == 4
+        assert sum(row["Total"] for row in rows) == 72
+
+    def test_table2_features(self):
+        rows = tables.table2_platform_features()
+        platforms = {row["Platform"] for row in rows}
+        assert platforms == {"AWS", "Azure", "Google Cloud"}
+        azure = next(row for row in rows if row["Platform"] == "Azure")
+        assert azure["Model Flexibility"] == "Dynamic"
+
+    def test_table3_pricing(self):
+        rows = tables.table3_pricing()
+        aws = next(row for row in rows if row["Platform"] == "AWS")
+        assert aws["Compute time [$/GBs]"] == pytest.approx(0.0000167)
+
+    def test_table4_covers_all_benchmarks(self):
+        rows = tables.table4_benchmarks()
+        assert len(rows) == 6
+        genome = next(row for row in rows if row["Benchmark"] == "genome_1000")
+        assert genome["#functions"] == 19
+        assert genome["Parallelism"] == 12
+
+    def test_table4_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            tables.table4_benchmarks(["nope"])
+
+
+class TestReport:
+    def test_format_table_alignment_and_content(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2.5, "b": "longer"}]
+        text = report.format_table(rows, title="Demo")
+        assert "Demo" in text
+        assert "longer" in text
+        assert text.count("\n") >= 3
+
+    def test_format_table_empty(self):
+        assert "(no data)" in report.format_table([], title="Empty")
+
+    def test_format_series(self):
+        series = {"aws": [{"x": 1, "y": 2}], "gcp": [{"x": 1, "y": 3}]}
+        text = report.format_series(series, title="Series")
+        assert "[aws]" in text and "[gcp]" in text
+
+    def test_format_nested(self):
+        nested = {"bench": {"aws": {"runtime": 1.0}, "gcp": {"runtime": 2.0}}}
+        text = report.format_nested(nested)
+        assert "bench" in text and "aws" in text
+
+    def test_comparison_summary_names_fastest_and_slowest(self):
+        figure7 = {
+            "mapreduce": {
+                "aws": {"median_runtime_s": 11.0},
+                "gcp": {"median_runtime_s": 19.0},
+                "azure": {"median_runtime_s": 8.0},
+            }
+        }
+        lines = report.comparison_summary(figure7)
+        assert "fastest=azure" in lines[0]
+        assert "slowest=gcp" in lines[0]

@@ -1,0 +1,85 @@
+"""Tests for the statistics helpers (confidence intervals, CV, speedups)."""
+
+import pytest
+
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    interquartile_range,
+    median_confidence_interval,
+    required_repetitions,
+    speedup,
+    strong_scaling_speedups,
+)
+
+
+class TestMedianConfidenceInterval:
+    def test_interval_contains_median(self):
+        samples = list(range(1, 101))
+        interval = median_confidence_interval(samples)
+        assert interval.lower <= interval.median <= interval.upper
+        assert interval.median == pytest.approx(50.5)
+
+    def test_narrow_sample_gives_narrow_interval(self):
+        samples = [10.0] * 50
+        interval = median_confidence_interval(samples)
+        assert interval.width == 0
+        assert interval.within(0.05)
+
+    def test_wide_spread_gives_wide_interval(self):
+        samples = [1.0, 100.0] * 15
+        interval = median_confidence_interval(samples)
+        assert not interval.within(0.05)
+
+    def test_small_sample_uses_range(self):
+        interval = median_confidence_interval([1.0, 2.0, 3.0])
+        assert interval.lower == 1.0
+        assert interval.upper == 3.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            median_confidence_interval([])
+
+    def test_higher_confidence_widens_interval(self):
+        samples = [float(v) for v in range(1, 61)]
+        narrow = median_confidence_interval(samples, confidence=0.90)
+        wide = median_confidence_interval(samples, confidence=0.99)
+        assert wide.width >= narrow.width
+
+
+class TestRequiredRepetitions:
+    def test_stable_measurements_need_one_batch(self):
+        samples = [10.0 + 0.01 * (i % 3) for i in range(180)]
+        assert required_repetitions(samples, batch_size=30) == 1
+
+    def test_noisy_measurements_need_more_batches(self):
+        samples = []
+        for i in range(180):
+            samples.append(5.0 if i % 2 == 0 else 15.0)
+        assert required_repetitions(samples, batch_size=30) > 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            required_repetitions([])
+
+
+class TestSimpleStatistics:
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([10.0, 10.0, 10.0]) == 0.0
+        assert coefficient_of_variation([5.0, 15.0]) > 0.5
+        assert coefficient_of_variation([1.0]) == 0.0
+
+    def test_interquartile_range(self):
+        q1, q3 = interquartile_range(list(range(1, 101)))
+        assert q1 < q3
+        with pytest.raises(ValueError):
+            interquartile_range([])
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+        assert speedup(10.0, 0.0) == 0.0
+
+    def test_strong_scaling_speedups(self):
+        durations = {5: 100.0, 10: 51.0, 20: 26.0}
+        pairs = strong_scaling_speedups(durations)
+        assert [(a, b) for a, b, _ in pairs] == [(5, 10), (10, 20)]
+        assert pairs[0][2] == pytest.approx(100 / 51)

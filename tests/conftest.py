@@ -1,0 +1,75 @@
+"""Shared fixtures for the SeBS-Flow reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import WorkflowDefinition
+from repro.sim import FunctionSpec, Platform, get_profile
+
+
+@pytest.fixture
+def simple_definition() -> WorkflowDefinition:
+    """A small generate -> map -> aggregate workflow used across test modules."""
+    return WorkflowDefinition.from_dict(
+        {
+            "root": "gen",
+            "states": {
+                "gen": {"type": "task", "func_name": "generate", "next": "map_phase"},
+                "map_phase": {
+                    "type": "map",
+                    "array": "items",
+                    "root": "proc",
+                    "next": "agg",
+                    "states": {"proc": {"type": "task", "func_name": "process"}},
+                },
+                "agg": {"type": "task", "func_name": "aggregate"},
+            },
+        },
+        name="simple",
+    )
+
+
+@pytest.fixture
+def simple_functions() -> dict:
+    """Function specs matching :func:`simple_definition`."""
+
+    def generate(ctx, payload):
+        ctx.compute(0.05)
+        count = int(payload.get("count", 4)) if isinstance(payload, dict) else 4
+        return {"items": list(range(count))}
+
+    def process(ctx, item):
+        ctx.compute(0.1)
+        return int(item) * 2
+
+    def aggregate(ctx, items):
+        ctx.compute(0.02)
+        return {"sum": sum(items), "n": len(items)}
+
+    return {
+        "generate": FunctionSpec("generate", generate, cold_init_s=0.05),
+        "process": FunctionSpec("process", process, cold_init_s=0.05),
+        "aggregate": FunctionSpec("aggregate", aggregate, cold_init_s=0.05),
+    }
+
+
+@pytest.fixture(params=["aws", "gcp", "azure"])
+def cloud_platform(request) -> Platform:
+    """A fresh simulated platform instance for each cloud provider."""
+    return Platform(get_profile(request.param), seed=42)
+
+
+@pytest.fixture
+def aws_platform() -> Platform:
+    return Platform(get_profile("aws"), seed=7)
+
+
+@pytest.fixture
+def azure_platform() -> Platform:
+    return Platform(get_profile("azure"), seed=7)
+
+
+@pytest.fixture
+def gcp_platform() -> Platform:
+    return Platform(get_profile("gcp"), seed=7)

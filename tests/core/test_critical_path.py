@@ -1,0 +1,89 @@
+"""Tests for runtime / critical-path / overhead decomposition of measurements."""
+
+import pytest
+
+from repro.core.critical_path import (
+    FunctionMeasurement,
+    RuntimeBreakdown,
+    WorkflowMeasurement,
+    scaling_profile,
+)
+
+
+def build_measurement() -> WorkflowMeasurement:
+    """Two-phase workflow: one task then two parallel functions."""
+    measurement = WorkflowMeasurement(workflow="wf", platform="aws", invocation_id="i0")
+    measurement.add(FunctionMeasurement("gen", "phase1", start=0.0, end=2.0, container_id="c1"))
+    measurement.add(FunctionMeasurement("map", "phase2", start=3.0, end=6.0, container_id="c2",
+                                        cold_start=True))
+    measurement.add(FunctionMeasurement("map", "phase2", start=3.0, end=5.0, container_id="c3"))
+    return measurement
+
+
+class TestFunctionMeasurement:
+    def test_duration(self):
+        m = FunctionMeasurement("f", "p", start=1.0, end=3.5)
+        assert m.duration == pytest.approx(2.5)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionMeasurement("f", "p", start=2.0, end=1.0)
+
+
+class TestWorkflowMeasurement:
+    def test_runtime_spans_first_start_to_last_end(self):
+        assert build_measurement().runtime == pytest.approx(6.0)
+
+    def test_critical_path_sums_phase_maxima(self):
+        # phase1 max = 2.0, phase2 max = 3.0
+        assert build_measurement().critical_path() == pytest.approx(5.0)
+
+    def test_overhead_is_runtime_minus_critical_path(self):
+        measurement = build_measurement()
+        assert measurement.overhead() == pytest.approx(1.0)
+
+    def test_phase_runtime_uses_earliest_start_latest_end(self):
+        measurement = build_measurement()
+        assert measurement.phase_runtime("phase2") == pytest.approx(3.0)
+        assert measurement.phase_runtime("unknown") == 0.0
+
+    def test_phases_preserve_first_seen_order(self):
+        assert build_measurement().phases() == ["phase1", "phase2"]
+
+    def test_cold_start_fraction(self):
+        assert build_measurement().cold_start_fraction() == pytest.approx(1 / 3)
+
+    def test_warm_detection(self):
+        measurement = build_measurement()
+        assert measurement.has_warm_function()
+        assert not measurement.is_fully_warm()
+
+    def test_empty_measurement_raises_on_runtime(self):
+        with pytest.raises(ValueError):
+            WorkflowMeasurement("wf", "aws", "i0").runtime  # noqa: B018
+
+    def test_normalized_critical_path(self):
+        measurement = build_measurement()
+        assert measurement.normalized_critical_path(0.5) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            measurement.normalized_critical_path(1.5)
+
+
+class TestRuntimeBreakdown:
+    def test_breakdown_fields(self):
+        breakdown = RuntimeBreakdown.from_measurement(build_measurement())
+        assert breakdown.runtime == pytest.approx(6.0)
+        assert breakdown.critical_path == pytest.approx(5.0)
+        assert breakdown.overhead == pytest.approx(1.0)
+        assert 0 < breakdown.cold_start_fraction < 1
+
+
+class TestScalingProfile:
+    def test_profile_counts_active_containers(self):
+        profile = scaling_profile([build_measurement()], resolution=1.0)
+        assert profile[0]["containers"] == 1.0   # only c1 active at t=0
+        by_time = {point["time"]: point["containers"] for point in profile}
+        assert by_time[4.0] == 2.0               # both map containers active at t=4
+
+    def test_profile_empty_for_no_measurements(self):
+        assert scaling_profile([]) == []

@@ -1,0 +1,93 @@
+"""Tests for data-flow anti-pattern detection."""
+
+from repro.core.dataflow import DataFlowAnalyzer, analyse
+from repro.core.wfdnet import ResourceAnnotation, WFDNet
+
+
+def chain_net() -> WFDNet:
+    net = WFDNet()
+    net.add_coordinator_transition("c0")
+    net.add_function_transition("a")
+    net.add_function_transition("b")
+    net.add_function_transition("c")
+    for place in ("p0", "p1", "p2"):
+        net.add_place(place)
+    net.add_arc(net.source, "c0")
+    net.add_arc("c0", "p0")
+    net.add_arc("p0", "a")
+    net.add_arc("a", "p1")
+    net.add_arc("p1", "b")
+    net.add_arc("b", "p2")
+    net.add_arc("p2", "c")
+    net.add_arc("c", net.sink)
+    return net
+
+
+class TestCleanWorkflow:
+    def test_no_findings_for_clean_dataflow(self):
+        net = chain_net()
+        net.add_read("a", "input", ResourceAnnotation.PAYLOAD, 10)
+        net.add_write("a", "x", ResourceAnnotation.OBJECT_STORAGE, 100)
+        net.add_read("b", "x", ResourceAnnotation.OBJECT_STORAGE, 100)
+        net.add_write("b", "y", ResourceAnnotation.TRANSPARENT, 10)
+        net.add_read("c", "y", ResourceAnnotation.TRANSPARENT, 10)
+        net.add_write("c", "out", ResourceAnnotation.OBJECT_STORAGE, 10)
+        report = analyse(net)
+        assert report.ok, report.summary()
+
+    def test_summary_mentions_no_problems(self):
+        net = chain_net()
+        report = analyse(net)
+        assert "no data-flow problems" in report.summary()
+
+
+class TestAntiPatterns:
+    def test_missing_data_detected(self):
+        net = chain_net()
+        net.add_read("c", "never_written", ResourceAnnotation.NOSQL, 10)
+        report = analyse(net)
+        assert any(p.name == "missing-data" for p in report.anti_patterns)
+
+    def test_redundant_data_detected(self):
+        net = chain_net()
+        net.add_write("a", "dead_value", ResourceAnnotation.OBJECT_STORAGE, 10)
+        report = analyse(net)
+        assert any(p.name == "redundant-data" for p in report.anti_patterns)
+
+    def test_lost_data_detected_when_overwritten_before_read(self):
+        net = chain_net()
+        net.add_write("a", "x", ResourceAnnotation.OBJECT_STORAGE, 10)
+        net.add_write("b", "x", ResourceAnnotation.OBJECT_STORAGE, 10)
+        net.add_read("c", "x", ResourceAnnotation.OBJECT_STORAGE, 10)
+        report = analyse(net)
+        assert any(p.name == "lost-data" for p in report.anti_patterns)
+
+    def test_no_lost_data_when_intermediate_reader_exists(self):
+        net = chain_net()
+        net.add_write("a", "x", ResourceAnnotation.OBJECT_STORAGE, 10)
+        net.add_read("b", "x", ResourceAnnotation.OBJECT_STORAGE, 10)
+        net.add_write("b", "x", ResourceAnnotation.OBJECT_STORAGE, 10)
+        net.add_read("c", "x", ResourceAnnotation.OBJECT_STORAGE, 10)
+        report = analyse(net)
+        assert not any(p.name == "lost-data" for p in report.anti_patterns)
+
+    def test_channel_mismatch_reported_as_consistency_issue(self):
+        net = chain_net()
+        net.add_write("a", "x", ResourceAnnotation.NOSQL, 10)
+        net.add_read("b", "x", ResourceAnnotation.PAYLOAD, 10)
+        report = analyse(net)
+        assert any(issue.kind == "channel-mismatch" for issue in report.consistency_issues)
+        assert not report.ok
+
+    def test_structural_problems_propagated(self):
+        net = chain_net()
+        net.add_place("floating")
+        report = DataFlowAnalyzer(net).analyse()
+        assert report.structural_problems
+        assert not report.ok
+
+    def test_summary_lists_findings(self):
+        net = chain_net()
+        net.add_write("a", "dead_value", ResourceAnnotation.OBJECT_STORAGE, 10)
+        text = analyse(net).summary()
+        assert "redundant-data" in text

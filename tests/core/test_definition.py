@@ -1,0 +1,225 @@
+"""Tests for the workflow definition language: parsing, validation, traversal."""
+
+import json
+
+import pytest
+
+from repro.core.definition import WorkflowDefinition
+from repro.core.phases import (
+    DefinitionError,
+    LoopPhase,
+    MapPhase,
+    ParallelPhase,
+    RepeatPhase,
+    SwitchPhase,
+    TaskPhase,
+)
+
+
+def paper_example_document() -> dict:
+    """The workflow of Figure 3 / Listing 4c of the paper."""
+    return {
+        "root": "generate_phase",
+        "states": {
+            "generate_phase": {"type": "task", "func_name": "generate", "next": "map_phase"},
+            "map_phase": {
+                "type": "map",
+                "array": "x",
+                "root": "map",
+                "next": "process_phase",
+                "states": {"map": {"type": "task", "func_name": "map"}},
+            },
+            "process_phase": {"type": "task", "func_name": "process"},
+        },
+    }
+
+
+class TestParsing:
+    def test_paper_example_parses(self):
+        definition = WorkflowDefinition.from_dict(paper_example_document(), name="fig3")
+        assert definition.root == "generate_phase"
+        assert isinstance(definition.phase("map_phase"), MapPhase)
+        assert definition.validate() == []
+
+    def test_roundtrip_through_json(self):
+        definition = WorkflowDefinition.from_dict(paper_example_document(), name="fig3")
+        restored = WorkflowDefinition.from_json(definition.to_json(), name="fig3")
+        assert restored.to_dict() == definition.to_dict()
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(DefinitionError):
+            WorkflowDefinition.from_dict({"states": {}})
+
+    def test_missing_states_rejected(self):
+        with pytest.raises(DefinitionError):
+            WorkflowDefinition.from_dict({"root": "a"})
+
+    def test_unknown_phase_type_rejected(self):
+        document = {"root": "a", "states": {"a": {"type": "mystery"}}}
+        with pytest.raises(DefinitionError):
+            WorkflowDefinition.from_dict(document)
+
+    def test_task_without_func_name_rejected(self):
+        document = {"root": "a", "states": {"a": {"type": "task"}}}
+        with pytest.raises(DefinitionError):
+            WorkflowDefinition.from_dict(document)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(DefinitionError):
+            WorkflowDefinition.from_json("{not json")
+
+    def test_load_and_save(self, tmp_path):
+        definition = WorkflowDefinition.from_dict(paper_example_document(), name="fig3")
+        path = tmp_path / "workflow.json"
+        definition.save(path)
+        loaded = WorkflowDefinition.load(path)
+        assert loaded.name == "workflow"
+        assert loaded.root == definition.root
+        assert json.loads(path.read_text())["root"] == "generate_phase"
+
+    def test_switch_and_parallel_parse(self):
+        document = {
+            "root": "decide",
+            "states": {
+                "decide": {
+                    "type": "switch",
+                    "cases": [{"variable": "x", "operator": ">", "value": 3, "next": "big"}],
+                    "default": "small",
+                },
+                "big": {"type": "task", "func_name": "handle_big"},
+                "small": {
+                    "type": "parallel",
+                    "branches": [
+                        {"name": "b1", "root": "t1",
+                         "states": {"t1": {"type": "task", "func_name": "left"}}},
+                        {"name": "b2", "root": "t2",
+                         "states": {"t2": {"type": "task", "func_name": "right"}}},
+                    ],
+                },
+            },
+        }
+        definition = WorkflowDefinition.from_dict(document)
+        assert isinstance(definition.phase("decide"), SwitchPhase)
+        assert isinstance(definition.phase("small"), ParallelPhase)
+        assert definition.validate() == []
+
+    def test_repeat_and_loop_parse(self):
+        document = {
+            "root": "warmup",
+            "states": {
+                "warmup": {"type": "repeat", "func_name": "step", "count": 3, "next": "iterate"},
+                "iterate": {
+                    "type": "loop",
+                    "array": "items",
+                    "root": "body",
+                    "states": {"body": {"type": "task", "func_name": "body_fn"}},
+                },
+            },
+        }
+        definition = WorkflowDefinition.from_dict(document)
+        assert isinstance(definition.phase("warmup"), RepeatPhase)
+        assert isinstance(definition.phase("iterate"), LoopPhase)
+        assert definition.validate() == []
+
+
+class TestValidation:
+    def test_unknown_next_detected(self):
+        document = {
+            "root": "a",
+            "states": {"a": {"type": "task", "func_name": "f", "next": "missing"}},
+        }
+        definition = WorkflowDefinition.from_dict(document)
+        assert any("missing" in problem for problem in definition.validate())
+
+    def test_unreachable_phase_detected(self):
+        document = {
+            "root": "a",
+            "states": {
+                "a": {"type": "task", "func_name": "f"},
+                "island": {"type": "task", "func_name": "g"},
+            },
+        }
+        definition = WorkflowDefinition.from_dict(document)
+        assert any("unreachable" in problem for problem in definition.validate())
+
+    def test_cycle_detected(self):
+        document = {
+            "root": "a",
+            "states": {
+                "a": {"type": "task", "func_name": "f", "next": "b"},
+                "b": {"type": "task", "func_name": "g", "next": "a"},
+            },
+        }
+        definition = WorkflowDefinition.from_dict(document)
+        assert any("cycle" in problem for problem in definition.validate())
+
+    def test_unknown_function_detected_against_known_set(self):
+        definition = WorkflowDefinition.from_dict(paper_example_document())
+        problems = definition.validate(known_functions=["generate", "map"])
+        assert any("process" in problem for problem in problems)
+
+    def test_map_without_array_detected(self):
+        document = {
+            "root": "m",
+            "states": {
+                "m": {"type": "map", "array": "", "root": "t",
+                      "states": {"t": {"type": "task", "func_name": "f"}}},
+            },
+        }
+        definition = WorkflowDefinition.from_dict(document)
+        assert any("array" in problem for problem in definition.validate())
+
+    def test_switch_case_target_validated(self):
+        document = {
+            "root": "s",
+            "states": {
+                "s": {"type": "switch",
+                      "cases": [{"variable": "x", "operator": "==", "value": 1, "next": "nowhere"}]},
+            },
+        }
+        definition = WorkflowDefinition.from_dict(document)
+        assert any("nowhere" in problem for problem in definition.validate())
+
+    def test_repeat_count_must_be_positive(self):
+        document = {"root": "r", "states": {"r": {"type": "repeat", "func_name": "f", "count": 0}}}
+        definition = WorkflowDefinition.from_dict(document)
+        assert any("repeat" in problem for problem in definition.validate())
+
+
+class TestTraversal:
+    def test_top_level_order_follows_next_pointers(self):
+        definition = WorkflowDefinition.from_dict(paper_example_document())
+        assert [phase.name for phase in definition.top_level_order()] == [
+            "generate_phase", "map_phase", "process_phase",
+        ]
+
+    def test_referenced_functions_unique_and_ordered(self):
+        definition = WorkflowDefinition.from_dict(paper_example_document())
+        assert definition.referenced_functions() == ["generate", "map", "process"]
+
+    def test_all_phases_includes_nested(self):
+        definition = WorkflowDefinition.from_dict(paper_example_document())
+        names = {phase.name for phase in definition.all_phases()}
+        assert "map" in names  # nested task of the map phase
+
+    def test_switch_evaluation(self):
+        case_doc = {
+            "root": "s",
+            "states": {
+                "s": {"type": "switch",
+                      "cases": [{"variable": "success", "operator": "==", "value": 0, "next": "fail"}],
+                      "default": "ok"},
+                "fail": {"type": "task", "func_name": "cleanup"},
+                "ok": {"type": "task", "func_name": "done"},
+            },
+        }
+        definition = WorkflowDefinition.from_dict(case_doc)
+        switch = definition.phase("s")
+        assert switch.select({"success": 0}) == "fail"
+        assert switch.select({"success": 1}) == "ok"
+        assert switch.select({}) == "ok"
+
+    def test_phase_lookup_error(self):
+        definition = WorkflowDefinition.from_dict(paper_example_document())
+        with pytest.raises(DefinitionError):
+            definition.phase("does-not-exist")

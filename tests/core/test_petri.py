@@ -1,0 +1,176 @@
+"""Tests for Petri nets and workflow nets."""
+
+import pytest
+
+from repro.core.petri import Marking, PetriNet, PetriNetError, WorkflowNet, sequence_net
+
+
+class TestMarking:
+    def test_empty_marking_has_no_tokens(self):
+        marking = Marking()
+        assert marking.total() == 0
+        assert marking.tokens("anywhere") == 0
+
+    def test_add_and_remove_tokens(self):
+        marking = Marking().add("p1").add("p1").add("p2")
+        assert marking.tokens("p1") == 2
+        assert marking.tokens("p2") == 1
+        reduced = marking.remove("p1")
+        assert reduced.tokens("p1") == 1
+
+    def test_remove_more_than_present_fails(self):
+        with pytest.raises(PetriNetError):
+            Marking({"p": 1}).remove("p", 2)
+
+    def test_negative_token_count_rejected(self):
+        with pytest.raises(PetriNetError):
+            Marking({"p": -1})
+
+    def test_markings_are_value_objects(self):
+        assert Marking({"a": 1, "b": 0}) == Marking({"a": 1})
+        assert hash(Marking({"a": 1})) == hash(Marking({"a": 1}))
+
+    def test_add_returns_new_marking(self):
+        original = Marking({"p": 1})
+        modified = original.add("p")
+        assert original.tokens("p") == 1
+        assert modified.tokens("p") == 2
+
+
+class TestPetriNet:
+    def build_net(self):
+        net = PetriNet()
+        net.add_place("p1")
+        net.add_place("p2")
+        net.add_transition("t1")
+        net.add_arc("p1", "t1")
+        net.add_arc("t1", "p2")
+        return net
+
+    def test_preset_and_postset(self):
+        net = self.build_net()
+        assert net.preset("t1") == frozenset({"p1"})
+        assert net.postset("t1") == frozenset({"p2"})
+
+    def test_place_preset_postset(self):
+        net = self.build_net()
+        assert net.place_postset("p1") == frozenset({"t1"})
+        assert net.place_preset("p2") == frozenset({"t1"})
+
+    def test_arc_requires_place_and_transition(self):
+        net = self.build_net()
+        with pytest.raises(PetriNetError):
+            net.add_arc("p1", "p2")
+        with pytest.raises(PetriNetError):
+            net.add_arc("t1", "t1")
+
+    def test_name_collision_between_place_and_transition(self):
+        net = PetriNet()
+        net.add_place("x")
+        with pytest.raises(PetriNetError):
+            net.add_transition("x")
+
+    def test_enabled_and_fire(self):
+        net = self.build_net()
+        marking = Marking({"p1": 1})
+        assert net.enabled("t1", marking)
+        after = net.fire("t1", marking)
+        assert after.tokens("p1") == 0
+        assert after.tokens("p2") == 1
+
+    def test_fire_disabled_transition_fails(self):
+        net = self.build_net()
+        with pytest.raises(PetriNetError):
+            net.fire("t1", Marking())
+
+    def test_unknown_transition_rejected(self):
+        net = self.build_net()
+        with pytest.raises(PetriNetError):
+            net.preset("nope")
+
+    def test_reachable_markings_of_sequence(self):
+        net = self.build_net()
+        reachable = net.reachable_markings(Marking({"p1": 1}))
+        assert Marking({"p2": 1}) in reachable
+        assert len(reachable) == 2
+
+    def test_arcs_iteration(self):
+        net = self.build_net()
+        assert set(net.arcs()) == {("p1", "t1"), ("t1", "p2")}
+
+
+class TestWorkflowNet:
+    def test_sequence_net_is_valid_and_sound(self):
+        net = sequence_net(["a", "b", "c"])
+        assert net.is_valid()
+        assert net.is_sound()
+
+    def test_sequence_net_runs_to_completion_in_order(self):
+        net = sequence_net(["a", "b", "c"])
+        assert net.run_to_completion() == ["a", "b", "c"]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(PetriNetError):
+            sequence_net([])
+
+    def test_duplicate_transitions_rejected(self):
+        with pytest.raises(PetriNetError):
+            sequence_net(["a", "a"])
+
+    def test_orphan_node_detected(self):
+        net = sequence_net(["a"])
+        net.add_place("orphan")
+        problems = net.validate_structure()
+        assert any("orphan" in p for p in problems)
+
+    def test_second_source_detected(self):
+        net = sequence_net(["a"])
+        net.add_place("extra_source")
+        net.add_transition("t_extra")
+        net.add_arc("extra_source", "t_extra")
+        net.add_arc("t_extra", net.sink)
+        problems = net.validate_structure()
+        assert any("source" in p for p in problems)
+
+    def test_parallel_split_and_join_is_sound(self):
+        net = WorkflowNet()
+        net.add_transition("split")
+        net.add_transition("join")
+        net.add_transition("left")
+        net.add_transition("right")
+        for place in ("l_in", "l_out", "r_in", "r_out"):
+            net.add_place(place)
+        net.add_arc(net.source, "split")
+        net.add_arc("split", "l_in")
+        net.add_arc("split", "r_in")
+        net.add_arc("l_in", "left")
+        net.add_arc("left", "l_out")
+        net.add_arc("r_in", "right")
+        net.add_arc("right", "r_out")
+        net.add_arc("l_out", "join")
+        net.add_arc("r_out", "join")
+        net.add_arc("join", net.sink)
+        assert net.is_valid()
+        assert net.is_sound()
+        fired = net.run_to_completion()
+        assert fired[0] == "split" and fired[-1] == "join"
+        assert {"left", "right"} <= set(fired)
+
+    def test_unsound_net_detected(self):
+        # A transition that produces two tokens in the sink violates proper completion.
+        net = WorkflowNet()
+        net.add_transition("t")
+        net.add_place("mid")
+        net.add_arc(net.source, "t")
+        net.add_arc("t", net.sink)
+        net.add_arc("t", "mid")
+        net.add_transition("drain")
+        net.add_arc("mid", "drain")
+        net.add_arc("drain", net.sink)
+        assert not net.is_sound()
+
+    def test_initial_and_final_markings(self):
+        net = sequence_net(["a"])
+        assert net.initial_marking().tokens(net.source) == 1
+        assert net.is_final(Marking({net.sink: 1}))
+        assert not net.is_final(Marking({net.sink: 2}))

@@ -1,0 +1,157 @@
+"""Tests for the phase dataclasses of the definition language."""
+
+import pytest
+
+from repro.core.phases import (
+    DefinitionError,
+    MapPhase,
+    ParallelBranch,
+    ParallelPhase,
+    RepeatPhase,
+    SwitchCase,
+    SwitchPhase,
+    TaskPhase,
+    iter_phases_recursive,
+)
+
+
+class TestTaskPhase:
+    def test_referenced_functions(self):
+        task = TaskPhase(name="t", func_name="compute")
+        assert task.referenced_functions() == ["compute"]
+        assert task.children() == []
+
+
+class TestMapPhase:
+    def build(self):
+        return MapPhase(
+            name="m",
+            array="items",
+            root="first",
+            states={
+                "first": TaskPhase(name="first", func_name="f1", next="second"),
+                "second": TaskPhase(name="second", func_name="f2"),
+            },
+        )
+
+    def test_sub_workflow_order(self):
+        phase = self.build()
+        assert [p.name for p in phase.sub_workflow_order()] == ["first", "second"]
+
+    def test_referenced_functions_collects_nested(self):
+        assert self.build().referenced_functions() == ["f1", "f2"]
+
+    def test_cycle_in_sub_workflow_detected(self):
+        phase = MapPhase(
+            name="m",
+            array="items",
+            root="a",
+            states={
+                "a": TaskPhase(name="a", func_name="f", next="b"),
+                "b": TaskPhase(name="b", func_name="g", next="a"),
+            },
+        )
+        with pytest.raises(DefinitionError):
+            phase.sub_workflow_order()
+
+    def test_unknown_root_detected(self):
+        phase = MapPhase(name="m", array="items", root="missing", states={})
+        with pytest.raises(DefinitionError):
+            phase.sub_workflow_order()
+
+
+class TestRepeatPhase:
+    def test_unrolled_chain_links_iterations(self):
+        phase = RepeatPhase(name="r", func_name="step", count=3, next="after")
+        tasks = phase.unrolled()
+        assert len(tasks) == 3
+        assert tasks[0].next == tasks[1].name
+        assert tasks[-1].next == "after"
+        assert all(task.func_name == "step" for task in tasks)
+
+    def test_single_iteration(self):
+        tasks = RepeatPhase(name="r", func_name="step", count=1).unrolled()
+        assert len(tasks) == 1
+        assert tasks[0].next is None
+
+
+class TestSwitchPhase:
+    def test_first_matching_case_wins(self):
+        phase = SwitchPhase(
+            name="s",
+            cases=[
+                SwitchCase(variable="x", operator=">", value=10, next="big"),
+                SwitchCase(variable="x", operator=">", value=1, next="medium"),
+            ],
+            default="small",
+        )
+        assert phase.select({"x": 20}) == "big"
+        assert phase.select({"x": 5}) == "medium"
+        assert phase.select({"x": 0}) == "small"
+
+    def test_missing_variable_falls_through(self):
+        phase = SwitchPhase(
+            name="s",
+            cases=[SwitchCase(variable="x", operator="==", value=1, next="a")],
+            default=None,
+        )
+        assert phase.select({}) is None
+
+    def test_all_comparison_operators(self):
+        for operator, value, payload_value, expected in [
+            ("<", 5, 3, True), ("<=", 5, 5, True), (">", 5, 6, True),
+            (">=", 5, 5, True), ("==", 5, 5, True), ("!=", 5, 4, True),
+            ("<", 5, 7, False), ("==", 5, 4, False),
+        ]:
+            case = SwitchCase(variable="x", operator=operator, value=value, next="t")
+            assert case.evaluate({"x": payload_value}) is expected
+
+    def test_unknown_operator_rejected(self):
+        case = SwitchCase(variable="x", operator="~", value=1, next="t")
+        with pytest.raises(DefinitionError):
+            case.evaluate({"x": 1})
+
+    def test_possible_targets(self):
+        phase = SwitchPhase(
+            name="s",
+            cases=[SwitchCase(variable="x", operator="==", value=1, next="a")],
+            default="b",
+        )
+        assert phase.possible_targets() == ["a", "b"]
+
+
+class TestParallelPhase:
+    def test_branches_and_functions(self):
+        phase = ParallelPhase(
+            name="p",
+            branches=[
+                ParallelBranch(name="b1", root="t1",
+                               states={"t1": TaskPhase(name="t1", func_name="left")}),
+                ParallelBranch(name="b2", root="t2",
+                               states={"t2": TaskPhase(name="t2", func_name="right")}),
+            ],
+        )
+        assert sorted(phase.referenced_functions()) == ["left", "right"]
+        assert len(phase.children()) == 2
+
+    def test_branch_cycle_detected(self):
+        branch = ParallelBranch(
+            name="b",
+            root="a",
+            states={
+                "a": TaskPhase(name="a", func_name="f", next="a"),
+            },
+        )
+        with pytest.raises(DefinitionError):
+            branch.sub_workflow_order()
+
+
+def test_iter_phases_recursive_flattens_nesting():
+    nested = MapPhase(
+        name="outer",
+        array="xs",
+        root="inner",
+        states={"inner": TaskPhase(name="inner", func_name="f")},
+    )
+    flattened = iter_phases_recursive([nested])
+    assert {p.name for p in flattened} == {"outer", "inner"}

@@ -1,0 +1,136 @@
+"""Tests for triggers, the experiment runner, metrics aggregation, and cost reports."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.faas import (
+    Deployment,
+    ExperimentConfig,
+    ExperimentRunner,
+    TriggerConfig,
+    BurstTrigger,
+    WarmTrigger,
+    compare_platforms,
+    run_benchmark,
+    split_warm_cold,
+    summarize,
+)
+from repro.faas.results import load_measurements, result_to_dict, save_result
+from repro.sim import Platform, get_profile
+
+
+class TestTriggers:
+    def test_burst_trigger_runs_all_invocations(self):
+        benchmark = get_benchmark("mapreduce")
+        platform = Platform(get_profile("aws"), seed=1)
+        deployment = Deployment.deploy(benchmark, platform)
+        ids = BurstTrigger(TriggerConfig(burst_size=5)).fire(deployment)
+        assert len(ids) == 5
+        assert len(deployment.invocations) == 5
+
+    def test_burst_invocations_overlap_in_time(self):
+        benchmark = get_benchmark("mapreduce")
+        platform = Platform(get_profile("aws"), seed=1)
+        deployment = Deployment.deploy(benchmark, platform)
+        ids = BurstTrigger(TriggerConfig(burst_size=5)).fire(deployment)
+        measurements = [deployment.measurement(i) for i in ids]
+        starts = [m.start for m in measurements]
+        assert max(starts) - min(starts) < 1.0
+
+    def test_warm_trigger_produces_mostly_warm_invocations(self):
+        benchmark = get_benchmark("mapreduce")
+        platform = Platform(get_profile("aws"), seed=1)
+        deployment = Deployment.deploy(benchmark, platform)
+        measured_ids = WarmTrigger(TriggerConfig(burst_size=5)).fire(deployment)
+        measurements = [deployment.measurement(i) for i in measured_ids]
+        warm = split_warm_cold(measurements)["warm"]
+        assert len(warm) >= len(measurements) // 2
+
+
+class TestExperimentConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(mode="chaotic")
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(burst_size=0)
+
+
+class TestExperimentRunner:
+    def test_run_produces_summary_cost_and_profile(self):
+        result = run_benchmark(get_benchmark("mapreduce"), "aws", burst_size=5, seed=1)
+        assert result.summary is not None
+        assert result.summary.invocations == 5
+        assert result.cost is not None
+        assert result.cost.per_1000_executions.total_usd > 0
+        assert result.scaling_profile
+        assert result.containers_created > 0
+
+    def test_repetitions_accumulate_measurements(self):
+        result = run_benchmark(get_benchmark("mapreduce"), "aws", burst_size=3,
+                               repetitions=2, seed=1)
+        assert len(result.measurements) == 6
+
+    def test_memory_override(self):
+        result = run_benchmark(get_benchmark("mapreduce"), "aws", burst_size=3, seed=1,
+                               memory_mb=2048)
+        assert all(m.memory_mb == 2048 for m in result.measurements)
+
+    def test_compare_platforms_returns_result_per_platform(self):
+        results = compare_platforms(get_benchmark("ml"), platforms=("aws", "azure"),
+                                    burst_size=3, seed=1)
+        assert set(results) == {"aws", "azure"}
+        for result in results.values():
+            assert result.median_runtime > 0
+
+    def test_warm_mode_reduces_cold_start_fraction(self):
+        cold = run_benchmark(get_benchmark("ml"), "aws", burst_size=5, seed=1, mode="burst")
+        warm = run_benchmark(get_benchmark("ml"), "aws", burst_size=5, seed=1, mode="warm")
+        assert warm.cold_start_fraction < cold.cold_start_fraction
+
+    def test_deterministic_given_seed(self):
+        first = run_benchmark(get_benchmark("mapreduce"), "gcp", burst_size=4, seed=9)
+        second = run_benchmark(get_benchmark("mapreduce"), "gcp", burst_size=4, seed=9)
+        assert first.median_runtime == pytest.approx(second.median_runtime)
+        assert first.cold_start_fraction == pytest.approx(second.cold_start_fraction)
+
+    def test_different_seeds_differ(self):
+        first = run_benchmark(get_benchmark("mapreduce"), "gcp", burst_size=4, seed=1)
+        second = run_benchmark(get_benchmark("mapreduce"), "gcp", burst_size=4, seed=2)
+        assert first.median_runtime != pytest.approx(second.median_runtime, rel=1e-6)
+
+
+class TestSummaries:
+    def test_summary_statistics_consistent(self):
+        result = run_benchmark(get_benchmark("mapreduce"), "azure", burst_size=5, seed=3)
+        summary = result.summary
+        assert summary.median_runtime >= summary.median_critical_path
+        assert summary.median_overhead >= 0
+        assert 0 <= summary.cold_start_fraction <= 1
+        row = summary.as_row()
+        assert row["benchmark"] == "mapreduce"
+        assert row["platform"] == "azure"
+
+    def test_summarize_empty_measurements(self):
+        summary = summarize("x", "aws", [])
+        assert summary.median_runtime == 0.0
+        assert summary.invocations == 0
+
+
+class TestResultPersistence:
+    def test_save_and_reload_measurements(self, tmp_path):
+        result = run_benchmark(get_benchmark("mapreduce"), "aws", burst_size=3, seed=1)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        measurements = load_measurements(path)
+        assert len(measurements) == 3
+        assert measurements[0].runtime == pytest.approx(result.measurements[0].runtime)
+
+    def test_result_to_dict_contains_cost_and_summary(self):
+        result = run_benchmark(get_benchmark("mapreduce"), "gcp", burst_size=3, seed=1)
+        document = result_to_dict(result)
+        assert document["benchmark"] == "mapreduce"
+        assert "summary" in document
+        assert "cost_per_1000" in document
+        assert len(document["orchestration"]) == 3

@@ -1,0 +1,100 @@
+"""Tests for the billing models (paper Table 3, Figure 15)."""
+
+import pytest
+
+from repro.sim.billing import (
+    AWS_PRICING,
+    AZURE_PRICING,
+    GCP_PRICING,
+    BillingCalculator,
+    CostBreakdown,
+    FunctionExecutionRecord,
+)
+
+
+class TestPricingConstants:
+    def test_table3_compute_prices(self):
+        assert AWS_PRICING.compute_gbs_usd == pytest.approx(0.0000167)
+        assert GCP_PRICING.compute_gbs_usd == pytest.approx(0.0000025)
+        assert AZURE_PRICING.compute_gbs_usd == pytest.approx(0.000016)
+
+    def test_table3_invocation_prices(self):
+        assert AWS_PRICING.invocations_per_million_usd == pytest.approx(0.20)
+        assert GCP_PRICING.invocations_per_million_usd == pytest.approx(0.40)
+
+    def test_table3_transition_prices(self):
+        assert AWS_PRICING.transitions_per_1000_usd == pytest.approx(0.025)
+        assert GCP_PRICING.transitions_per_1000_usd == pytest.approx(0.01)
+        assert AZURE_PRICING.transitions_per_1000_usd == pytest.approx(0.000355)
+
+    def test_aws_compute_is_most_expensive(self):
+        # The paper notes AWS functions cost 6.7x more than Google Cloud Functions.
+        ratio = AWS_PRICING.compute_gbs_usd / GCP_PRICING.compute_gbs_usd
+        assert ratio == pytest.approx(6.68, rel=0.01)
+
+
+class TestFunctionExecutionRecord:
+    def test_gb_seconds(self):
+        record = FunctionExecutionRecord("f", duration_s=2.0, memory_mb=512)
+        assert record.gb_seconds == pytest.approx(1.0)
+
+
+class TestBillingCalculator:
+    def make_records(self, count=10, duration=1.0, memory=1024):
+        return [
+            FunctionExecutionRecord(f"f{i}", duration_s=duration, memory_mb=memory)
+            for i in range(count)
+        ]
+
+    def test_compute_cost_matches_gbs(self):
+        calc = BillingCalculator(AWS_PRICING)
+        breakdown = calc.execution_cost(self.make_records(count=10, duration=1.0, memory=1024))
+        assert breakdown.compute_usd == pytest.approx(10 * AWS_PRICING.compute_gbs_usd)
+
+    def test_orchestration_cost_per_transition(self):
+        calc = BillingCalculator(AWS_PRICING)
+        breakdown = calc.execution_cost([], state_transitions=2000)
+        assert breakdown.orchestration_usd == pytest.approx(2 * 0.025)
+
+    def test_azure_orchestration_cost_by_duration(self):
+        calc = BillingCalculator(AZURE_PRICING)
+        breakdown = calc.execution_cost([], orchestrator_gb_seconds=10.0)
+        assert breakdown.orchestration_usd == pytest.approx(10 * AZURE_PRICING.orchestration_gbs_usd)
+
+    def test_total_is_sum_of_components(self):
+        calc = BillingCalculator(GCP_PRICING)
+        breakdown = calc.execution_cost(
+            self.make_records(), state_transitions=500, storage_requests=100, nosql_cost_usd=0.01
+        )
+        assert breakdown.total_usd == pytest.approx(
+            breakdown.compute_usd
+            + breakdown.invocations_usd
+            + breakdown.orchestration_usd
+            + breakdown.storage_usd
+            + breakdown.nosql_usd
+        )
+
+    def test_scaled_breakdown(self):
+        breakdown = CostBreakdown(platform="aws", compute_usd=0.001, orchestration_usd=0.002)
+        scaled = breakdown.scaled(1000)
+        assert scaled.compute_usd == pytest.approx(1.0)
+        assert scaled.total_usd == pytest.approx(3.0)
+
+    def test_cost_per_1000_executions(self):
+        calc = BillingCalculator(AWS_PRICING)
+        per_execution = calc.execution_cost(self.make_records(count=1))
+        per_1000 = calc.cost_per_1000_executions(per_execution)
+        assert per_1000.total_usd == pytest.approx(per_execution.total_usd * 1000)
+
+    def test_function_usd_is_compute_plus_invocations(self):
+        calc = BillingCalculator(AWS_PRICING)
+        breakdown = calc.execution_cost(self.make_records())
+        assert breakdown.function_usd == pytest.approx(
+            breakdown.compute_usd + breakdown.invocations_usd
+        )
+
+    def test_row_format(self):
+        breakdown = CostBreakdown(platform="gcp", compute_usd=0.5)
+        row = breakdown.as_row()
+        assert row["platform"] == "gcp"
+        assert row["total"] == pytest.approx(0.5)

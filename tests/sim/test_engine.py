@@ -1,0 +1,168 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import AllOf, AnyOf, Environment, Event, Resource, SimulationError
+
+
+class TestTimeoutsAndClock:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        done = env.timeout(5.0)
+        env.run(until=done)
+        assert env.now == pytest.approx(5.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().timeout(-1.0)
+
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        order = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(3.0, "late"))
+        env.process(proc(1.0, "early"))
+        env.run()
+        assert order == ["early", "late"]
+
+
+class TestProcesses:
+    def test_process_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            return 42
+
+        result = env.run(until=env.process(proc()))
+        assert result == 42
+
+    def test_nested_processes(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2.0)
+            return "child-done"
+
+        def parent():
+            value = yield env.process(child())
+            yield env.timeout(1.0)
+            return value
+
+        assert env.run(until=env.process(parent())) == "child-done"
+        assert env.now == pytest.approx(3.0)
+
+    def test_process_exception_propagates(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=env.process(broken()))
+
+    def test_yielding_non_event_is_an_error(self):
+        env = Environment()
+
+        def bad():
+            yield 5
+
+        with pytest.raises(SimulationError):
+            env.run(until=env.process(bad()))
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+
+class TestCompositeEvents:
+    def test_all_of_waits_for_slowest(self):
+        env = Environment()
+
+        def proc(delay):
+            yield env.timeout(delay)
+            return delay
+
+        barrier = env.all_of([env.process(proc(d)) for d in (1.0, 4.0, 2.0)])
+        values = env.run(until=barrier)
+        assert values == [1.0, 4.0, 2.0]
+        assert env.now == pytest.approx(4.0)
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        assert env.run(until=env.all_of([])) == []
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc(delay):
+            yield env.timeout(delay)
+            return delay
+
+        first = env.any_of([env.process(proc(d)) for d in (3.0, 1.0)])
+        assert env.run(until=first) == 1.0
+        assert env.now == pytest.approx(1.0)
+
+
+class TestEvents:
+    def test_event_cannot_fire_twice(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_event_failure_propagates_to_waiter(self):
+        env = Environment()
+        event = env.event()
+
+        def waiter():
+            yield event
+
+        process = env.process(waiter())
+        event.fail(RuntimeError("bad"))
+        with pytest.raises(RuntimeError):
+            env.run(until=process)
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        concurrency = {"now": 0, "max": 0}
+
+        def worker():
+            yield resource.acquire()
+            concurrency["now"] += 1
+            concurrency["max"] = max(concurrency["max"], concurrency["now"])
+            yield env.timeout(1.0)
+            concurrency["now"] -= 1
+            resource.release()
+
+        barrier = env.all_of([env.process(worker()) for _ in range(6)])
+        env.run(until=barrier)
+        assert concurrency["max"] == 2
+        assert env.now == pytest.approx(3.0)
+
+    def test_release_without_acquire_fails(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=1).release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+    def test_run_without_pending_event_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "mapreduce"])
+        assert args.platform == "aws"
+        assert args.burst_size == 30
+        assert args.mode == "burst"
+
+
+class TestCommands:
+    def test_list_shows_benchmarks_and_platforms(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mapreduce" in out
+        assert "selfish_detour" in out
+        assert "azure" in out
+
+    def test_stats_prints_model_statistics(self, capsys):
+        assert main(["stats", "genome_1000"]) == 0
+        out = capsys.readouterr().out
+        assert "19" in out
+        assert "definition problems: none" in out
+
+    def test_stats_unknown_benchmark_fails(self, capsys):
+        assert main(["stats", "nope"]) == 2
+
+    def test_transcribe_to_stdout(self, capsys):
+        assert main(["transcribe", "ml", "--platform", "aws"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert document["StartAt"] == "gen_phase"
+
+    def test_transcribe_to_file(self, tmp_path, capsys):
+        target = tmp_path / "ml_gcp.json"
+        assert main(["transcribe", "ml", "--platform", "gcp", "--output", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert "main" in document
+
+    def test_run_writes_result_json(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        code = main([
+            "run", "mapreduce", "--platform", "azure", "--burst-size", "3",
+            "--seed", "1", "--output", str(target),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mapreduce on azure" in out
+        document = json.loads(target.read_text())
+        assert document["benchmark"] == "mapreduce"
+        assert len(document["measurements"]) == 3
+
+    def test_compare_prints_fastest_and_slowest(self, capsys):
+        code = main(["compare", "ml", "--burst-size", "3", "--platforms", "aws", "azure"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fastest:" in out and "slowest:" in out
