@@ -1,6 +1,14 @@
-"""Analysis layer: statistics, literature survey, and table/figure builders."""
+"""Analysis layer: statistics, literature survey, and table/figure builders.
 
-from . import figures, literature, report, stats, tables
+The statistics helpers are leaf modules and are imported eagerly; the figure,
+table, report, and literature builders depend on the benchmark and faas layers
+and are loaded lazily (PEP 562) so that lower layers can import the statistics
+without creating an import cycle.
+"""
+
+import importlib
+
+from . import stats
 from .stats import (
     ConfidenceInterval,
     coefficient_of_variation,
@@ -9,6 +17,8 @@ from .stats import (
     required_repetitions,
     speedup,
 )
+
+_LAZY_SUBMODULES = ("figures", "literature", "report", "tables")
 
 __all__ = [
     "ConfidenceInterval",
@@ -23,3 +33,13 @@ __all__ = [
     "stats",
     "tables",
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_SUBMODULES))

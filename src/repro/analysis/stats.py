@@ -56,9 +56,11 @@ def median_confidence_interval(
         return ConfidenceInterval(values[0], values[-1], med, confidence)
     z = _z_score(confidence)
     half = z * math.sqrt(n) / 2.0
-    lower_rank = max(0, int(math.floor(n / 2.0 - half)))
-    upper_rank = min(n - 1, int(math.ceil(n / 2.0 + half)) - 1)
-    return ConfidenceInterval(values[lower_rank], values[upper_rank], med, confidence)
+    # Hoefler & Belli (SC'15): 1-based ranks floor((n - z*sqrt(n)) / 2) and
+    # ceil(1 + (n + z*sqrt(n)) / 2).
+    lower_rank = max(1, int(math.floor(n / 2.0 - half)))
+    upper_rank = min(n, int(math.ceil(n / 2.0 + half)) + 1)
+    return ConfidenceInterval(values[lower_rank - 1], values[upper_rank - 1], med, confidence)
 
 
 def _z_score(confidence: float) -> float:

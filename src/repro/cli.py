@@ -12,6 +12,7 @@ Usage examples::
     repro-flow transcribe mapreduce --platform gcp
     repro-flow run mapreduce --platform aws --burst-size 10 --output result.json
     repro-flow compare ml --burst-size 10
+    repro-flow campaign --benchmarks mapreduce ml --seeds 2 --workers 4
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ from typing import List, Optional, Sequence
 from .analysis import report
 from .benchmarks import benchmark_names, get_benchmark
 from .core.transcription import AWSTranscriber, AzureTranscriber, GCPTranscriber
-from .faas import compare_platforms, run_benchmark
+from .faas import CampaignSpec, compare_platforms, run_benchmark, run_campaign
 from .faas.results import result_to_dict
 from .sim.platforms.profiles import available_platforms
 
@@ -68,8 +69,39 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="run one benchmark on all cloud platforms")
     compare.add_argument("benchmark")
     compare.add_argument("--burst-size", type=int, default=30)
+    compare.add_argument("--repetitions", type=int, default=1)
+    compare.add_argument("--mode", choices=("burst", "warm"), default="burst")
+    compare.add_argument("--era", choices=("2022", "2024"), default="2024")
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--platforms", nargs="+", default=["gcp", "aws", "azure"])
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a benchmarks x platforms x eras x memory x seeds sweep in parallel",
+    )
+    campaign.add_argument("--benchmarks", nargs="+", required=True)
+    campaign.add_argument("--platforms", nargs="+", default=["gcp", "aws", "azure"])
+    campaign.add_argument("--eras", nargs="+", choices=("2022", "2024"), default=["2024"])
+    campaign.add_argument(
+        "--memory-configs", nargs="+", type=int, default=None,
+        help="memory configurations in MB (default: each benchmark's own configuration)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=2, help="number of seed replicates per cell"
+    )
+    campaign.add_argument("--base-seed", type=int, default=0)
+    campaign.add_argument("--burst-size", type=int, default=30)
+    campaign.add_argument("--repetitions", type=int, default=1)
+    campaign.add_argument("--mode", choices=("burst", "warm"), default="burst")
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU; 1 runs serially)",
+    )
+    campaign.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the per-cell result cache (re-runs skip cached cells)",
+    )
+    campaign.add_argument("--output", help="write the aggregated campaign result as JSON")
 
     return parser
 
@@ -144,7 +176,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     benchmark = get_benchmark(args.benchmark)
     results = compare_platforms(
-        benchmark, platforms=args.platforms, burst_size=args.burst_size, seed=args.seed
+        benchmark,
+        platforms=args.platforms,
+        burst_size=args.burst_size,
+        repetitions=args.repetitions,
+        mode=args.mode,
+        era=args.era,
+        seed=args.seed,
     )
     rows = [result.summary.as_row() for result in results.values() if result.summary]
     print(report.format_table(rows, f"{args.benchmark}: platform comparison"))
@@ -153,6 +191,38 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     slowest = max(medians, key=medians.get)
     print(f"fastest: {fastest} ({medians[fastest]:.2f} s), "
           f"slowest: {slowest} ({medians[slowest]:.2f} s)")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    unknown = [name for name in args.benchmarks if name not in benchmark_names("all")]
+    if unknown:
+        raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
+    spec = CampaignSpec(
+        benchmarks=args.benchmarks,
+        platforms=args.platforms,
+        eras=args.eras,
+        memory_configs=args.memory_configs if args.memory_configs else (None,),
+        seeds=range(args.seeds),
+        burst_size=args.burst_size,
+        repetitions=args.repetitions,
+        mode=args.mode,
+        base_seed=args.base_seed,
+    )
+    jobs = spec.expand()
+    print(f"campaign: {len(jobs)} cells "
+          f"({len(spec.benchmarks)} benchmarks x {len(spec.platforms)} platforms x "
+          f"{len(spec.eras)} eras x {len(spec.memory_configs)} memory configs x "
+          f"{len(spec.seeds)} seeds)")
+    campaign = run_campaign(spec, workers=args.workers, cache_dir=args.cache_dir)
+    if args.cache_dir:
+        print(f"cache: {campaign.cache_hits}/{len(jobs)} cells served from {args.cache_dir}")
+    print(report.format_table(campaign.comparison_table(), "campaign: platform comparison"))
+    print(report.format_table(campaign.cost_table(), "campaign: cost per 1000 executions [$]"))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(campaign.to_dict(), handle, indent=2)
+        print(f"aggregated campaign result written to {args.output}")
     return 0
 
 
@@ -169,7 +239,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "compare":
             return _cmd_compare(args)
-    except KeyError as exc:
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+    except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 1  # pragma: no cover - unreachable with required subparsers

@@ -16,6 +16,7 @@ suspension share (Figure 13) and phase-level runtime extraction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -159,22 +160,45 @@ def scaling_profile(
     """Number of distinct containers active over time across a burst of invocations.
 
     Reproduces the scaling profiles of Figure 11: at each sample instant we
-    count containers that have at least one function running.  The time axis is
-    relative to the earliest function start across the burst.
+    count containers that have at least one function running (boundaries
+    inclusive).  The time axis is relative to the earliest function start
+    across the burst; samples never extend past the measurement horizon, whose
+    exact instant is always the last sample.
+
+    Implemented as a single sweep over the sorted start/end events with a
+    per-container active counter, so the cost is O(n log n) in the number of
+    function measurements rather than O(samples x functions).
     """
     all_functions = [m for wf in measurements for m in wf.functions]
     if not all_functions:
         return []
     origin = min(m.start for m in all_functions)
     horizon = max(m.end for m in all_functions) - origin
+    starts = sorted(
+        (m.start - origin, m.container_id) for m in all_functions if m.container_id
+    )
+    ends = sorted(
+        (m.end - origin, m.container_id) for m in all_functions if m.container_id
+    )
+    steps = int(math.ceil(horizon / resolution)) if horizon > 0 else 0
+    active_per_container: Dict[str, int] = {}
+    active = 0
+    start_idx = end_idx = 0
     samples: List[Dict[str, float]] = []
-    steps = int(horizon / resolution) + 1
     for step in range(steps + 1):
-        instant = origin + step * resolution
-        active_containers = {
-            m.container_id
-            for m in all_functions
-            if m.start <= instant <= m.end and m.container_id
-        }
-        samples.append({"time": step * resolution, "containers": float(len(active_containers))})
+        instant = min(step * resolution, horizon)
+        while start_idx < len(starts) and starts[start_idx][0] <= instant:
+            container = starts[start_idx][1]
+            count = active_per_container.get(container, 0)
+            active_per_container[container] = count + 1
+            if count == 0:
+                active += 1
+            start_idx += 1
+        while end_idx < len(ends) and ends[end_idx][0] < instant:
+            container = ends[end_idx][1]
+            active_per_container[container] -= 1
+            if active_per_container[container] == 0:
+                active -= 1
+            end_idx += 1
+        samples.append({"time": instant, "containers": float(active)})
     return samples

@@ -1,12 +1,21 @@
 """Benchmark-suite layer: benchmarks, deployment, triggers, experiments, cost."""
 
 from .benchmark import WorkflowBenchmark
-from .cost import CostReport, compute_cost_report
+from .campaign import (
+    CampaignCell,
+    CampaignJob,
+    CampaignResult,
+    CampaignSpec,
+    derive_job_seed,
+    run_campaign,
+)
+from .cost import CostReport, combine_cost_reports, compute_cost_report
 from .deployment import Deployment, InvocationResult
 from .experiment import (
     ExperimentConfig,
     ExperimentResult,
     ExperimentRunner,
+    RepetitionResult,
     compare_platforms,
     run_benchmark,
 )
@@ -17,29 +26,46 @@ from .metrics import (
     split_warm_cold,
     summarize,
 )
-from .results import load_measurements, measurement_from_dict, measurement_to_dict, save_result
+from .results import (
+    load_measurements,
+    measurement_from_dict,
+    measurement_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
 from .trigger import BurstTrigger, TriggerConfig, WarmTrigger
 
 __all__ = [
     "BenchmarkSummary",
     "BurstTrigger",
+    "CampaignCell",
+    "CampaignJob",
+    "CampaignResult",
+    "CampaignSpec",
     "CostReport",
     "Deployment",
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
     "InvocationResult",
+    "RepetitionResult",
     "TriggerConfig",
     "WarmTrigger",
     "WorkflowBenchmark",
+    "combine_cost_reports",
     "compare_platforms",
     "compute_cost_report",
     "container_scaling_profile",
+    "derive_job_seed",
     "distinct_containers",
     "load_measurements",
     "measurement_from_dict",
     "measurement_to_dict",
+    "result_from_dict",
+    "result_to_dict",
     "run_benchmark",
+    "run_campaign",
     "save_result",
     "split_warm_cold",
     "summarize",

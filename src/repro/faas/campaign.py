@@ -1,0 +1,478 @@
+"""Parallel experiment campaigns: the paper's full evaluation sweep.
+
+The evaluation of the paper is a large cross product -- every benchmark on
+every platform, across eras, memory configurations, and repeated with several
+seeds.  A :class:`CampaignSpec` describes such a sweep declaratively; it is
+expanded into independent :class:`CampaignJob` cells, each of which is one
+:class:`~repro.faas.experiment.ExperimentConfig` executed by the ordinary
+:class:`~repro.faas.experiment.ExperimentRunner`.
+
+Three properties make campaigns practical at scale:
+
+* **parallelism** -- cells are independent, so they are distributed over a
+  ``concurrent.futures.ProcessPoolExecutor`` worker pool (the simulator is
+  CPU-bound pure Python, so processes beat threads);
+* **determinism** -- every cell derives its RNG seed by hashing the campaign's
+  base seed with the cell coordinates (the same scheme
+  :class:`~repro.sim.rng.RandomStreams` uses for named streams), so results
+  are identical regardless of worker count or execution order;
+* **incrementality** -- finished cells are cached on disk as JSON keyed by a
+  fingerprint of the cell's full configuration, so re-running a campaign only
+  computes the missing cells.
+
+The :class:`CampaignResult` aggregator rolls the per-cell
+:class:`~repro.faas.experiment.ExperimentResult` objects into the comparison
+tables and figure inputs of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import statistics
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cost import CostReport, combine_cost_reports
+from .experiment import ExperimentConfig, ExperimentResult
+from .results import result_from_dict, result_to_dict
+
+#: Bump when the cached document layout changes; stale entries are recomputed.
+CACHE_VERSION = 1
+
+#: Sentinel distinguishing "use the spec's first memory config" from an
+#: explicit ``None`` (= the benchmark's own memory configuration).
+_FIRST = object()
+
+
+def derive_job_seed(base_seed: int, *coordinates: object) -> int:
+    """Deterministic per-cell seed from the campaign seed and cell coordinates.
+
+    Mirrors :meth:`repro.sim.rng.RandomStreams.stream`: the coordinates are
+    hashed with SHA-256 so every cell gets an independent, reproducible seed
+    and adding new sweep dimensions never perturbs existing cells.
+    """
+    name = ":".join(str(part) for part in coordinates)
+    digest = hashlib.sha256(f"{int(base_seed)}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**31)
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One cell of a campaign: a fully specified, picklable unit of work."""
+
+    benchmark: str
+    platform: str
+    era: str
+    memory_mb: Optional[int]
+    seed_index: int
+    seed: int
+    burst_size: int
+    repetitions: int
+    mode: str
+
+    @property
+    def cell_key(self) -> Tuple[str, str, str, Optional[int], int]:
+        return (self.benchmark, self.platform, self.era, self.memory_mb, self.seed_index)
+
+    @property
+    def group_key(self) -> Tuple[str, str, str, Optional[int]]:
+        """The aggregation group: every seed replicate of one table cell."""
+        return (self.benchmark, self.platform, self.era, self.memory_mb)
+
+    def experiment_config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            platform=self.platform,
+            era=self.era,
+            seed=self.seed,
+            burst_size=self.burst_size,
+            repetitions=self.repetitions,
+            mode=self.mode,
+            memory_mb=self.memory_mb,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "era": self.era,
+            "memory_mb": self.memory_mb,
+            "seed_index": self.seed_index,
+            "seed": self.seed,
+            "burst_size": self.burst_size,
+            "repetitions": self.repetitions,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "CampaignJob":
+        memory_mb = document.get("memory_mb")
+        return cls(
+            benchmark=str(document["benchmark"]),
+            platform=str(document["platform"]),
+            era=str(document["era"]),
+            memory_mb=int(memory_mb) if memory_mb is not None else None,
+            seed_index=int(document["seed_index"]),
+            seed=int(document["seed"]),
+            burst_size=int(document["burst_size"]),
+            repetitions=int(document["repetitions"]),
+            mode=str(document["mode"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable cache key covering everything that influences the result."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(f"v{CACHE_VERSION}:{canonical}".encode()).hexdigest()
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative sweep: benchmarks x platforms x eras x memory x seeds."""
+
+    benchmarks: Sequence[str]
+    platforms: Sequence[str] = ("gcp", "aws", "azure")
+    eras: Sequence[str] = ("2024",)
+    memory_configs: Sequence[Optional[int]] = (None,)
+    seeds: Sequence[int] = (0, 1)
+    burst_size: int = 30
+    repetitions: int = 1
+    mode: str = "burst"
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.benchmarks = tuple(self.benchmarks)
+        self.platforms = tuple(self.platforms)
+        self.eras = tuple(self.eras)
+        self.memory_configs = tuple(self.memory_configs) or (None,)
+        self.seeds = tuple(self.seeds)
+        if not self.benchmarks:
+            raise ValueError("a campaign needs at least one benchmark")
+        if not self.platforms or not self.eras or not self.seeds:
+            raise ValueError("platforms, eras, and seeds must be non-empty")
+        if self.mode not in ("burst", "warm"):
+            raise ValueError(f"unknown trigger mode {self.mode!r}")
+        if self.burst_size < 1 or self.repetitions < 1:
+            raise ValueError("burst size and repetitions must be positive")
+
+    def expand(self) -> List[CampaignJob]:
+        """The cross product of all sweep dimensions, in deterministic order."""
+        jobs: List[CampaignJob] = []
+        for benchmark in self.benchmarks:
+            for platform in self.platforms:
+                for era in self.eras:
+                    for memory_mb in self.memory_configs:
+                        for seed_index in self.seeds:
+                            seed = derive_job_seed(
+                                self.base_seed, benchmark, platform, era,
+                                memory_mb, seed_index,
+                            )
+                            jobs.append(
+                                CampaignJob(
+                                    benchmark=benchmark,
+                                    platform=platform,
+                                    era=era,
+                                    memory_mb=memory_mb,
+                                    seed_index=seed_index,
+                                    seed=seed,
+                                    burst_size=self.burst_size,
+                                    repetitions=self.repetitions,
+                                    mode=self.mode,
+                                )
+                            )
+        return jobs
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "benchmarks": list(self.benchmarks),
+            "platforms": list(self.platforms),
+            "eras": list(self.eras),
+            "memory_configs": list(self.memory_configs),
+            "seeds": list(self.seeds),
+            "burst_size": self.burst_size,
+            "repetitions": self.repetitions,
+            "mode": self.mode,
+            "base_seed": self.base_seed,
+        }
+
+
+def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: run one cell and return its serialised result.
+
+    Takes and returns plain JSON-compatible dictionaries so the payload both
+    pickles cheaply across the process boundary and doubles as the on-disk
+    cache document.  Imports are local so a fresh worker process only pays for
+    what it uses.
+    """
+    from ..benchmarks import get_benchmark
+    from .experiment import ExperimentRunner
+
+    job = CampaignJob.from_dict(payload)
+    benchmark = get_benchmark(job.benchmark)
+    result = ExperimentRunner(job.experiment_config()).run(benchmark)
+    return result_to_dict(result)
+
+
+@dataclass
+class CampaignCell:
+    """One finished cell: the job, its result, and where the result came from."""
+
+    job: CampaignJob
+    result: ExperimentResult
+    from_cache: bool = False
+
+
+@dataclass
+class CampaignResult:
+    """All finished cells of a campaign plus the paper-style aggregations."""
+
+    spec: CampaignSpec
+    cells: List[CampaignCell] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.from_cache)
+
+    def cell(
+        self,
+        benchmark: str,
+        platform: str,
+        era: Optional[str] = None,
+        memory_mb: object = _FIRST,
+        seed_index: Optional[int] = None,
+    ) -> ExperimentResult:
+        """Look up one cell's result (defaults resolve to the spec's first value)."""
+        era = era if era is not None else self.spec.eras[0]
+        memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
+        seed_index = seed_index if seed_index is not None else self.spec.seeds[0]
+        key = (benchmark, platform, era, memory_mb, seed_index)
+        for cell in self.cells:
+            if cell.job.cell_key == key:
+                return cell.result
+        raise KeyError(f"no campaign cell {key!r}")
+
+    def _groups(self) -> Dict[Tuple[str, str, str, Optional[int]], List[CampaignCell]]:
+        groups: Dict[Tuple[str, str, str, Optional[int]], List[CampaignCell]] = {}
+        for cell in self.cells:
+            groups.setdefault(cell.job.group_key, []).append(cell)
+        for members in groups.values():
+            members.sort(key=lambda cell: cell.job.seed_index)
+        return groups
+
+    def aggregated_medians(self) -> Dict[Tuple[str, str, str, Optional[int]], float]:
+        """Median across seed replicates of each cell's median runtime.
+
+        This is the headline number of the paper's comparison figures; it is
+        also what the determinism tests compare across worker counts.
+        """
+        return {
+            key: statistics.median(c.result.median_runtime for c in members)
+            for key, members in sorted(self._groups().items(), key=lambda kv: str(kv[0]))
+        }
+
+    def comparison_table(self) -> List[Dict[str, object]]:
+        """Figure 7 / Figure 8 style rows: one row per benchmark-platform cell,
+        aggregated over seed replicates."""
+        rows: List[Dict[str, object]] = []
+        for key, members in sorted(self._groups().items(), key=lambda kv: str(kv[0])):
+            benchmark, platform, era, memory_mb = key
+            results = [cell.result for cell in members]
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "platform": platform,
+                    "era": era,
+                    "memory_mb": memory_mb if memory_mb is not None else "default",
+                    "seeds": len(results),
+                    "median_runtime_s": round(
+                        statistics.median(r.median_runtime for r in results), 3
+                    ),
+                    "median_critical_path_s": round(
+                        statistics.median(r.median_critical_path for r in results), 3
+                    ),
+                    "median_overhead_s": round(
+                        statistics.median(r.median_overhead for r in results), 3
+                    ),
+                    "cold_start_fraction": round(
+                        statistics.fmean(r.cold_start_fraction for r in results), 4
+                    ),
+                    "invocations": sum(
+                        r.summary.invocations for r in results if r.summary
+                    ),
+                }
+            )
+        return rows
+
+    def cost_table(self) -> List[Dict[str, object]]:
+        """Figure 15 style rows: per-1000-executions cost, averaged over seeds."""
+        rows: List[Dict[str, object]] = []
+        for key, members in sorted(self._groups().items(), key=lambda kv: str(kv[0])):
+            benchmark, platform, era, memory_mb = key
+            reports = [cell.result.cost for cell in members if cell.result.cost is not None]
+            if not reports:
+                continue
+            combined = combine_cost_reports(reports)
+            row: Dict[str, object] = {
+                "benchmark": benchmark,
+                "platform": platform,
+                "era": era,
+                "memory_mb": memory_mb if memory_mb is not None else "default",
+            }
+            row.update(combined.per_1000_executions.as_row())
+            rows.append(row)
+        return rows
+
+    def scaling_profiles(
+        self, era: Optional[str] = None, memory_mb: object = _FIRST
+    ) -> Dict[str, Dict[str, List[Dict[str, float]]]]:
+        """Figure 11 inputs: ``{benchmark: {platform: profile}}`` (first seed)."""
+        era = era if era is not None else self.spec.eras[0]
+        memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
+        seed_index = self.spec.seeds[0]
+        profiles: Dict[str, Dict[str, List[Dict[str, float]]]] = {}
+        for cell in self.cells:
+            job = cell.job
+            if job.era != era or job.memory_mb != memory_mb or job.seed_index != seed_index:
+                continue
+            profiles.setdefault(job.benchmark, {})[job.platform] = cell.result.scaling_profile
+        return profiles
+
+    def by_benchmark_platform(
+        self, era: Optional[str] = None, memory_mb: object = _FIRST
+    ) -> Dict[str, Dict[str, ExperimentResult]]:
+        """First-seed results as ``{benchmark: {platform: result}}`` -- the shape
+        consumed by :func:`repro.analysis.tables.table5_cold_starts_and_transitions`
+        and the figure builders."""
+        era = era if era is not None else self.spec.eras[0]
+        memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
+        seed_index = self.spec.seeds[0]
+        grouped: Dict[str, Dict[str, ExperimentResult]] = {}
+        for cell in self.cells:
+            job = cell.job
+            if job.era != era or job.memory_mb != memory_mb or job.seed_index != seed_index:
+                continue
+            grouped.setdefault(job.benchmark, {})[job.platform] = cell.result
+        return grouped
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "cells": [
+                {
+                    "job": cell.job.to_dict(),
+                    "fingerprint": cell.job.fingerprint(),
+                    "from_cache": cell.from_cache,
+                    "summary": cell.result.summary.as_row() if cell.result.summary else {},
+                    "cost_per_1000": (
+                        cell.result.cost.per_1000_executions.as_row()
+                        if cell.result.cost is not None
+                        else {}
+                    ),
+                }
+                for cell in self.cells
+            ],
+            "comparison_table": self.comparison_table(),
+            "cost_table": self.cost_table(),
+        }
+
+
+# ---------------------------------------------------------------------- cache
+def _cache_path(cache_dir: Path, job: CampaignJob) -> Path:
+    return cache_dir / f"{job.fingerprint()}.json"
+
+
+def _load_cached(cache_dir: Optional[Path], job: CampaignJob) -> Optional[ExperimentResult]:
+    if cache_dir is None:
+        return None
+    path = _cache_path(cache_dir, job)
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if document.get("version") != CACHE_VERSION:
+        return None
+    if document.get("fingerprint") != job.fingerprint():
+        return None
+    try:
+        return result_from_dict(document["result"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _store_cached(cache_dir: Optional[Path], job: CampaignJob, document: Dict[str, object]) -> None:
+    if cache_dir is None:
+        return
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": CACHE_VERSION,
+        "fingerprint": job.fingerprint(),
+        "job": job.to_dict(),
+        "result": document,
+    }
+    path = _cache_path(cache_dir, job)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+# ------------------------------------------------------------------ execution
+def run_campaign(
+    spec: CampaignSpec,
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[Callable[[CampaignJob, bool], None]] = None,
+) -> CampaignResult:
+    """Execute a campaign, one worker process per CPU by default.
+
+    ``workers=1`` runs the cells serially in-process (useful for debugging and
+    determinism tests); larger values distribute the cells over a
+    ``ProcessPoolExecutor``.  With a ``cache_dir``, previously computed cells
+    are loaded from disk instead of recomputed, and fresh cells are written
+    back.  ``progress`` is called once per finished cell with the job and
+    whether it was served from cache.
+    """
+    jobs = spec.expand()
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+
+    results: Dict[str, Tuple[ExperimentResult, bool]] = {}
+    pending: List[CampaignJob] = []
+    for job in jobs:
+        cached = _load_cached(cache_path, job)
+        if cached is not None:
+            results[job.fingerprint()] = (cached, True)
+            if progress is not None:
+                progress(job, True)
+        else:
+            pending.append(job)
+
+    if pending:
+        if workers is None:
+            workers = min(len(pending), os.cpu_count() or 1)
+
+        def finish(job: CampaignJob, document: Dict[str, object]) -> None:
+            # Cache (and report) every cell as soon as it completes, so an
+            # interrupted campaign keeps the work it already did.
+            _store_cached(cache_path, job, document)
+            results[job.fingerprint()] = (result_from_dict(document), False)
+            if progress is not None:
+                progress(job, False)
+
+        if workers <= 1:
+            for job in pending:
+                finish(job, _execute_job(job.to_dict()))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_job, job.to_dict()): job for job in pending}
+                for future in as_completed(futures):
+                    finish(futures[future], future.result())
+
+    cells = [
+        CampaignCell(job=job, result=results[job.fingerprint()][0],
+                     from_cache=results[job.fingerprint()][1])
+        for job in jobs
+    ]
+    return CampaignResult(spec=spec, cells=cells)

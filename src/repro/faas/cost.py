@@ -72,3 +72,31 @@ def compute_cost_report(
         per_1000_executions=per_execution.scaled(1000.0),
         executions=invocation_count,
     )
+
+
+def combine_cost_reports(reports: Sequence[CostReport]) -> CostReport:
+    """Execution-weighted average of per-repetition cost reports.
+
+    Each repetition of an experiment runs on a fresh platform instance and is
+    billed separately; the experiment-level report averages the per-execution
+    breakdowns weighted by how many executions each repetition contributed, so
+    the per-execution cost is invariant to the repetition count.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("cannot combine an empty sequence of cost reports")
+    first = reports[0]
+    if any(r.platform != first.platform or r.benchmark != first.benchmark for r in reports):
+        raise ValueError("cost reports to combine must share benchmark and platform")
+    total_executions = sum(r.executions for r in reports)
+    summed = CostBreakdown(platform=first.per_execution.platform)
+    for report in reports:
+        summed = summed + report.per_execution.scaled(report.executions)
+    per_execution = summed.scaled(1.0 / max(1, total_executions))
+    return CostReport(
+        benchmark=first.benchmark,
+        platform=first.platform,
+        per_execution=per_execution,
+        per_1000_executions=per_execution.scaled(1000.0),
+        executions=total_executions,
+    )

@@ -21,7 +21,7 @@ from ..sim.orchestration.events import OrchestrationStats
 from ..sim.platforms.base import Platform, PlatformProfile
 from ..sim.platforms.profiles import get_profile
 from .benchmark import WorkflowBenchmark
-from .cost import CostReport, compute_cost_report
+from .cost import CostReport, combine_cost_reports, compute_cost_report
 from .deployment import Deployment
 from .metrics import BenchmarkSummary, container_scaling_profile, summarize
 from .trigger import BurstTrigger, TriggerConfig, WarmTrigger
@@ -44,6 +44,22 @@ class ExperimentConfig:
             raise ValueError(f"unknown trigger mode {self.mode!r}")
         if self.burst_size < 1 or self.repetitions < 1:
             raise ValueError("burst size and repetitions must be positive")
+
+
+@dataclass
+class RepetitionResult:
+    """Everything one repetition (one burst on a fresh platform) produced.
+
+    A repetition is the smallest addressable unit of experiment work: it runs
+    on its own platform instance, so its cost report is computed from exactly
+    the executions, orchestration stats, and storage traffic of that platform.
+    """
+
+    repetition: int
+    measurements: List[WorkflowMeasurement] = field(default_factory=list)
+    orchestration_stats: List[OrchestrationStats] = field(default_factory=list)
+    containers_created: int = 0
+    cost: Optional[CostReport] = None
 
 
 @dataclass
@@ -93,41 +109,61 @@ class ExperimentRunner:
             profile = profile.with_overrides(default_memory_mb=self._config.memory_mb)
         return Platform(profile, seed=self._config.seed + repetition * 977)
 
+    def _effective_benchmark(self, benchmark: WorkflowBenchmark) -> WorkflowBenchmark:
+        if self._config.memory_mb is not None and self._config.memory_mb != benchmark.memory_mb:
+            return _with_memory(benchmark, self._config.memory_mb)
+        return benchmark
+
+    def run_repetition(self, benchmark: WorkflowBenchmark, repetition: int) -> RepetitionResult:
+        """Run one repetition (one burst on a fresh platform) of the experiment.
+
+        The cost report is computed from this repetition's platform and
+        orchestration stats only, so billing is correct regardless of how many
+        repetitions the surrounding experiment runs.
+        """
+        benchmark = self._effective_benchmark(benchmark)
+        trigger_config = TriggerConfig(burst_size=self._config.burst_size)
+        platform = self._make_platform(repetition)
+        deployment = Deployment.deploy(benchmark, platform)
+        if self._config.mode == "warm":
+            trigger = WarmTrigger(trigger_config)
+        else:
+            trigger = BurstTrigger(trigger_config)
+        invocation_ids = trigger.fire(
+            deployment, start_index=repetition * 10 * self._config.burst_size
+        )
+        result = RepetitionResult(repetition=repetition)
+        for invocation_id in invocation_ids:
+            result.measurements.append(deployment.measurement(invocation_id))
+            result.orchestration_stats.append(deployment.stats_for(invocation_id))
+        result.containers_created = platform.container_pool.containers_created()
+        result.cost = compute_cost_report(
+            benchmark.name, platform, result.orchestration_stats
+        )
+        return result
+
     def run(self, benchmark: WorkflowBenchmark) -> ExperimentResult:
         """Execute the configured number of bursts and aggregate the results."""
-        if self._config.memory_mb is not None and self._config.memory_mb != benchmark.memory_mb:
-            benchmark = _with_memory(benchmark, self._config.memory_mb)
+        benchmark = self._effective_benchmark(benchmark)
 
         result = ExperimentResult(
             benchmark=benchmark.name,
             platform=self._config.platform,
             config=self._config,
         )
-        trigger_config = TriggerConfig(burst_size=self._config.burst_size)
-
-        last_platform: Optional[Platform] = None
+        cost_reports: List[CostReport] = []
         for repetition in range(self._config.repetitions):
-            platform = self._make_platform(repetition)
-            deployment = Deployment.deploy(benchmark, platform)
-            if self._config.mode == "warm":
-                trigger = WarmTrigger(trigger_config)
-            else:
-                trigger = BurstTrigger(trigger_config)
-            invocation_ids = trigger.fire(
-                deployment, start_index=repetition * 10 * self._config.burst_size
-            )
-            for invocation_id in invocation_ids:
-                result.measurements.append(deployment.measurement(invocation_id))
-                result.orchestration_stats.append(deployment.stats_for(invocation_id))
-            result.containers_created += platform.container_pool.containers_created()
-            last_platform = platform
+            rep = self.run_repetition(benchmark, repetition)
+            result.measurements.extend(rep.measurements)
+            result.orchestration_stats.extend(rep.orchestration_stats)
+            result.containers_created += rep.containers_created
+            if rep.cost is not None:
+                cost_reports.append(rep.cost)
 
         result.summary = summarize(benchmark.name, self._config.platform, result.measurements)
         result.scaling_profile = container_scaling_profile(result.measurements)
-        if last_platform is not None:
-            result.cost = compute_cost_report(
-                benchmark.name, last_platform, result.orchestration_stats
-            )
+        if cost_reports:
+            result.cost = combine_cost_reports(cost_reports)
         return result
 
 

@@ -12,6 +12,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..analysis.stats import interquartile_range
 from ..core.critical_path import RuntimeBreakdown, WorkflowMeasurement, scaling_profile
 
 
@@ -51,9 +52,7 @@ class BenchmarkSummary:
     def runtime_iqr(self) -> float:
         if len(self.runtimes) < 4:
             return 0.0
-        ordered = sorted(self.runtimes)
-        q1 = ordered[len(ordered) // 4]
-        q3 = ordered[(3 * len(ordered)) // 4]
+        q1, q3 = interquartile_range(self.runtimes)
         return q3 - q1
 
     @property

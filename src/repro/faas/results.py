@@ -14,7 +14,11 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from ..core.critical_path import FunctionMeasurement, WorkflowMeasurement
-from .experiment import ExperimentResult
+from ..sim.billing import CostBreakdown
+from ..sim.orchestration.events import OrchestrationStats
+from .cost import CostReport
+from .experiment import ExperimentConfig, ExperimentResult
+from .metrics import summarize
 
 
 def measurement_to_dict(measurement: WorkflowMeasurement) -> Dict[str, object]:
@@ -81,17 +85,103 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
         document["summary"] = result.summary.as_row()
     if result.cost is not None:
         document["cost_per_1000"] = result.cost.per_1000_executions.as_row()
+        document["cost"] = _cost_to_dict(result.cost)
     document["orchestration"] = [
         {
+            "platform": s.platform,
+            "workflow": s.workflow,
             "invocation_id": s.invocation_id,
             "state_transitions": s.state_transitions,
             "orchestrator_time_s": s.orchestrator_time_s,
             "activity_count": s.activity_count,
+            "started_at": s.started_at,
+            "finished_at": s.finished_at,
             "wall_clock_s": s.wall_clock_s,
         }
         for s in result.orchestration_stats
     ]
     return document
+
+
+def _cost_to_dict(cost: CostReport) -> Dict[str, object]:
+    """Unrounded per-execution cost components (exact round-trip, unlike as_row)."""
+    per = cost.per_execution
+    return {
+        "benchmark": cost.benchmark,
+        "platform": cost.platform,
+        "executions": cost.executions,
+        "per_execution": {
+            "platform": per.platform,
+            "compute_usd": per.compute_usd,
+            "invocations_usd": per.invocations_usd,
+            "orchestration_usd": per.orchestration_usd,
+            "storage_usd": per.storage_usd,
+            "nosql_usd": per.nosql_usd,
+        },
+    }
+
+
+def _cost_from_dict(document: Dict[str, object]) -> CostReport:
+    per_doc = dict(document["per_execution"])  # type: ignore[arg-type]
+    per_execution = CostBreakdown(
+        platform=str(per_doc["platform"]),
+        compute_usd=float(per_doc["compute_usd"]),
+        invocations_usd=float(per_doc["invocations_usd"]),
+        orchestration_usd=float(per_doc["orchestration_usd"]),
+        storage_usd=float(per_doc["storage_usd"]),
+        nosql_usd=float(per_doc["nosql_usd"]),
+    )
+    return CostReport(
+        benchmark=str(document["benchmark"]),
+        platform=str(document["platform"]),
+        per_execution=per_execution,
+        per_1000_executions=per_execution.scaled(1000.0),
+        executions=int(document["executions"]),
+    )
+
+
+def result_from_dict(document: Dict[str, object]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its JSON document.
+
+    The summary is recomputed from the measurements (it is derived data); the
+    cost report is restored from the unrounded ``cost`` entry when present.
+    """
+    config_doc = dict(document["config"])  # type: ignore[arg-type]
+    memory_mb = config_doc.get("memory_mb")
+    config = ExperimentConfig(
+        platform=str(config_doc["platform"]),
+        era=str(config_doc["era"]),
+        seed=int(config_doc["seed"]),
+        burst_size=int(config_doc["burst_size"]),
+        repetitions=int(config_doc["repetitions"]),
+        mode=str(config_doc["mode"]),
+        memory_mb=int(memory_mb) if memory_mb is not None else None,
+    )
+    result = ExperimentResult(
+        benchmark=str(document["benchmark"]),
+        platform=str(document["platform"]),
+        config=config,
+        measurements=[measurement_from_dict(m) for m in document.get("measurements", [])],
+        containers_created=int(document.get("containers_created", 0)),
+        scaling_profile=list(document.get("scaling_profile", [])),
+    )
+    for entry in document.get("orchestration", []):
+        result.orchestration_stats.append(
+            OrchestrationStats(
+                platform=str(entry.get("platform", result.platform)),
+                workflow=str(entry.get("workflow", result.benchmark)),
+                invocation_id=str(entry["invocation_id"]),
+                state_transitions=int(entry["state_transitions"]),
+                orchestrator_time_s=float(entry["orchestrator_time_s"]),
+                activity_count=int(entry["activity_count"]),
+                started_at=float(entry.get("started_at", 0.0)),
+                finished_at=float(entry.get("finished_at", 0.0)),
+            )
+        )
+    result.summary = summarize(result.benchmark, result.platform, result.measurements)
+    if "cost" in document:
+        result.cost = _cost_from_dict(dict(document["cost"]))  # type: ignore[arg-type]
+    return result
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:

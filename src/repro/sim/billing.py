@@ -107,6 +107,21 @@ class CostBreakdown:
         """Function-related cost (the opaque bars of Figure 15)."""
         return self.compute_usd + self.invocations_usd
 
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        if self.platform != other.platform:
+            raise ValueError(
+                f"cannot add cost breakdowns of different platforms "
+                f"({self.platform!r} vs {other.platform!r})"
+            )
+        return CostBreakdown(
+            platform=self.platform,
+            compute_usd=self.compute_usd + other.compute_usd,
+            invocations_usd=self.invocations_usd + other.invocations_usd,
+            orchestration_usd=self.orchestration_usd + other.orchestration_usd,
+            storage_usd=self.storage_usd + other.storage_usd,
+            nosql_usd=self.nosql_usd + other.nosql_usd,
+        )
+
     def scaled(self, factor: float) -> "CostBreakdown":
         return CostBreakdown(
             platform=self.platform,

@@ -19,8 +19,9 @@ the platform profiles parameterise it.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Deque, Dict, Generator, List, Optional, Tuple
 
 from .engine import Environment, Event
 from .rng import RandomStreams
@@ -96,7 +97,7 @@ class ContainerPool:
         self._streams = streams
         self._platform = platform
         self._containers: Dict[str, List[Container]] = {}
-        self._waiters: Dict[str, List[Event]] = {}
+        self._waiters: Dict[str, Deque[Event]] = {}
         self._id_counter = itertools.count()
         self._last_provision_time = -1e9
 
@@ -128,7 +129,7 @@ class ContainerPool:
         """
         key = self.pool_key(function)
         pool = self._containers.setdefault(key, [])
-        waiters = self._waiters.setdefault(key, [])
+        waiters = self._waiters.setdefault(key, deque())
         requested_at = self._env.now
         cap = max(1, self._policy.concurrency_per_container)
 
@@ -188,9 +189,9 @@ class ContainerPool:
         container.last_used_at = self._env.now
         key = container.function if self._policy.per_function_pools else None
         key = key if key is not None else "__app__"
-        waiters = self._waiters.get(key, [])
+        waiters = self._waiters.get(key)
         if waiters:
-            waiters.pop(0).succeed()
+            waiters.popleft().succeed()
 
     # --------------------------------------------------------------- internal
     def _provision(self, key: str, function: str) -> Container:

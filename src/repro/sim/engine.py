@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional
 
 
 class SimulationError(Exception):
@@ -211,17 +212,20 @@ class Environment:
             callback(event)
 
     def run(self, until: Optional[Event] = None, max_events: int = 10_000_000) -> Any:
-        """Run until ``until`` fires (or the queue drains).  Returns its value."""
+        """Run until ``until`` fires (or the queue drains).  Returns its value.
+
+        At most ``max_events`` events are processed before giving up.
+        """
         processed = 0
         while self._queue:
             if until is not None and until.processed:
                 break
-            self.step()
-            processed += 1
-            if processed > max_events:
+            if processed >= max_events:
                 raise SimulationError(
                     f"simulation did not settle within {max_events} events"
                 )
+            self.step()
+            processed += 1
         if until is not None:
             if not until.processed:
                 raise SimulationError("simulation ended before the awaited event fired")
@@ -240,7 +244,7 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self._in_use = 0
-        self._waiters: List[Event] = []
+        self._waiters: Deque[Event] = deque()
 
     @property
     def in_use(self) -> int:
@@ -264,7 +268,7 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError("release without matching acquire")
         if self._waiters:
-            waiter = self._waiters.pop(0)
+            waiter = self._waiters.popleft()
             waiter.succeed()
         else:
             self._in_use -= 1

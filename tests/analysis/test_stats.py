@@ -45,6 +45,32 @@ class TestMedianConfidenceInterval:
         wide = median_confidence_interval(samples, confidence=0.99)
         assert wide.width >= narrow.width
 
+    def test_hoefler_belli_ranks_n100(self):
+        """For n=100 at 95 %, the order-statistic ranks are 40 and 61
+        (floor((n - z sqrt(n))/2) and ceil(1 + (n + z sqrt(n))/2), matching the
+        published binomial table, e.g. Le Boudec)."""
+        samples = [float(v) for v in range(1, 101)]
+        interval = median_confidence_interval(samples, confidence=0.95)
+        assert interval.lower == 40.0
+        assert interval.upper == 61.0
+
+    def test_hoefler_belli_ranks_n50(self):
+        """For n=50 at 95 % the table ranks are 18 and 33."""
+        samples = [float(v) for v in range(1, 51)]
+        interval = median_confidence_interval(samples, confidence=0.95)
+        assert interval.lower == 18.0
+        assert interval.upper == 33.0
+
+    def test_upper_rank_not_anti_conservative(self):
+        """Regression: the upper rank used to be one order statistic too low,
+        making the interval anti-conservative."""
+        samples = [float(v) for v in range(1, 31)]
+        interval = median_confidence_interval(samples, confidence=0.95)
+        # n=30: lower rank floor((30 - 1.96*sqrt(30))/2) = 9,
+        #       upper rank ceil(1 + (30 + 1.96*sqrt(30))/2) = 22.
+        assert interval.lower == 9.0
+        assert interval.upper == 22.0
+
 
 class TestRequiredRepetitions:
     def test_stable_measurements_need_one_batch(self):

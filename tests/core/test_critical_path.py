@@ -87,3 +87,48 @@ class TestScalingProfile:
 
     def test_profile_empty_for_no_measurements(self):
         assert scaling_profile([]) == []
+
+    def test_profile_never_extends_past_the_horizon(self):
+        """Regression: the profile used to emit up to two all-zero samples
+        past the measurement horizon."""
+        profile = scaling_profile([build_measurement()], resolution=1.0)
+        assert profile[-1]["time"] == pytest.approx(6.0)  # horizon = 6.0
+        assert all(point["time"] <= 6.0 for point in profile)
+        assert len(profile) == 7  # 0, 1, ..., 6
+
+    def test_fractional_horizon_gets_a_final_sample_at_the_horizon(self):
+        measurement = WorkflowMeasurement(workflow="wf", platform="aws", invocation_id="i0")
+        measurement.add(FunctionMeasurement("f", "p", start=0.0, end=2.5, container_id="c1"))
+        profile = scaling_profile([measurement], resolution=1.0)
+        assert [point["time"] for point in profile] == pytest.approx([0.0, 1.0, 2.0, 2.5])
+        # The function is still running at its end timestamp (boundary inclusive).
+        assert profile[-1]["containers"] == 1.0
+
+    def test_zero_length_horizon_yields_single_sample(self):
+        measurement = WorkflowMeasurement(workflow="wf", platform="aws", invocation_id="i0")
+        measurement.add(FunctionMeasurement("f", "p", start=1.0, end=1.0, container_id="c1"))
+        profile = scaling_profile([measurement], resolution=1.0)
+        assert len(profile) == 1
+        assert profile[0] == {"time": 0.0, "containers": 1.0}
+
+    def test_sweep_matches_naive_per_instant_scan(self):
+        """The O(n log n) event sweep must agree with the per-instant scan."""
+        measurements = []
+        for i in range(5):
+            m = WorkflowMeasurement(workflow="wf", platform="aws", invocation_id=f"i{i}")
+            m.add(FunctionMeasurement("a", "p1", start=0.3 * i, end=0.3 * i + 2.0,
+                                      container_id=f"c{i}"))
+            m.add(FunctionMeasurement("b", "p2", start=0.3 * i + 2.5, end=0.3 * i + 4.0,
+                                      container_id=f"c{i % 2}"))
+            measurements.append(m)
+        profile = scaling_profile(measurements, resolution=0.5)
+        functions = [f for m in measurements for f in m.functions]
+        origin = min(f.start for f in functions)
+        for point in profile:
+            instant = origin + point["time"]
+            expected = {
+                f.container_id
+                for f in functions
+                if f.start <= instant <= f.end and f.container_id
+            }
+            assert point["containers"] == float(len(expected))

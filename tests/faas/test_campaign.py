@@ -1,0 +1,224 @@
+"""Tests for the parallel experiment campaign subsystem."""
+
+import json
+
+import pytest
+
+from repro.faas import (
+    CampaignSpec,
+    ExperimentConfig,
+    ExperimentRunner,
+    derive_job_seed,
+    result_from_dict,
+    result_to_dict,
+    run_benchmark,
+    run_campaign,
+)
+from repro.benchmarks import get_benchmark
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    params = dict(
+        benchmarks=("mapreduce", "function_chain"),
+        platforms=("gcp", "aws", "azure"),
+        seeds=(0, 1),
+        burst_size=2,
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+class TestCampaignSpec:
+    def test_expansion_covers_the_cross_product(self):
+        spec = small_spec(eras=("2022", "2024"), memory_configs=(None, 512))
+        jobs = spec.expand()
+        assert len(jobs) == 2 * 3 * 2 * 2 * 2
+        assert len({job.cell_key for job in jobs}) == len(jobs)
+
+    def test_expansion_order_is_deterministic(self):
+        first = [job.fingerprint() for job in small_spec().expand()]
+        second = [job.fingerprint() for job in small_spec().expand()]
+        assert first == second
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(benchmarks=())
+        with pytest.raises(ValueError):
+            small_spec(mode="chaotic")
+        with pytest.raises(ValueError):
+            small_spec(burst_size=0)
+
+    def test_jobs_are_picklable_round_trippable(self):
+        import pickle
+
+        for job in small_spec().expand():
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone == job
+            assert clone.experiment_config() == job.experiment_config()
+
+
+class TestSeedDerivation:
+    def test_same_coordinates_same_seed(self):
+        assert derive_job_seed(0, "ml", "aws", "2024", None, 0) == \
+            derive_job_seed(0, "ml", "aws", "2024", None, 0)
+
+    def test_different_coordinates_different_seeds(self):
+        seeds = {
+            derive_job_seed(0, benchmark, platform, "2024", None, index)
+            for benchmark in ("ml", "mapreduce")
+            for platform in ("aws", "gcp", "azure")
+            for index in range(4)
+        }
+        assert len(seeds) == 24
+
+    def test_base_seed_changes_every_cell(self):
+        assert derive_job_seed(0, "ml", "aws", "2024", None, 0) != \
+            derive_job_seed(1, "ml", "aws", "2024", None, 0)
+
+
+class TestCampaignExecution:
+    def test_serial_campaign_produces_all_cells(self):
+        campaign = run_campaign(small_spec(), workers=1)
+        assert len(campaign.cells) == 12
+        assert campaign.cache_hits == 0
+        for cell in campaign.cells:
+            assert cell.result.summary is not None
+            assert cell.result.summary.invocations == 2
+            assert cell.result.cost is not None
+
+    def test_cell_lookup_matches_direct_run(self):
+        spec = small_spec(benchmarks=("mapreduce",), platforms=("aws",), seeds=(0,))
+        campaign = run_campaign(spec, workers=1)
+        job = spec.expand()[0]
+        direct = run_benchmark(
+            get_benchmark("mapreduce"), "aws", burst_size=2, seed=job.seed
+        )
+        assert campaign.cell("mapreduce", "aws").median_runtime == \
+            pytest.approx(direct.median_runtime)
+
+    def test_unknown_cell_lookup_raises(self):
+        campaign = run_campaign(
+            small_spec(benchmarks=("mapreduce",), platforms=("aws",)), workers=1
+        )
+        with pytest.raises(KeyError):
+            campaign.cell("mapreduce", "gcp")
+
+    def test_parallel_equals_serial(self):
+        spec = small_spec()
+        serial = run_campaign(spec, workers=1)
+        pooled = run_campaign(spec, workers=2)
+        assert serial.aggregated_medians() == pooled.aggregated_medians()
+        assert serial.comparison_table() == pooled.comparison_table()
+        assert serial.cost_table() == pooled.cost_table()
+
+    def test_acceptance_sweep_runs_in_parallel(self):
+        """Acceptance: >= 2 benchmarks x 3 platforms x 2 seeds, in parallel."""
+        spec = small_spec()
+        campaign = run_campaign(spec, workers=2)
+        assert len(campaign.cells) == 2 * 3 * 2
+        medians = campaign.aggregated_medians()
+        assert len(medians) == 6
+        assert all(value > 0 for value in medians.values())
+
+
+class TestCampaignCache:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        spec = small_spec(benchmarks=("mapreduce",), platforms=("aws", "gcp"))
+        first = run_campaign(spec, workers=1, cache_dir=tmp_path)
+        assert first.cache_hits == 0
+        second = run_campaign(spec, workers=1, cache_dir=tmp_path)
+        assert second.cache_hits == len(second.cells) == 4
+        assert first.aggregated_medians() == second.aggregated_medians()
+        assert first.cost_table() == second.cost_table()
+
+    def test_changed_spec_misses_the_cache(self, tmp_path):
+        spec = small_spec(benchmarks=("mapreduce",), platforms=("aws",))
+        run_campaign(spec, workers=1, cache_dir=tmp_path)
+        changed = small_spec(benchmarks=("mapreduce",), platforms=("aws",), burst_size=3)
+        rerun = run_campaign(changed, workers=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == 0
+
+    def test_completed_cells_are_cached_even_if_a_later_cell_fails(self, tmp_path):
+        """An interrupted campaign keeps the work it already did."""
+        bad_spec = small_spec(benchmarks=("mapreduce", "does_not_exist"),
+                              platforms=("aws",), seeds=(0,))
+        with pytest.raises(KeyError):
+            run_campaign(bad_spec, workers=1, cache_dir=tmp_path)
+        good_spec = small_spec(benchmarks=("mapreduce",), platforms=("aws",), seeds=(0,))
+        rerun = run_campaign(good_spec, workers=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == 1
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        spec = small_spec(benchmarks=("mapreduce",), platforms=("aws",), seeds=(0,))
+        run_campaign(spec, workers=1, cache_dir=tmp_path)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{ not json")
+        rerun = run_campaign(spec, workers=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == 0
+        assert rerun.cells[0].result.summary is not None
+
+
+class TestCampaignAggregation:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(small_spec(), workers=1)
+
+    def test_comparison_table_has_one_row_per_group(self, campaign):
+        rows = campaign.comparison_table()
+        assert len(rows) == 6
+        for row in rows:
+            assert row["seeds"] == 2
+            assert row["invocations"] == 4
+            assert row["median_runtime_s"] > 0
+
+    def test_cost_table_totals_positive(self, campaign):
+        rows = campaign.cost_table()
+        assert len(rows) == 6
+        assert all(row["total"] > 0 for row in rows)
+
+    def test_by_benchmark_platform_shape(self, campaign):
+        grouped = campaign.by_benchmark_platform()
+        assert set(grouped) == {"mapreduce", "function_chain"}
+        assert set(grouped["mapreduce"]) == {"gcp", "aws", "azure"}
+
+    def test_scaling_profiles_shape(self, campaign):
+        profiles = campaign.scaling_profiles()
+        assert set(profiles) == {"mapreduce", "function_chain"}
+        for per_platform in profiles.values():
+            for profile in per_platform.values():
+                assert profile
+
+    def test_memory_sweep_defaults_to_first_configuration(self):
+        spec = small_spec(benchmarks=("function_chain",), platforms=("aws",),
+                          memory_configs=(512, 1024), seeds=(0,))
+        campaign = run_campaign(spec, workers=1)
+        assert campaign.cell("function_chain", "aws").config.memory_mb == 512
+        assert campaign.cell("function_chain", "aws", memory_mb=1024).config.memory_mb == 1024
+        assert set(campaign.by_benchmark_platform()) == {"function_chain"}
+        assert set(campaign.scaling_profiles()) == {"function_chain"}
+
+    def test_to_dict_is_json_serialisable(self, campaign):
+        document = campaign.to_dict()
+        encoded = json.loads(json.dumps(document))
+        assert len(encoded["cells"]) == 12
+        assert len(encoded["comparison_table"]) == 6
+
+
+class TestResultRoundTrip:
+    def test_result_survives_serialisation(self):
+        result = ExperimentRunner(
+            ExperimentConfig(platform="azure", burst_size=3, repetitions=2, seed=4)
+        ).run(get_benchmark("mapreduce"))
+        document = json.loads(json.dumps(result_to_dict(result)))
+        restored = result_from_dict(document)
+        assert restored.config == result.config
+        assert len(restored.measurements) == len(result.measurements)
+        assert restored.median_runtime == pytest.approx(result.median_runtime)
+        assert restored.cold_start_fraction == pytest.approx(result.cold_start_fraction)
+        assert restored.cost is not None and result.cost is not None
+        assert restored.cost.per_execution.total_usd == \
+            pytest.approx(result.cost.per_execution.total_usd)
+        assert restored.cost.executions == result.cost.executions
+        assert len(restored.orchestration_stats) == len(result.orchestration_stats)
+        assert restored.orchestration_stats[0].state_transitions == \
+            result.orchestration_stats[0].state_transitions

@@ -101,6 +101,80 @@ class TestExperimentRunner:
         assert first.median_runtime != pytest.approx(second.median_runtime, rel=1e-6)
 
 
+class TestCostAccounting:
+    def test_cost_per_execution_invariant_to_repetitions(self):
+        """Regression: billing previously divided a single repetition's platform
+        costs by the invocation count of ALL repetitions, understating the
+        per-execution cost by roughly the repetition count."""
+        single = run_benchmark(get_benchmark("mapreduce"), "aws", burst_size=5,
+                               repetitions=1, seed=7)
+        triple = run_benchmark(get_benchmark("mapreduce"), "aws", burst_size=5,
+                               repetitions=3, seed=7)
+        assert single.cost is not None and triple.cost is not None
+        assert triple.cost.executions == 3 * single.cost.executions
+        assert triple.cost.per_execution.total_usd == pytest.approx(
+            single.cost.per_execution.total_usd, rel=0.05
+        )
+        assert triple.cost.per_execution.compute_usd == pytest.approx(
+            single.cost.per_execution.compute_usd, rel=0.05
+        )
+        assert triple.cost.per_execution.storage_usd == pytest.approx(
+            single.cost.per_execution.storage_usd, rel=0.05
+        )
+
+    def test_cost_invariance_on_durable_platform(self):
+        single = run_benchmark(get_benchmark("ml"), "azure", burst_size=4,
+                               repetitions=1, seed=11)
+        double = run_benchmark(get_benchmark("ml"), "azure", burst_size=4,
+                               repetitions=2, seed=11)
+        assert double.cost.per_execution.total_usd == pytest.approx(
+            single.cost.per_execution.total_usd, rel=0.05
+        )
+
+    def test_run_repetition_is_addressable(self):
+        runner = ExperimentRunner(ExperimentConfig(platform="aws", burst_size=3, seed=5))
+        rep = runner.run_repetition(get_benchmark("mapreduce"), repetition=0)
+        assert len(rep.measurements) == 3
+        assert len(rep.orchestration_stats) == 3
+        assert rep.containers_created > 0
+        assert rep.cost is not None and rep.cost.executions == 3
+
+    def test_repetitions_of_full_run_match_unit_of_work(self):
+        config = ExperimentConfig(platform="gcp", burst_size=3, repetitions=2, seed=5)
+        runner = ExperimentRunner(config)
+        benchmark = get_benchmark("mapreduce")
+        full = runner.run(benchmark)
+        reps = [runner.run_repetition(benchmark, r) for r in range(2)]
+        assert len(full.measurements) == sum(len(r.measurements) for r in reps)
+        assert full.containers_created == sum(r.containers_created for r in reps)
+
+
+class TestRepeatedTriggerModes:
+    def test_burst_mode_with_repetitions(self):
+        result = run_benchmark(get_benchmark("ml"), "aws", burst_size=4,
+                               repetitions=3, mode="burst", seed=2)
+        assert result.summary is not None
+        assert result.summary.invocations == 12
+        # Every repetition deploys a fresh platform, so bursts stay cold.
+        assert result.cold_start_fraction > 0.5
+
+    def test_warm_mode_with_repetitions(self):
+        burst = run_benchmark(get_benchmark("ml"), "aws", burst_size=4,
+                              repetitions=2, mode="burst", seed=2)
+        warm = run_benchmark(get_benchmark("ml"), "aws", burst_size=4,
+                             repetitions=2, mode="warm", seed=2)
+        assert warm.summary is not None
+        assert warm.summary.invocations == 8
+        assert len(warm.measurements) == 8
+        assert warm.cold_start_fraction < burst.cold_start_fraction
+
+    def test_warm_repetitions_have_distinct_invocation_ids(self):
+        result = run_benchmark(get_benchmark("ml"), "aws", burst_size=3,
+                               repetitions=2, mode="warm", seed=2)
+        ids = [m.invocation_id for m in result.measurements]
+        assert len(set(ids)) == len(ids) == 6
+
+
 class TestSummaries:
     def test_summary_statistics_consistent(self):
         result = run_benchmark(get_benchmark("mapreduce"), "azure", burst_size=5, seed=3)

@@ -162,6 +162,29 @@ class TestResource:
         with pytest.raises(SimulationError):
             Resource(Environment(), capacity=0)
 
+    def test_max_events_processes_exactly_the_budget(self):
+        """Regression: ``run`` used to process ``max_events + 1`` events
+        before giving up."""
+        env = Environment()
+        fired = []
+
+        def proc():
+            while True:
+                yield env.timeout(1.0)
+                fired.append(env.now)
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run(max_events=5)
+        # Bootstrap event + 4 timeouts = 5 processed events.
+        assert len(fired) == 4
+
+    def test_max_events_not_raised_when_queue_drains_first(self):
+        env = Environment()
+        done = env.timeout(1.0)
+        env.run(until=done, max_events=10)
+        assert env.now == pytest.approx(1.0)
+
     def test_run_without_pending_event_raises(self):
         env = Environment()
         with pytest.raises(SimulationError):

@@ -18,6 +18,21 @@ class TestParser:
         assert args.burst_size == 30
         assert args.mode == "burst"
 
+    def test_compare_accepts_era_repetitions_and_mode(self):
+        args = build_parser().parse_args([
+            "compare", "ml", "--era", "2022", "--repetitions", "2", "--mode", "warm",
+        ])
+        assert args.era == "2022"
+        assert args.repetitions == 2
+        assert args.mode == "warm"
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign", "--benchmarks", "ml"])
+        assert args.platforms == ["gcp", "aws", "azure"]
+        assert args.seeds == 2
+        assert args.workers is None
+        assert args.cache_dir is None
+
 
 class TestCommands:
     def test_list_shows_benchmarks_and_platforms(self, capsys):
@@ -66,3 +81,49 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "fastest:" in out and "slowest:" in out
+
+    def test_compare_warm_mode_with_repetitions(self, capsys):
+        code = main([
+            "compare", "ml", "--burst-size", "2", "--platforms", "aws",
+            "--repetitions", "2", "--mode", "warm",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "platform comparison" in out
+
+    def test_campaign_runs_sweep_and_writes_output(self, tmp_path, capsys):
+        target = tmp_path / "campaign.json"
+        code = main([
+            "campaign", "--benchmarks", "mapreduce", "function_chain",
+            "--platforms", "aws", "azure", "--seeds", "2",
+            "--burst-size", "2", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"), "--output", str(target),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 8 cells" in out
+        assert "platform comparison" in out
+        assert "cost per 1000 executions" in out
+        document = json.loads(target.read_text())
+        assert len(document["cells"]) == 8
+        assert len(document["comparison_table"]) == 4
+
+        # A re-run with the same spec is served entirely from the cache.
+        code = main([
+            "campaign", "--benchmarks", "mapreduce", "function_chain",
+            "--platforms", "aws", "azure", "--seeds", "2",
+            "--burst-size", "2", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert "cache: 8/8 cells" in capsys.readouterr().out
+
+    def test_campaign_unknown_benchmark_fails(self, capsys):
+        assert main(["campaign", "--benchmarks", "nope"]) == 2
+        assert "error: unknown benchmarks: nope" in capsys.readouterr().err
+
+    def test_campaign_invalid_spec_reports_error(self, capsys):
+        assert main(["campaign", "--benchmarks", "ml", "--seeds", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["campaign", "--benchmarks", "ml", "--burst-size", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
