@@ -13,6 +13,7 @@ from .stats import (
     ConfidenceInterval,
     coefficient_of_variation,
     interquartile_range,
+    percentile,
     median_confidence_interval,
     required_repetitions,
     speedup,
@@ -25,6 +26,7 @@ __all__ = [
     "coefficient_of_variation",
     "figures",
     "interquartile_range",
+    "percentile",
     "literature",
     "median_confidence_interval",
     "report",

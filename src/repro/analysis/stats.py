@@ -111,8 +111,27 @@ def coefficient_of_variation(samples: Sequence[float]) -> float:
     return statistics.stdev(values) / mean
 
 
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile: the smallest value with at least
+    ``fraction`` of the sample at or below it."""
+    if not samples:
+        raise ValueError("empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction out of range: {fraction}")
+    values = sorted(samples)
+    rank = min(len(values), max(1, math.ceil(fraction * len(values))))
+    return values[rank - 1]
+
+
 def interquartile_range(samples: Sequence[float]) -> Tuple[float, float]:
-    """(Q1, Q3) of a sample using the nearest-rank method."""
+    """(Q1, Q3) of a sample using the historical floor-index convention.
+
+    Deliberately NOT expressed via :func:`percentile`: the two agree except
+    when ``len(samples)`` is a multiple of 4, where this convention picks the
+    next-higher order statistic.  Summaries (and their IQRs) are recomputed
+    from measurements whenever a result document is loaded, so changing the
+    convention would silently alter every previously saved result.
+    """
     values = sorted(samples)
     if not values:
         raise ValueError("empty sample")

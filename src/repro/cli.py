@@ -11,8 +11,10 @@ Usage examples::
     repro-flow stats mapreduce
     repro-flow transcribe mapreduce --platform gcp
     repro-flow run mapreduce --platform aws --burst-size 10 --output result.json
+    repro-flow run ml --workload poisson:rate=50,duration=120
     repro-flow compare ml --burst-size 10
     repro-flow campaign --benchmarks mapreduce ml --seeds 2 --workers 4
+    repro-flow campaign --benchmarks ml --workload burst poisson:rate=5,duration=30
 """
 
 from __future__ import annotations
@@ -55,12 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
     transcribe.add_argument("--platform", default="aws", choices=sorted(_TRANSCRIBERS))
     transcribe.add_argument("--output", help="write the document to this file instead of stdout")
 
+    workload_help = (
+        "workload spec, e.g. burst:burst_size=30, warm:settle_s=5, "
+        "poisson:rate=50,duration=120, constant:rate=10,duration=60, "
+        "ramp:start_rate=1,end_rate=20,duration=300, trace:path=arrivals.json "
+        "(overrides --mode/--burst-size)"
+    )
+
     run = subparsers.add_parser("run", help="run one benchmark on one platform")
     run.add_argument("benchmark")
     run.add_argument("--platform", default="aws")
     run.add_argument("--burst-size", type=int, default=30)
     run.add_argument("--repetitions", type=int, default=1)
     run.add_argument("--mode", choices=("burst", "warm"), default="burst")
+    run.add_argument("--workload", default=None, help=workload_help)
     run.add_argument("--era", choices=("2022", "2024"), default="2024")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--memory-mb", type=int, default=None)
@@ -71,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--burst-size", type=int, default=30)
     compare.add_argument("--repetitions", type=int, default=1)
     compare.add_argument("--mode", choices=("burst", "warm"), default="burst")
+    compare.add_argument("--workload", default=None, help=workload_help)
     compare.add_argument("--era", choices=("2022", "2024"), default="2024")
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--platforms", nargs="+", default=["gcp", "aws", "azure"])
@@ -93,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--burst-size", type=int, default=30)
     campaign.add_argument("--repetitions", type=int, default=1)
     campaign.add_argument("--mode", choices=("burst", "warm"), default="burst")
+    campaign.add_argument(
+        "--workload", nargs="+", default=None, dest="workloads",
+        help=f"workload sweep dimension; each entry is a {workload_help}",
+    )
     campaign.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: one per CPU; 1 runs serially)",
@@ -160,9 +175,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         era=args.era,
         memory_mb=args.memory_mb,
+        workload=args.workload,
     )
     summary_row = result.summary.as_row() if result.summary else {}
     print(report.format_table([summary_row], f"{args.benchmark} on {args.platform}"))
+    if result.open_loop is not None:
+        print(report.format_table([result.open_loop.as_row()],
+                                  f"open-loop workload: {result.config.workload_spec.canonical()}"))
     if result.cost is not None:
         print(report.format_table([result.cost.per_1000_executions.as_row()],
                                   "cost per 1000 executions [$]"))
@@ -183,9 +202,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         mode=args.mode,
         era=args.era,
         seed=args.seed,
+        workload=args.workload,
     )
     rows = [result.summary.as_row() for result in results.values() if result.summary]
     print(report.format_table(rows, f"{args.benchmark}: platform comparison"))
+    open_loop_rows = [
+        result.open_loop.as_row() for result in results.values() if result.open_loop
+    ]
+    if open_loop_rows:
+        print(report.format_table(open_loop_rows, "open-loop workload summaries"))
     medians = {platform: result.median_runtime for platform, result in results.items()}
     fastest = min(medians, key=medians.get)
     slowest = max(medians, key=medians.get)
@@ -208,12 +233,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         mode=args.mode,
         base_seed=args.base_seed,
+        workloads=args.workloads or (),
     )
     jobs = spec.expand()
     print(f"campaign: {len(jobs)} cells "
           f"({len(spec.benchmarks)} benchmarks x {len(spec.platforms)} platforms x "
           f"{len(spec.eras)} eras x {len(spec.memory_configs)} memory configs x "
-          f"{len(spec.seeds)} seeds)")
+          f"{len(spec.workloads)} workloads x {len(spec.seeds)} seeds)")
     campaign = run_campaign(spec, workers=args.workers, cache_dir=args.cache_dir)
     if args.cache_dir:
         print(f"cache: {campaign.cache_hits}/{len(jobs)} cells served from {args.cache_dir}")

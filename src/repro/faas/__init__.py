@@ -1,4 +1,4 @@
-"""Benchmark-suite layer: benchmarks, deployment, triggers, experiments, cost."""
+"""Benchmark-suite layer: benchmarks, deployment, workloads, experiments, cost."""
 
 from .benchmark import WorkflowBenchmark
 from .campaign import (
@@ -17,12 +17,16 @@ from .experiment import (
     ExperimentRunner,
     RepetitionResult,
     compare_platforms,
+    derive_platform_seed,
     run_benchmark,
 )
 from .metrics import (
     BenchmarkSummary,
+    OpenLoopSummary,
     container_scaling_profile,
     distinct_containers,
+    open_loop_summary,
+    open_loop_summary_over_repetitions,
     split_warm_cold,
     summarize,
 )
@@ -34,7 +38,16 @@ from .results import (
     result_to_dict,
     save_result,
 )
-from .trigger import BurstTrigger, TriggerConfig, WarmTrigger
+from .trigger import (
+    BurstTrigger,
+    OpenLoopTrigger,
+    TriggerConfig,
+    WarmTrigger,
+    WorkloadExecutor,
+    invocation_id_base,
+    repetition_of_invocation,
+)
+from .workload import WorkloadSpec
 
 __all__ = [
     "BenchmarkSummary",
@@ -49,19 +62,28 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "InvocationResult",
+    "OpenLoopSummary",
+    "OpenLoopTrigger",
     "RepetitionResult",
     "TriggerConfig",
     "WarmTrigger",
     "WorkflowBenchmark",
+    "WorkloadExecutor",
+    "WorkloadSpec",
     "combine_cost_reports",
     "compare_platforms",
     "compute_cost_report",
     "container_scaling_profile",
     "derive_job_seed",
+    "derive_platform_seed",
     "distinct_containers",
+    "invocation_id_base",
     "load_measurements",
     "measurement_from_dict",
     "measurement_to_dict",
+    "open_loop_summary",
+    "open_loop_summary_over_repetitions",
+    "repetition_of_invocation",
     "result_from_dict",
     "result_to_dict",
     "run_benchmark",

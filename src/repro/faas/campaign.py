@@ -1,8 +1,8 @@
 """Parallel experiment campaigns: the paper's full evaluation sweep.
 
 The evaluation of the paper is a large cross product -- every benchmark on
-every platform, across eras, memory configurations, and repeated with several
-seeds.  A :class:`CampaignSpec` describes such a sweep declaratively; it is
+every platform, across eras, memory configurations, arrival-process workloads
+(see :mod:`repro.faas.workload`), and repeated with several seeds.  A :class:`CampaignSpec` describes such a sweep declaratively; it is
 expanded into independent :class:`CampaignJob` cells, each of which is one
 :class:`~repro.faas.experiment.ExperimentConfig` executed by the ordinary
 :class:`~repro.faas.experiment.ExperimentRunner`.
@@ -39,9 +39,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from .cost import CostReport, combine_cost_reports
 from .experiment import ExperimentConfig, ExperimentResult
 from .results import result_from_dict, result_to_dict
+from .workload import WorkloadSpec
 
 #: Bump when the cached document layout changes; stale entries are recomputed.
-CACHE_VERSION = 1
+#: v2: jobs carry a full WorkloadSpec (the workloads sweep dimension) instead
+#: of the burst_size/mode pair, and the fingerprint covers it.
+CACHE_VERSION = 2
 
 #: Sentinel distinguishing "use the spec's first memory config" from an
 #: explicit ``None`` (= the benchmark's own memory configuration).
@@ -70,28 +73,32 @@ class CampaignJob:
     memory_mb: Optional[int]
     seed_index: int
     seed: int
-    burst_size: int
+    workload: WorkloadSpec
     repetitions: int
-    mode: str
 
     @property
-    def cell_key(self) -> Tuple[str, str, str, Optional[int], int]:
-        return (self.benchmark, self.platform, self.era, self.memory_mb, self.seed_index)
+    def cell_key(self) -> Tuple[str, str, str, Optional[int], str, int]:
+        return (
+            self.benchmark, self.platform, self.era, self.memory_mb,
+            self.workload.canonical(), self.seed_index,
+        )
 
     @property
-    def group_key(self) -> Tuple[str, str, str, Optional[int]]:
+    def group_key(self) -> Tuple[str, str, str, Optional[int], str]:
         """The aggregation group: every seed replicate of one table cell."""
-        return (self.benchmark, self.platform, self.era, self.memory_mb)
+        return (
+            self.benchmark, self.platform, self.era, self.memory_mb,
+            self.workload.canonical(),
+        )
 
     def experiment_config(self) -> ExperimentConfig:
         return ExperimentConfig(
             platform=self.platform,
             era=self.era,
             seed=self.seed,
-            burst_size=self.burst_size,
             repetitions=self.repetitions,
-            mode=self.mode,
             memory_mb=self.memory_mb,
+            workload=self.workload,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -102,14 +109,21 @@ class CampaignJob:
             "memory_mb": self.memory_mb,
             "seed_index": self.seed_index,
             "seed": self.seed,
-            "burst_size": self.burst_size,
+            "workload": self.workload.to_dict(),
             "repetitions": self.repetitions,
-            "mode": self.mode,
         }
 
     @classmethod
     def from_dict(cls, document: Dict[str, object]) -> "CampaignJob":
         memory_mb = document.get("memory_mb")
+        workload_doc = document.get("workload")
+        if workload_doc is not None:
+            workload = WorkloadSpec.from_dict(workload_doc)  # type: ignore[arg-type]
+        else:
+            # Legacy (v1) job documents carried a mode/burst_size pair.
+            workload = WorkloadSpec.from_mode(
+                str(document.get("mode", "burst")), int(document.get("burst_size", 30))
+            )
         return cls(
             benchmark=str(document["benchmark"]),
             platform=str(document["platform"]),
@@ -117,9 +131,8 @@ class CampaignJob:
             memory_mb=int(memory_mb) if memory_mb is not None else None,
             seed_index=int(document["seed_index"]),
             seed=int(document["seed"]),
-            burst_size=int(document["burst_size"]),
+            workload=workload,
             repetitions=int(document["repetitions"]),
-            mode=str(document["mode"]),
         )
 
     def fingerprint(self) -> str:
@@ -130,7 +143,14 @@ class CampaignJob:
 
 @dataclass
 class CampaignSpec:
-    """A declarative sweep: benchmarks x platforms x eras x memory x seeds."""
+    """A declarative sweep: benchmarks x platforms x eras x memory x workloads x seeds.
+
+    ``workloads`` is the arrival-process sweep dimension; entries may be
+    :class:`~repro.faas.workload.WorkloadSpec` objects or CLI spec strings
+    (``"poisson:rate=50,duration=120"``).  When left empty, the deprecated
+    ``mode``/``burst_size`` pair is compiled into the single equivalent
+    workload, preserving the pre-workload behaviour.
+    """
 
     benchmarks: Sequence[str]
     platforms: Sequence[str] = ("gcp", "aws", "azure")
@@ -139,8 +159,9 @@ class CampaignSpec:
     seeds: Sequence[int] = (0, 1)
     burst_size: int = 30
     repetitions: int = 1
-    mode: str = "burst"
+    mode: str = "burst"  # deprecated alias; see class docstring
     base_seed: int = 0
+    workloads: Sequence[Union[str, WorkloadSpec]] = ()
 
     def __post_init__(self) -> None:
         self.benchmarks = tuple(self.benchmarks)
@@ -156,6 +177,15 @@ class CampaignSpec:
             raise ValueError(f"unknown trigger mode {self.mode!r}")
         if self.burst_size < 1 or self.repetitions < 1:
             raise ValueError("burst size and repetitions must be positive")
+        if self.workloads:
+            self.workloads = tuple(
+                WorkloadSpec.parse(entry) if isinstance(entry, str) else entry
+                for entry in self.workloads
+            )
+        else:
+            self.workloads = (WorkloadSpec.from_mode(self.mode, self.burst_size),)
+        if len({w.canonical() for w in self.workloads}) != len(self.workloads):
+            raise ValueError("duplicate workloads in the sweep")
 
     def expand(self) -> List[CampaignJob]:
         """The cross product of all sweep dimensions, in deterministic order."""
@@ -164,24 +194,29 @@ class CampaignSpec:
             for platform in self.platforms:
                 for era in self.eras:
                     for memory_mb in self.memory_configs:
-                        for seed_index in self.seeds:
-                            seed = derive_job_seed(
-                                self.base_seed, benchmark, platform, era,
-                                memory_mb, seed_index,
-                            )
-                            jobs.append(
-                                CampaignJob(
-                                    benchmark=benchmark,
-                                    platform=platform,
-                                    era=era,
-                                    memory_mb=memory_mb,
-                                    seed_index=seed_index,
-                                    seed=seed,
-                                    burst_size=self.burst_size,
-                                    repetitions=self.repetitions,
-                                    mode=self.mode,
+                        for workload in self.workloads:
+                            for seed_index in self.seeds:
+                                # The workload is deliberately not part of the
+                                # seed coordinates: different arrival processes
+                                # over the same cell reuse one platform seed
+                                # (exactly as burst/warm always did), so
+                                # workload sweeps are paired comparisons.
+                                seed = derive_job_seed(
+                                    self.base_seed, benchmark, platform, era,
+                                    memory_mb, seed_index,
                                 )
-                            )
+                                jobs.append(
+                                    CampaignJob(
+                                        benchmark=benchmark,
+                                        platform=platform,
+                                        era=era,
+                                        memory_mb=memory_mb,
+                                        seed_index=seed_index,
+                                        seed=seed,
+                                        workload=workload,
+                                        repetitions=self.repetitions,
+                                    )
+                                )
         return jobs
 
     def to_dict(self) -> Dict[str, object]:
@@ -195,6 +230,7 @@ class CampaignSpec:
             "repetitions": self.repetitions,
             "mode": self.mode,
             "base_seed": self.base_seed,
+            "workloads": [w.to_dict() for w in self.workloads],
         }
 
 
@@ -242,26 +278,30 @@ class CampaignResult:
         era: Optional[str] = None,
         memory_mb: object = _FIRST,
         seed_index: Optional[int] = None,
+        workload: Optional[Union[str, WorkloadSpec]] = None,
     ) -> ExperimentResult:
         """Look up one cell's result (defaults resolve to the spec's first value)."""
         era = era if era is not None else self.spec.eras[0]
         memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
         seed_index = seed_index if seed_index is not None else self.spec.seeds[0]
-        key = (benchmark, platform, era, memory_mb, seed_index)
+        workload = workload if workload is not None else self.spec.workloads[0]
+        if isinstance(workload, str):
+            workload = WorkloadSpec.parse(workload)
+        key = (benchmark, platform, era, memory_mb, workload.canonical(), seed_index)
         for cell in self.cells:
             if cell.job.cell_key == key:
                 return cell.result
         raise KeyError(f"no campaign cell {key!r}")
 
-    def _groups(self) -> Dict[Tuple[str, str, str, Optional[int]], List[CampaignCell]]:
-        groups: Dict[Tuple[str, str, str, Optional[int]], List[CampaignCell]] = {}
+    def _groups(self) -> Dict[Tuple[str, str, str, Optional[int], str], List[CampaignCell]]:
+        groups: Dict[Tuple[str, str, str, Optional[int], str], List[CampaignCell]] = {}
         for cell in self.cells:
             groups.setdefault(cell.job.group_key, []).append(cell)
         for members in groups.values():
             members.sort(key=lambda cell: cell.job.seed_index)
         return groups
 
-    def aggregated_medians(self) -> Dict[Tuple[str, str, str, Optional[int]], float]:
+    def aggregated_medians(self) -> Dict[Tuple[str, str, str, Optional[int], str], float]:
         """Median across seed replicates of each cell's median runtime.
 
         This is the headline number of the paper's comparison figures; it is
@@ -277,7 +317,7 @@ class CampaignResult:
         aggregated over seed replicates."""
         rows: List[Dict[str, object]] = []
         for key, members in sorted(self._groups().items(), key=lambda kv: str(kv[0])):
-            benchmark, platform, era, memory_mb = key
+            benchmark, platform, era, memory_mb, workload = key
             results = [cell.result for cell in members]
             rows.append(
                 {
@@ -285,6 +325,7 @@ class CampaignResult:
                     "platform": platform,
                     "era": era,
                     "memory_mb": memory_mb if memory_mb is not None else "default",
+                    "workload": workload,
                     "seeds": len(results),
                     "median_runtime_s": round(
                         statistics.median(r.median_runtime for r in results), 3
@@ -309,7 +350,7 @@ class CampaignResult:
         """Figure 15 style rows: per-1000-executions cost, averaged over seeds."""
         rows: List[Dict[str, object]] = []
         for key, members in sorted(self._groups().items(), key=lambda kv: str(kv[0])):
-            benchmark, platform, era, memory_mb = key
+            benchmark, platform, era, memory_mb, workload = key
             reports = [cell.result.cost for cell in members if cell.result.cost is not None]
             if not reports:
                 continue
@@ -319,6 +360,7 @@ class CampaignResult:
                 "platform": platform,
                 "era": era,
                 "memory_mb": memory_mb if memory_mb is not None else "default",
+                "workload": workload,
             }
             row.update(combined.per_1000_executions.as_row())
             rows.append(row)
@@ -331,10 +373,13 @@ class CampaignResult:
         era = era if era is not None else self.spec.eras[0]
         memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
         seed_index = self.spec.seeds[0]
+        workload = self.spec.workloads[0].canonical()
         profiles: Dict[str, Dict[str, List[Dict[str, float]]]] = {}
         for cell in self.cells:
             job = cell.job
             if job.era != era or job.memory_mb != memory_mb or job.seed_index != seed_index:
+                continue
+            if job.workload.canonical() != workload:
                 continue
             profiles.setdefault(job.benchmark, {})[job.platform] = cell.result.scaling_profile
         return profiles
@@ -348,10 +393,13 @@ class CampaignResult:
         era = era if era is not None else self.spec.eras[0]
         memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
         seed_index = self.spec.seeds[0]
+        workload = self.spec.workloads[0].canonical()
         grouped: Dict[str, Dict[str, ExperimentResult]] = {}
         for cell in self.cells:
             job = cell.job
             if job.era != era or job.memory_mb != memory_mb or job.seed_index != seed_index:
+                continue
+            if job.workload.canonical() != workload:
                 continue
             grouped.setdefault(job.benchmark, {})[job.platform] = cell.result
         return grouped
@@ -365,6 +413,11 @@ class CampaignResult:
                     "fingerprint": cell.job.fingerprint(),
                     "from_cache": cell.from_cache,
                     "summary": cell.result.summary.as_row() if cell.result.summary else {},
+                    "open_loop": (
+                        cell.result.open_loop.as_row()
+                        if cell.result.open_loop is not None
+                        else {}
+                    ),
                     "cost_per_1000": (
                         cell.result.cost.per_1000_executions.as_row()
                         if cell.result.cost is not None

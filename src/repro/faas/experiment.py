@@ -1,9 +1,11 @@
 """Experiment runner: the paper's measurement methodology (Section 7.1).
 
-An experiment deploys a benchmark to a platform, fires bursts of concurrent
-invocations (optionally after priming warm containers), collects per-function
-measurements from the metrics store, and produces the summary statistics, cost
-report, and scaling profile the evaluation figures are built from.
+An experiment deploys a benchmark to a platform, executes a workload against
+it (the paper's bursts, optionally after priming warm containers, or any
+open-loop arrival process from :mod:`repro.faas.workload`), collects
+per-function measurements from the metrics store, and produces the summary
+statistics, cost report, and scaling profile the evaluation figures are built
+from.
 
 The repetition policy follows the paper: the number of required repetitions is
 determined from non-parametric confidence intervals on the median (the paper
@@ -13,8 +15,9 @@ executes every benchmark 180 times = 6 bursts of 30).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.critical_path import WorkflowMeasurement
 from ..sim.orchestration.events import OrchestrationStats
@@ -23,32 +26,79 @@ from ..sim.platforms.profiles import get_profile
 from .benchmark import WorkflowBenchmark
 from .cost import CostReport, combine_cost_reports, compute_cost_report
 from .deployment import Deployment
-from .metrics import BenchmarkSummary, container_scaling_profile, summarize
-from .trigger import BurstTrigger, TriggerConfig, WarmTrigger
+from .metrics import (
+    BenchmarkSummary,
+    OpenLoopSummary,
+    container_scaling_profile,
+    open_loop_summary_over_repetitions,
+    summarize,
+)
+from .trigger import WorkloadExecutor
+from .workload import WorkloadSpec
+
+
+def derive_platform_seed(seed: int, repetition: int) -> int:
+    """Platform seed for one repetition of an experiment.
+
+    Repetition 0 keeps the raw experiment seed, so single-repetition results
+    are bit-identical with historical runs.  Later repetitions derive an
+    independent seed with the same SHA-256 scheme as
+    :func:`repro.faas.campaign.derive_job_seed` and
+    :meth:`repro.sim.rng.RandomStreams.stream`.  The previous affine scheme
+    (``seed + repetition * 977``) collided across (seed, repetition) pairs --
+    e.g. seed 977/repetition 0 and seed 0/repetition 1 simulated the exact
+    same platform.
+    """
+    if repetition == 0:
+        return int(seed)
+    digest = hashlib.sha256(f"{int(seed)}:repetition:{int(repetition)}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**31)
 
 
 @dataclass
 class ExperimentConfig:
-    """How a benchmark experiment is executed."""
+    """How a benchmark experiment is executed.
+
+    The workload is the source of truth for *what* is invoked; ``mode`` and
+    ``burst_size`` are deprecated aliases kept for backwards compatibility --
+    when no ``workload`` is given they are compiled into the equivalent
+    :class:`~repro.faas.workload.WorkloadSpec`, and they are back-filled from
+    the workload otherwise so old readers keep working.
+    """
 
     platform: str = "aws"
     era: str = "2024"
     seed: int = 0
     burst_size: int = 30
     repetitions: int = 1
-    mode: str = "burst"  # "burst" or "warm"
+    mode: str = "burst"  # deprecated alias; see class docstring
     memory_mb: Optional[int] = None
+    workload: Optional[Union[str, WorkloadSpec]] = None
 
     def __post_init__(self) -> None:
-        if self.mode not in ("burst", "warm"):
-            raise ValueError(f"unknown trigger mode {self.mode!r}")
-        if self.burst_size < 1 or self.repetitions < 1:
-            raise ValueError("burst size and repetitions must be positive")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be positive")
+        if self.workload is None:
+            if self.mode not in ("burst", "warm"):
+                raise ValueError(f"unknown trigger mode {self.mode!r}")
+            if self.burst_size < 1:
+                raise ValueError("burst size and repetitions must be positive")
+            self.workload = WorkloadSpec.from_mode(self.mode, self.burst_size)
+        else:
+            if isinstance(self.workload, str):
+                self.workload = WorkloadSpec.parse(self.workload)
+            self.mode = self.workload.kind
+            self.burst_size = self.workload.burst_size
+
+    @property
+    def workload_spec(self) -> WorkloadSpec:
+        assert isinstance(self.workload, WorkloadSpec)  # normalised in __post_init__
+        return self.workload
 
 
 @dataclass
 class RepetitionResult:
-    """Everything one repetition (one burst on a fresh platform) produced.
+    """Everything one repetition (one workload run on a fresh platform) produced.
 
     A repetition is the smallest addressable unit of experiment work: it runs
     on its own platform instance, so its cost report is computed from exactly
@@ -72,6 +122,7 @@ class ExperimentResult:
     measurements: List[WorkflowMeasurement] = field(default_factory=list)
     orchestration_stats: List[OrchestrationStats] = field(default_factory=list)
     summary: Optional[BenchmarkSummary] = None
+    open_loop: Optional[OpenLoopSummary] = None
     cost: Optional[CostReport] = None
     scaling_profile: List[Dict[str, float]] = field(default_factory=list)
     containers_created: int = 0
@@ -107,7 +158,7 @@ class ExperimentRunner:
         profile = get_profile(self._config.platform, era=self._config.era)
         if self._config.memory_mb is not None:
             profile = profile.with_overrides(default_memory_mb=self._config.memory_mb)
-        return Platform(profile, seed=self._config.seed + repetition * 977)
+        return Platform(profile, seed=derive_platform_seed(self._config.seed, repetition))
 
     def _effective_benchmark(self, benchmark: WorkflowBenchmark) -> WorkflowBenchmark:
         if self._config.memory_mb is not None and self._config.memory_mb != benchmark.memory_mb:
@@ -115,26 +166,26 @@ class ExperimentRunner:
         return benchmark
 
     def run_repetition(self, benchmark: WorkflowBenchmark, repetition: int) -> RepetitionResult:
-        """Run one repetition (one burst on a fresh platform) of the experiment.
+        """Run one repetition (one workload run on a fresh platform).
 
         The cost report is computed from this repetition's platform and
         orchestration stats only, so billing is correct regardless of how many
         repetitions the surrounding experiment runs.
         """
         benchmark = self._effective_benchmark(benchmark)
-        trigger_config = TriggerConfig(burst_size=self._config.burst_size)
         platform = self._make_platform(repetition)
         deployment = Deployment.deploy(benchmark, platform)
-        if self._config.mode == "warm":
-            trigger = WarmTrigger(trigger_config)
-        else:
-            trigger = BurstTrigger(trigger_config)
-        invocation_ids = trigger.fire(
-            deployment, start_index=repetition * 10 * self._config.burst_size
-        )
+        executor = WorkloadExecutor(self._config.workload_spec)
+        invocation_ids = executor.execute(deployment, repetition=repetition)
         result = RepetitionResult(repetition=repetition)
         for invocation_id in invocation_ids:
-            result.measurements.append(deployment.measurement(invocation_id))
+            measurement = deployment.measurement(invocation_id)
+            if invocation_id in executor.arrivals:
+                # Client-observed arrival: the platform only timestamps a
+                # function once its container was acquired, so queue wait
+                # under sustained load is invisible without this anchor.
+                measurement.metadata["arrival_s"] = executor.arrivals[invocation_id]
+            result.measurements.append(measurement)
             result.orchestration_stats.append(deployment.stats_for(invocation_id))
         result.containers_created = platform.container_pool.containers_created()
         result.cost = compute_cost_report(
@@ -143,7 +194,7 @@ class ExperimentRunner:
         return result
 
     def run(self, benchmark: WorkflowBenchmark) -> ExperimentResult:
-        """Execute the configured number of bursts and aggregate the results."""
+        """Execute the configured number of workload runs and aggregate them."""
         benchmark = self._effective_benchmark(benchmark)
 
         result = ExperimentResult(
@@ -152,8 +203,10 @@ class ExperimentRunner:
             config=self._config,
         )
         cost_reports: List[CostReport] = []
+        repetition_groups: List[List[WorkflowMeasurement]] = []
         for repetition in range(self._config.repetitions):
             rep = self.run_repetition(benchmark, repetition)
+            repetition_groups.append(rep.measurements)
             result.measurements.extend(rep.measurements)
             result.orchestration_stats.extend(rep.orchestration_stats)
             result.containers_created += rep.containers_created
@@ -162,6 +215,14 @@ class ExperimentRunner:
 
         result.summary = summarize(benchmark.name, self._config.platform, result.measurements)
         result.scaling_profile = container_scaling_profile(result.measurements)
+        workload = self._config.workload_spec
+        if workload.is_open_loop:
+            result.open_loop = open_loop_summary_over_repetitions(
+                benchmark.name,
+                self._config.platform,
+                repetition_groups,
+                duration_per_repetition_s=workload.duration_s,
+            )
         if cost_reports:
             result.cost = combine_cost_reports(cost_reports)
         return result
@@ -176,8 +237,14 @@ def run_benchmark(
     seed: int = 0,
     era: str = "2024",
     memory_mb: Optional[int] = None,
+    workload: Optional[Union[str, WorkloadSpec]] = None,
 ) -> ExperimentResult:
-    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    """One-call convenience wrapper around :class:`ExperimentRunner`.
+
+    ``workload`` accepts a :class:`~repro.faas.workload.WorkloadSpec` or a CLI
+    spec string (``"poisson:rate=50,duration=120"``) and takes precedence over
+    the deprecated ``mode``/``burst_size`` pair.
+    """
     config = ExperimentConfig(
         platform=platform,
         era=era,
@@ -186,6 +253,7 @@ def run_benchmark(
         repetitions=repetitions,
         mode=mode,
         memory_mb=memory_mb,
+        workload=workload,
     )
     return ExperimentRunner(config).run(benchmark)
 
@@ -198,6 +266,7 @@ def compare_platforms(
     mode: str = "burst",
     seed: int = 0,
     era: str = "2024",
+    workload: Optional[Union[str, WorkloadSpec]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run the same benchmark on several platforms (the paper's main comparison)."""
     return {
@@ -209,6 +278,7 @@ def compare_platforms(
             mode=mode,
             seed=seed,
             era=era,
+            workload=workload,
         )
         for platform in platforms
     }

@@ -4,6 +4,12 @@ Raw measurements (per-function timestamps) are turned into the quantities used
 throughout the evaluation: end-to-end runtime, critical path and overhead
 (Figures 7, 8, 12, 16), cold-start fraction (Table 5), container scaling
 profiles (Figure 11), and warm/cold subsets.
+
+For open-loop workloads (poisson / constant / ramp / trace arrival processes,
+see :mod:`repro.faas.workload`) the burst metrics are complemented -- never
+replaced -- by :class:`OpenLoopSummary`: sustained throughput, tail latency
+(p50/p95/p99), latency-over-time windows, and queueing/cold-start behaviour
+under load.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.stats import interquartile_range
+from ..analysis.stats import interquartile_range, percentile
 from ..core.critical_path import RuntimeBreakdown, WorkflowMeasurement, scaling_profile
 
 
@@ -110,6 +116,178 @@ def container_scaling_profile(
 ) -> List[Dict[str, float]]:
     """Containers active over time across a burst (Figure 11)."""
     return scaling_profile(measurements, resolution=resolution)
+
+
+@dataclass
+class OpenLoopSummary:
+    """Sustained-load statistics of one open-loop workload run.
+
+    ``windows`` holds latency-over-time buckets: for each ``window_s``-wide
+    slice of the run, the arrivals that started in it, their p50/p95/p99
+    end-to-end latency, and their cold-start fraction -- the inputs for
+    latency-over-time and warm-up plots under sustained traffic.
+    """
+
+    benchmark: str
+    platform: str
+    duration_s: float = 0.0
+    window_s: float = 10.0
+    invocations: int = 0
+    throughput_per_s: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
+    mean_concurrency: float = 0.0
+    max_concurrency: int = 0
+    cold_start_fraction: float = 0.0
+    windows: List[Dict[str, float]] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "duration_s": round(self.duration_s, 3),
+            "invocations": self.invocations,
+            "throughput_per_s": round(self.throughput_per_s, 4),
+            "latency_p50_s": round(self.latency_p50_s, 3),
+            "latency_p95_s": round(self.latency_p95_s, 3),
+            "latency_p99_s": round(self.latency_p99_s, 3),
+            "mean_concurrency": round(self.mean_concurrency, 3),
+            "max_concurrency": self.max_concurrency,
+            "cold_start_fraction": round(self.cold_start_fraction, 4),
+        }
+
+
+def _arrival(measurement: WorkflowMeasurement) -> float:
+    """Client-observed arrival time of an invocation.
+
+    Open-loop executors stash the scheduled arrival in the measurement
+    metadata; the platform's own timestamps only begin once a container was
+    acquired, so without this anchor queue wait is invisible.  Falls back to
+    the first function start for measurements without one.
+    """
+    value = measurement.metadata.get("arrival_s")
+    return float(value) if value is not None else measurement.start  # type: ignore[arg-type]
+
+
+def _latency(measurement: WorkflowMeasurement) -> float:
+    """Client-observed latency: arrival to last completion (includes queueing)."""
+    return measurement.end - _arrival(measurement)
+
+
+def open_loop_summary(
+    benchmark: str,
+    platform: str,
+    measurements: Sequence[WorkflowMeasurement],
+    duration_s: Optional[float] = None,
+    window_s: float = 10.0,
+) -> OpenLoopSummary:
+    """Build an :class:`OpenLoopSummary` from one run's raw measurements.
+
+    ``duration_s`` defaults to the observed span from the first arrival to the
+    last completion; passing the workload's nominal duration instead keeps
+    throughput comparable across runs whose tails differ.
+    """
+    return open_loop_summary_over_repetitions(
+        benchmark, platform, [measurements],
+        duration_per_repetition_s=duration_s, window_s=window_s,
+    )
+
+
+def open_loop_summary_over_repetitions(
+    benchmark: str,
+    platform: str,
+    repetition_groups: Sequence[Sequence[WorkflowMeasurement]],
+    duration_per_repetition_s: Optional[float] = None,
+    window_s: float = 10.0,
+) -> OpenLoopSummary:
+    """Aggregate an open-loop workload over independent repetitions.
+
+    Every repetition runs on a fresh platform whose simulation clock restarts
+    at zero, so the groups must not be pooled into one concurrency sweep --
+    that would count replicate runs as overlapping traffic.  Latencies are
+    pooled (they are exchangeable across replicates); concurrency is swept per
+    repetition (max of maxima, busy time over observed time); the
+    latency-over-time windows overlay the repetitions on a common axis
+    relative to each repetition's first arrival.
+    """
+    if window_s <= 0:
+        raise ValueError("window width must be positive")
+    groups = [
+        [m for m in group if m.functions] for group in repetition_groups
+    ]
+    groups = [group for group in groups if group]
+    summary = OpenLoopSummary(benchmark=benchmark, platform=platform, window_s=window_s)
+    if not groups:
+        summary.duration_s = float(duration_per_repetition_s or 0.0)
+        return summary
+
+    populated = [m for group in groups for m in group]
+    observed = sum(
+        max(m.end for m in group) - min(_arrival(m) for m in group)
+        for group in groups
+    )
+    if duration_per_repetition_s:
+        summary.duration_s = float(duration_per_repetition_s) * len(groups)
+    else:
+        summary.duration_s = observed
+    summary.invocations = len(populated)
+    if summary.duration_s > 0:
+        summary.throughput_per_s = len(populated) / summary.duration_s
+
+    latencies = [_latency(m) for m in populated]
+    summary.latency_p50_s = percentile(latencies, 0.50)
+    summary.latency_p95_s = percentile(latencies, 0.95)
+    summary.latency_p99_s = percentile(latencies, 0.99)
+
+    total_functions = sum(len(m.functions) for m in populated)
+    cold_functions = sum(
+        1 for m in populated for f in m.functions if f.cold_start
+    )
+    if total_functions:
+        summary.cold_start_fraction = cold_functions / total_functions
+
+    # Concurrency (queueing behaviour): sweep each repetition independently
+    # over the in-flight [arrival, end] intervals, so invocations queued for a
+    # container count as outstanding load.
+    for group in groups:
+        boundaries = sorted(
+            [(_arrival(m), 1) for m in group] + [(m.end, -1) for m in group],
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        active = 0
+        for _, delta in boundaries:
+            active += delta
+            summary.max_concurrency = max(summary.max_concurrency, active)
+    in_flight_time = sum(latencies)
+    if observed > 0:
+        summary.mean_concurrency = in_flight_time / observed
+
+    # Latency-over-time windows, bucketed by each invocation's arrival offset
+    # within its own repetition (so replicates overlay, not concatenate).
+    buckets: Dict[int, List[WorkflowMeasurement]] = {}
+    for group in groups:
+        group_start = min(_arrival(m) for m in group)
+        for m in group:
+            buckets.setdefault(int((_arrival(m) - group_start) // window_s), []).append(m)
+    for index in sorted(buckets):
+        members = buckets[index]
+        window_latencies = [_latency(m) for m in members]
+        window_functions = sum(len(m.functions) for m in members)
+        window_cold = sum(1 for m in members for f in m.functions if f.cold_start)
+        summary.windows.append(
+            {
+                "window_start_s": round(index * window_s, 3),
+                "invocations": len(members),
+                "latency_p50_s": round(percentile(window_latencies, 0.50), 3),
+                "latency_p95_s": round(percentile(window_latencies, 0.95), 3),
+                "latency_p99_s": round(percentile(window_latencies, 0.99), 3),
+                "cold_start_fraction": round(
+                    window_cold / window_functions if window_functions else 0.0, 4
+                ),
+            }
+        )
+    return summary
 
 
 def distinct_containers(measurements: Sequence[WorkflowMeasurement]) -> int:

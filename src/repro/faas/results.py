@@ -18,28 +18,33 @@ from ..sim.billing import CostBreakdown
 from ..sim.orchestration.events import OrchestrationStats
 from .cost import CostReport
 from .experiment import ExperimentConfig, ExperimentResult
-from .metrics import summarize
+from .metrics import open_loop_summary_over_repetitions, summarize
+from .trigger import repetition_of_invocation
+from .workload import WorkloadSpec
 
 
 def measurement_to_dict(measurement: WorkflowMeasurement) -> Dict[str, object]:
-    return {
+    document: Dict[str, object] = {
         "workflow": measurement.workflow,
         "platform": measurement.platform,
         "invocation_id": measurement.invocation_id,
         "memory_mb": measurement.memory_mb,
-        "functions": [
-            {
-                "function": f.function,
-                "phase": f.phase,
-                "start": f.start,
-                "end": f.end,
-                "request_id": f.request_id,
-                "container_id": f.container_id,
-                "cold_start": f.cold_start,
-            }
-            for f in measurement.functions
-        ],
     }
+    if measurement.metadata:
+        document["metadata"] = dict(measurement.metadata)
+    document["functions"] = [
+        {
+            "function": f.function,
+            "phase": f.phase,
+            "start": f.start,
+            "end": f.end,
+            "request_id": f.request_id,
+            "container_id": f.container_id,
+            "cold_start": f.cold_start,
+        }
+        for f in measurement.functions
+    ]
+    return document
 
 
 def measurement_from_dict(document: Dict[str, object]) -> WorkflowMeasurement:
@@ -48,6 +53,7 @@ def measurement_from_dict(document: Dict[str, object]) -> WorkflowMeasurement:
         platform=str(document["platform"]),
         invocation_id=str(document["invocation_id"]),
         memory_mb=int(document.get("memory_mb", 0)),
+        metadata=dict(document.get("metadata", {})),  # type: ignore[arg-type]
     )
     for entry in document.get("functions", []):
         measurement.add(
@@ -76,6 +82,7 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
             "repetitions": result.config.repetitions,
             "mode": result.config.mode,
             "memory_mb": result.config.memory_mb,
+            "workload": result.config.workload_spec.to_dict(),
         },
         "measurements": [measurement_to_dict(m) for m in result.measurements],
         "containers_created": result.containers_created,
@@ -83,6 +90,8 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
     }
     if result.summary is not None:
         document["summary"] = result.summary.as_row()
+    if result.open_loop is not None:
+        document["open_loop"] = result.open_loop.as_row()
     if result.cost is not None:
         document["cost_per_1000"] = result.cost.per_1000_executions.as_row()
         document["cost"] = _cost_to_dict(result.cost)
@@ -148,14 +157,22 @@ def result_from_dict(document: Dict[str, object]) -> ExperimentResult:
     """
     config_doc = dict(document["config"])  # type: ignore[arg-type]
     memory_mb = config_doc.get("memory_mb")
+    workload_doc = config_doc.get("workload")
+    if workload_doc is not None:
+        workload = WorkloadSpec.from_dict(workload_doc)  # type: ignore[arg-type]
+    else:
+        # Legacy documents predate the workload subsystem: reconstruct the
+        # equivalent spec from the deprecated mode/burst_size pair.
+        workload = WorkloadSpec.from_mode(
+            str(config_doc.get("mode", "burst")), int(config_doc.get("burst_size", 30))
+        )
     config = ExperimentConfig(
         platform=str(config_doc["platform"]),
         era=str(config_doc["era"]),
         seed=int(config_doc["seed"]),
-        burst_size=int(config_doc["burst_size"]),
         repetitions=int(config_doc["repetitions"]),
-        mode=str(config_doc["mode"]),
         memory_mb=int(memory_mb) if memory_mb is not None else None,
+        workload=workload,
     )
     result = ExperimentResult(
         benchmark=str(document["benchmark"]),
@@ -179,6 +196,21 @@ def result_from_dict(document: Dict[str, object]) -> ExperimentResult:
             )
         )
     result.summary = summarize(result.benchmark, result.platform, result.measurements)
+    if config.workload_spec.is_open_loop:
+        # Recover the per-repetition grouping from the invocation-id
+        # namespaces; replicate runs must not be swept as overlapping traffic.
+        groups: Dict[int, List[WorkflowMeasurement]] = {}
+        for measurement in result.measurements:
+            repetition = repetition_of_invocation(
+                measurement.invocation_id, measurement.workflow
+            )
+            groups.setdefault(repetition, []).append(measurement)
+        result.open_loop = open_loop_summary_over_repetitions(
+            result.benchmark,
+            result.platform,
+            [groups[key] for key in sorted(groups)],
+            duration_per_repetition_s=config.workload_spec.duration_s,
+        )
     if "cost" in document:
         result.cost = _cost_from_dict(dict(document["cost"]))  # type: ignore[arg-type]
     return result

@@ -1,19 +1,59 @@
-"""Invocation triggers: burst and warm execution modes.
+"""Workload execution: turning a :class:`WorkloadSpec` into invocations.
 
 The paper invokes application benchmarks in *burst mode* -- 30 executions
 triggered at once -- because most serverless applications see bursty load
 (Section 7.1).  The warm mode first runs a priming burst so that subsequent
 invocations find warm containers (used for Figure 12 and the warm
-microbenchmarks).
+microbenchmarks).  Both remain available as :class:`BurstTrigger` and
+:class:`WarmTrigger`; the :class:`WorkloadExecutor` generalises them to the
+open-loop arrival processes of :mod:`repro.faas.workload` (poisson, constant
+rate, ramps, trace replay), where arrivals are scheduled on the simulation
+clock independently of earlier invocations finishing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional
 
 from ..sim.platforms.base import Platform
 from .deployment import Deployment, InvocationResult
+from .workload import WorkloadSpec
+
+
+def invocation_id_base(benchmark_name: str, repetition: int) -> str:
+    """Namespace for one repetition's invocation ids.
+
+    Repetition 0 keeps the bare benchmark name so its ids (``name-0`` ...)
+    are bit-identical with historical single-repetition runs; later
+    repetitions get an ``-r<repetition>`` namespace, which cannot collide
+    with the plain ``name-<int>`` ids of repetition 0 or with any other
+    repetition (the previous scheme reserved ``10 * burst_size`` indices per
+    repetition and silently collided beyond that).
+    """
+    if repetition == 0:
+        return benchmark_name
+    return f"{benchmark_name}-r{repetition}"
+
+
+#: Spacing between the invocation-*index* ranges of consecutive repetitions,
+#: so every repetition draws distinct benchmark input payloads
+#: (``make_input(index)``).  Far above MAX_ARRIVALS, so ranges cannot overlap.
+INVOCATION_INDEX_STRIDE = 1_000_000
+
+
+def repetition_of_invocation(invocation_id: str, benchmark_name: str) -> int:
+    """Inverse of :func:`invocation_id_base`: which repetition issued this id.
+
+    Used when only serialised measurements are available (e.g. rebuilding
+    per-repetition open-loop summaries from a result document).
+    """
+    prefix = f"{benchmark_name}-r"
+    if invocation_id.startswith(prefix):
+        digits = invocation_id[len(prefix):].split("-", 1)[0]
+        if digits.isdigit():
+            return int(digits)
+    return 0
 
 
 @dataclass(frozen=True)
@@ -24,6 +64,13 @@ class TriggerConfig:
     #: Small spread between the individual triggers of one burst (HTTP fan-out
     #: of the benchmarking client), in seconds.
     trigger_jitter_s: float = 0.05
+    #: Idle time between the priming burst(s) and the measured burst of a warm
+    #: workload.  The settle is needed because the priming invocations only
+    #: release their containers back to the pool when they complete; without an
+    #: idle gap the measured burst races the tail of the priming burst and
+    #: queues behind still-busy containers (or triggers fresh cold starts),
+    #: which is exactly what warm mode is meant to exclude.
+    settle_s: float = 5.0
 
 
 class BurstTrigger:
@@ -32,20 +79,36 @@ class BurstTrigger:
     def __init__(self, config: TriggerConfig) -> None:
         self._config = config
 
-    def fire(self, deployment: Deployment, start_index: int = 0) -> List[str]:
-        """Schedule one burst; returns the invocation ids.  Blocks until all finish."""
+    def fire(
+        self,
+        deployment: Deployment,
+        start_index: int = 0,
+        id_base: Optional[str] = None,
+        index_offset: int = 0,
+    ) -> List[str]:
+        """Schedule one burst; returns the invocation ids.  Blocks until all finish.
+
+        ``id_base`` overrides the namespace the invocation ids are formed in
+        (default: the benchmark name, the historical scheme); ``index_offset``
+        shifts the invocation *indices* (which select input payloads) without
+        touching the ids.
+        """
         platform = deployment.platform
+        base = id_base if id_base is not None else deployment.benchmark.name
         invocation_ids = []
         processes = []
         for i in range(self._config.burst_size):
-            invocation_id = f"{deployment.benchmark.name}-{start_index + i}"
+            invocation_id = f"{base}-{start_index + i}"
             invocation_ids.append(invocation_id)
             delay = platform.streams.uniform(
                 f"trigger:{invocation_id}", 0.0, self._config.trigger_jitter_s
             )
             processes.append(
                 platform.env.process(
-                    self._delayed_invoke(deployment, invocation_id, start_index + i, delay)
+                    self._delayed_invoke(
+                        deployment, invocation_id,
+                        index_offset + start_index + i, delay,
+                    )
                 )
             )
         barrier = platform.env.all_of(processes)
@@ -67,14 +130,122 @@ class WarmTrigger:
         self._priming_bursts = priming_bursts
         self._burst = BurstTrigger(config)
 
-    def fire(self, deployment: Deployment, start_index: int = 0) -> List[str]:
+    def fire(
+        self,
+        deployment: Deployment,
+        start_index: int = 0,
+        id_base: Optional[str] = None,
+        index_offset: int = 0,
+    ) -> List[str]:
         """Returns only the invocation ids of the measured (post-priming) burst."""
         index = start_index
         for _ in range(self._priming_bursts):
-            self._burst.fire(deployment, start_index=index)
+            self._burst.fire(deployment, start_index=index, id_base=id_base,
+                             index_offset=index_offset)
             index += self._config.burst_size
-        # Give the platform a moment of idle time so the primed containers are free.
+        # Let the platform settle so the primed containers are idle and free
+        # (see TriggerConfig.settle_s for why the gap is required).
         platform = deployment.platform
-        settle = platform.env.timeout(5.0)
-        platform.env.run(until=settle)
-        return self._burst.fire(deployment, start_index=index)
+        if self._config.settle_s > 0:
+            settle = platform.env.timeout(self._config.settle_s)
+            platform.env.run(until=settle)
+        return self._burst.fire(deployment, start_index=index, id_base=id_base,
+                                index_offset=index_offset)
+
+
+class OpenLoopTrigger:
+    """Fires invocations at the pre-compiled arrival times of an open-loop spec.
+
+    Arrivals are open-loop: each is scheduled at its absolute arrival time on
+    the simulation clock whether or not earlier invocations have finished, so
+    sustained overload builds queueing instead of throttling the client.
+    After :meth:`fire`, :attr:`arrivals` maps each invocation id to its
+    arrival time -- the anchor for client-observed latency (a platform only
+    timestamps a function once a container was acquired, so queue wait is
+    invisible in the measurements themselves).
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        if not spec.is_open_loop:
+            raise ValueError(f"{spec.kind!r} is not an open-loop workload")
+        self._spec = spec
+        self.arrivals: Dict[str, float] = {}
+
+    def fire(
+        self,
+        deployment: Deployment,
+        start_index: int = 0,
+        id_base: Optional[str] = None,
+        index_offset: int = 0,
+    ) -> List[str]:
+        platform = deployment.platform
+        base = id_base if id_base is not None else deployment.benchmark.name
+        arrivals = self._spec.arrival_times(platform.streams)
+        invocation_ids: List[str] = []
+        processes = []
+        for i, arrival in enumerate(arrivals):
+            invocation_id = f"{base}-{start_index + i}"
+            invocation_ids.append(invocation_id)
+            self.arrivals[invocation_id] = arrival
+            processes.append(
+                platform.env.process(
+                    self._timed_invoke(
+                        deployment, invocation_id,
+                        index_offset + start_index + i, arrival,
+                    )
+                )
+            )
+        if processes:
+            barrier = platform.env.all_of(processes)
+            platform.env.run(until=barrier)
+        return invocation_ids
+
+    @staticmethod
+    def _timed_invoke(deployment: Deployment, invocation_id: str, index: int, arrival: float):
+        yield deployment.platform.env.timeout(arrival)
+        result = yield deployment.invoke_process(invocation_id, invocation_index=index)
+        return result
+
+
+class WorkloadExecutor:
+    """Executes any :class:`WorkloadSpec` against a deployment.
+
+    Dispatches closed-loop kinds to the paper's burst/warm triggers (keeping
+    their event schedule, stream names, and therefore results bit-identical)
+    and open-loop kinds to :class:`OpenLoopTrigger`.
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self._spec = spec
+        #: Arrival time per invocation id of the last open-loop execution
+        #: (empty for closed-loop kinds, whose invocations have no meaningful
+        #: client-side arrival separate from the trigger jitter).
+        self.arrivals: Dict[str, float] = {}
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        return self._spec
+
+    def _trigger_config(self) -> TriggerConfig:
+        return TriggerConfig(
+            burst_size=self._spec.burst_size,
+            trigger_jitter_s=self._spec.trigger_jitter_s,
+            settle_s=self._spec.settle_s,
+        )
+
+    def execute(self, deployment: Deployment, repetition: int = 0) -> List[str]:
+        """Run the workload; returns the measured invocation ids."""
+        base = invocation_id_base(deployment.benchmark.name, repetition)
+        offset = repetition * INVOCATION_INDEX_STRIDE
+        if self._spec.kind == "burst":
+            return BurstTrigger(self._trigger_config()).fire(
+                deployment, id_base=base, index_offset=offset
+            )
+        if self._spec.kind == "warm":
+            priming = int(self._spec.param("priming_bursts", 1))  # type: ignore[arg-type]
+            trigger = WarmTrigger(self._trigger_config(), priming_bursts=priming)
+            return trigger.fire(deployment, id_base=base, index_offset=offset)
+        trigger = OpenLoopTrigger(self._spec)
+        invocation_ids = trigger.fire(deployment, id_base=base, index_offset=offset)
+        self.arrivals = trigger.arrivals
+        return invocation_ids

@@ -113,6 +113,90 @@ class TestCompositeEvents:
         assert env.now == pytest.approx(1.0)
 
 
+class TestCompositeEdgeCases:
+    """AllOf/AnyOf with already-processed, failing, and empty children."""
+
+    def test_all_of_with_already_processed_children(self):
+        env = Environment()
+        first = env.timeout(1.0, value="a")
+        second = env.timeout(2.0, value="b")
+        env.run()  # both children fire and are processed before the barrier exists
+        assert first.processed and second.processed
+        barrier = env.all_of([first, second])
+        assert env.run(until=barrier) == ["a", "b"]
+        assert env.now == pytest.approx(2.0)  # no extra time passes
+
+    def test_all_of_mixed_processed_and_pending_children(self):
+        env = Environment()
+        done = env.timeout(1.0, value="early")
+        env.run(until=done)
+        pending = env.timeout(3.0, value="late")
+        barrier = env.all_of([done, pending])
+        assert env.run(until=barrier) == ["early", "late"]
+        assert env.now == pytest.approx(4.0)
+
+    def test_all_of_preserves_child_order_for_values(self):
+        env = Environment()
+        slow = env.timeout(5.0, value="slow")
+        fast = env.timeout(1.0, value="fast")
+        assert env.run(until=env.all_of([slow, fast])) == ["slow", "fast"]
+
+    def test_all_of_with_failing_child(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1.0)
+            raise RuntimeError("child failed")
+
+        barrier = env.all_of([env.process(broken()), env.timeout(5.0)])
+        with pytest.raises(RuntimeError, match="child failed"):
+            env.run(until=barrier)
+
+    def test_all_of_with_already_failed_child(self):
+        env = Environment()
+        failed = env.event()
+        failed.fail(RuntimeError("pre-failed"))
+        env.step()  # process the failure before the barrier is built
+        barrier = env.all_of([failed, env.timeout(1.0)])
+        with pytest.raises(RuntimeError, match="pre-failed"):
+            env.run(until=barrier)
+
+    def test_any_of_empty_fires_immediately(self):
+        env = Environment()
+        assert env.run(until=env.any_of([])) is None
+
+    def test_any_of_with_already_processed_child(self):
+        env = Environment()
+        done = env.timeout(1.0, value="done")
+        env.run(until=done)
+        first = env.any_of([done, env.timeout(10.0)])
+        assert env.run(until=first) == "done"
+        assert env.now == pytest.approx(1.0)  # did not wait for the slow child
+
+    def test_any_of_with_failing_child(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1.0)
+            raise ValueError("fast failure")
+
+        first = env.any_of([env.process(broken()), env.timeout(5.0)])
+        with pytest.raises(ValueError, match="fast failure"):
+            env.run(until=first)
+
+    def test_any_of_ignores_failures_after_the_winner(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(5.0)
+            raise ValueError("too late to matter")
+
+        first = env.any_of([env.timeout(1.0, value="winner"), env.process(broken())])
+        assert env.run(until=first) == "winner"
+        env.run()  # drain the late failure; the settled AnyOf must ignore it
+        assert first.exception is None
+
+
 class TestEvents:
     def test_event_cannot_fire_twice(self):
         env = Environment()
@@ -152,6 +236,54 @@ class TestResource:
         env.run(until=barrier)
         assert concurrency["max"] == 2
         assert env.now == pytest.approx(3.0)
+
+    def test_contended_handoff_is_fifo(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag, hold):
+            yield resource.acquire()
+            order.append(tag)
+            yield env.timeout(hold)
+            resource.release()
+
+        for tag in ("first", "second", "third"):
+            env.process(worker(tag, 1.0))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_handoff_keeps_the_slot_occupied(self):
+        """Release under contention hands the slot directly to the next waiter
+        instead of decrementing in_use -- the slot never appears free."""
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        env.run(until=resource.acquire())
+        waiter = resource.acquire()
+        assert not waiter.triggered
+        assert resource.available == 0
+        resource.release()
+        # The slot went straight to the waiter: still in use, never free.
+        assert waiter.triggered
+        assert resource.in_use == 1
+        assert resource.available == 0
+        env.run()
+        # A release with no waiters left drains the slot normally.
+        resource.release()
+        assert resource.in_use == 0
+        assert resource.available == 1
+
+    def test_release_grants_exactly_one_waiter(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        holder = resource.acquire()
+        assert holder.triggered
+        waiters = [resource.acquire() for _ in range(3)]
+        assert not any(w.triggered for w in waiters)
+        resource.release()
+        env.run()
+        assert [w.processed for w in waiters] == [True, False, False]
+        assert resource.in_use == 1
 
     def test_release_without_acquire_fails(self):
         env = Environment()

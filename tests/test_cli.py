@@ -127,3 +127,45 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
         assert main(["campaign", "--benchmarks", "ml", "--burst-size", "0"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestWorkloadCli:
+    def test_parser_accepts_workload_on_run_compare_campaign(self):
+        args = build_parser().parse_args(
+            ["run", "ml", "--workload", "poisson:rate=5,duration=10"]
+        )
+        assert args.workload == "poisson:rate=5,duration=10"
+        args = build_parser().parse_args(["compare", "ml", "--workload", "burst"])
+        assert args.workload == "burst"
+        args = build_parser().parse_args([
+            "campaign", "--benchmarks", "ml",
+            "--workload", "burst", "poisson:rate=5,duration=10",
+        ])
+        assert args.workloads == ["burst", "poisson:rate=5,duration=10"]
+
+    def test_run_with_open_loop_workload_prints_summary(self, capsys):
+        code = main([
+            "run", "function_chain", "--platform", "aws", "--seed", "3",
+            "--workload", "poisson:rate=2,duration=10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop workload: poisson(duration=10,rate=2)" in out
+        assert "throughput_per_s" in out
+
+    def test_run_with_invalid_workload_reports_error(self, capsys):
+        assert main(["run", "ml", "--workload", "chaotic"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_with_workload_sweep(self, tmp_path, capsys):
+        code = main([
+            "campaign", "--benchmarks", "function_chain", "--platforms", "aws",
+            "--seeds", "1", "--workers", "1",
+            "--workload", "burst:burst_size=2", "constant:rate=1,duration=5",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 cells" in out
+        assert "2 workloads" in out
+        assert "constant(duration=5,rate=1)" in out
