@@ -4,7 +4,8 @@
 Reproduces a miniature version of the paper's main evaluation (Figures 7, 8, 15
 and Table 5): for each selected application benchmark it reports the median
 runtime, the critical-path/overhead split, the cold-start fraction, and the
-price per 1000 executions on AWS, Google Cloud, and Azure.
+price per 1000 executions on AWS, Google Cloud, and Azure -- plus a what-if
+variant expressed as a `PlatformSpec` string (the 2022-era AWS measurements).
 
 Run with:  python examples/multi_cloud_comparison.py [benchmark ...]
 """
@@ -18,6 +19,8 @@ from repro.benchmarks import benchmark_names, get_benchmark
 from repro.faas import compare_platforms
 
 DEFAULT_BENCHMARKS = ("mapreduce", "ml", "trip_booking")
+#: Platform specs to compare: the three 2024-era clouds and one variant.
+PLATFORMS = ("gcp", "aws", "azure", "aws@2022")
 BURST_SIZE = 12
 
 
@@ -31,8 +34,11 @@ def main() -> None:
     rows = []
     cost_rows = []
     for name in selected:
-        print(f"Running {name} with bursts of {BURST_SIZE} invocations on aws/gcp/azure ...")
-        results = compare_platforms(get_benchmark(name), burst_size=BURST_SIZE, seed=3)
+        print(f"Running {name} with bursts of {BURST_SIZE} invocations on "
+              f"{'/'.join(PLATFORMS)} ...")
+        results = compare_platforms(
+            get_benchmark(name), platforms=PLATFORMS, burst_size=BURST_SIZE, seed=3
+        )
         for platform, result in results.items():
             rows.append(
                 {

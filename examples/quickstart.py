@@ -102,10 +102,15 @@ def main() -> None:
               f"{result.median_overhead:>8.2f} s {result.cold_start_fraction:>11.0%} "
               f"${cost:>15.4f}")
 
-    # A single invocation with full access to its outputs:
-    from repro.sim import Platform, get_profile
+    # Platforms are identified by specs, so hypothetical variants run exactly
+    # like the builtin clouds -- here: AWS with 3x slower cold starts.
+    result = run_benchmark(benchmark, "aws:cold_start=x3", burst_size=10, seed=7)
+    print(f"\naws with 3x cold starts: median runtime {result.median_runtime:.2f} s")
 
-    platform = Platform(get_profile("aws"), seed=7)
+    # A single invocation with full access to its outputs:
+    from repro.sim import Platform, resolve_platform
+
+    platform = Platform(resolve_platform("aws"), seed=7)
     deployment = Deployment.deploy(benchmark, platform)
     invocation = deployment.invoke_once("demo")
     print(f"\nSingle AWS invocation produced {invocation.output['count']} thumbnails, "

@@ -19,7 +19,7 @@ from ..benchmarks.registry import APPLICATION_BENCHMARKS, PAPER_MEMORY_MB
 from ..faas import run_benchmark
 from ..faas.experiment import ExperimentResult
 from ..faas.metrics import split_warm_cold, summarize
-from ..sim import MEMORY_CONFIGURATIONS_MB, NoiseModel, RandomStreams, get_profile
+from ..sim import MEMORY_CONFIGURATIONS_MB, NoiseModel, RandomStreams, resolve_platform
 from .stats import coefficient_of_variation, speedup
 
 CLOUDS = ("gcp", "aws", "azure")
@@ -252,7 +252,7 @@ def figure13_os_noise(
     """Suspension-time curves (13a) and normalised critical paths (13b/13c)."""
     suspension: Dict[str, List[Dict[str, float]]] = {}
     for platform in platforms:
-        profile = get_profile(platform)
+        profile = resolve_platform(platform)
         noise = NoiseModel(platform, profile.cpu_model, RandomStreams(seed))
         curve = noise.suspension_curve(memory_configurations, events=events)
         suspension[platform] = [
@@ -269,7 +269,7 @@ def figure13_os_noise(
         normalized[benchmark] = {}
         for platform in platforms:
             result = _run(benchmark, platform, 10, seed)
-            profile = get_profile(platform)
+            profile = resolve_platform(platform)
             share = profile.cpu_model.suspension(memory)
             critical = result.median_critical_path
             normalized[benchmark][platform] = {

@@ -16,7 +16,7 @@ from ..benchmarks import get_benchmark
 from ..benchmarks.registry import APPLICATION_BENCHMARKS
 from ..core.transcription import compare_transitions
 from ..faas.experiment import ExperimentResult
-from ..sim import PRICING_BY_PLATFORM, get_profile
+from ..sim import PRICING_BY_PLATFORM, resolve_platform
 from .literature import table1_rows
 
 #: Display order of the application benchmarks, matching the paper's tables.
@@ -59,7 +59,7 @@ def table2_platform_features() -> List[Dict[str, object]]:
         },
     }
     for platform in ("aws", "azure", "gcp"):
-        profile = get_profile(platform)
+        profile = resolve_platform(platform)
         row: Dict[str, object] = {"Platform": profile.display_name}
         row.update(features[platform])
         row["Simulated max parallelism"] = profile.orchestration.max_parallelism

@@ -5,16 +5,25 @@ scale: list the available benchmarks and platforms, inspect a benchmark's
 model statistics, transcribe its definition for a platform, run an experiment,
 and compare platforms.
 
+Platforms are identified by spec strings (``aws``, ``aws@2022``,
+``azure@2024:cold_start=x1.5,region=eu-west``) or by scenario names defined
+in a ``--scenarios`` TOML/JSON file, so what-if variants sweep exactly like
+the builtin clouds.
+
 Usage examples::
 
     repro-flow list
     repro-flow stats mapreduce
     repro-flow transcribe mapreduce --platform gcp
     repro-flow run mapreduce --platform aws --burst-size 10 --output result.json
+    repro-flow run ml --platform aws@2022:cold_start=x1.5
     repro-flow run ml --workload poisson:rate=50,duration=120
     repro-flow compare ml --burst-size 10
+    repro-flow compare ml --platforms aws aws@2022 --burst-size 5
     repro-flow campaign --benchmarks mapreduce ml --seeds 2 --workers 4
     repro-flow campaign --benchmarks ml --workload burst poisson:rate=5,duration=30
+    repro-flow campaign --benchmarks ml --scenarios scenarios.toml \
+        --platforms aws my-custom-variant
 """
 
 from __future__ import annotations
@@ -29,7 +38,13 @@ from .benchmarks import benchmark_names, get_benchmark
 from .core.transcription import AWSTranscriber, AzureTranscriber, GCPTranscriber
 from .faas import CampaignSpec, compare_platforms, run_benchmark, run_campaign
 from .faas.results import result_to_dict
-from .sim.platforms.profiles import available_platforms
+from .sim.platforms.spec import (
+    DEFAULT_ERA,
+    available_eras,
+    available_platforms,
+    available_scenarios,
+    load_scenarios,
+)
 
 _TRANSCRIBERS = {
     "aws": AWSTranscriber,
@@ -45,7 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list benchmarks and platforms")
+    list_parser = subparsers.add_parser(
+        "list", help="list benchmarks, platforms, eras, and scenarios"
+    )
+    list_parser.add_argument("--scenarios", default=None, help="also list this scenario file")
 
     stats = subparsers.add_parser("stats", help="show a benchmark's model statistics")
     stats.add_argument("benchmark", help="benchmark name (see `repro-flow list`)")
@@ -63,15 +81,36 @@ def build_parser() -> argparse.ArgumentParser:
         "ramp:start_rate=1,end_rate=20,duration=300, trace:path=arrivals.json "
         "(overrides --mode/--burst-size)"
     )
+    platform_help = (
+        "platform spec: a registered platform or scenario name, optionally with "
+        "@era and overrides, e.g. aws, aws@2022, "
+        "azure@2024:cold_start=x1.5,region=eu-west "
+        f"(platforms registered at startup: {', '.join(available_platforms())}; "
+        f"names from --scenarios are also accepted)"
+    )
+    # Era/platform vocabularies come from the registry, never from literals
+    # here: eras registered by library code or scenario files are accepted
+    # everywhere (validation happens at resolution, with a KeyError naming
+    # the registered options; the help text is rendered before --scenarios
+    # is processed, so it can only show the startup registry).
+    era_help = (
+        f"measurement era (registered at startup: {', '.join(available_eras())}; "
+        f"eras pinned by --scenarios entries are also accepted)"
+    )
+    scenarios_help = (
+        "TOML/JSON scenario file defining named platform variants; the names "
+        "become valid --platform/--platforms entries"
+    )
 
     run = subparsers.add_parser("run", help="run one benchmark on one platform")
     run.add_argument("benchmark")
-    run.add_argument("--platform", default="aws")
+    run.add_argument("--platform", default="aws", help=platform_help)
     run.add_argument("--burst-size", type=int, default=30)
     run.add_argument("--repetitions", type=int, default=1)
     run.add_argument("--mode", choices=("burst", "warm"), default="burst")
     run.add_argument("--workload", default=None, help=workload_help)
-    run.add_argument("--era", choices=("2022", "2024"), default="2024")
+    run.add_argument("--era", default=None, help=era_help)
+    run.add_argument("--scenarios", default=None, help=scenarios_help)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--memory-mb", type=int, default=None)
     run.add_argument("--output", help="write the full result as JSON to this file")
@@ -82,17 +121,23 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--repetitions", type=int, default=1)
     compare.add_argument("--mode", choices=("burst", "warm"), default="burst")
     compare.add_argument("--workload", default=None, help=workload_help)
-    compare.add_argument("--era", choices=("2022", "2024"), default="2024")
+    compare.add_argument("--era", default=None, help=era_help)
+    compare.add_argument("--scenarios", default=None, help=scenarios_help)
     compare.add_argument("--seed", type=int, default=0)
-    compare.add_argument("--platforms", nargs="+", default=["gcp", "aws", "azure"])
+    compare.add_argument(
+        "--platforms", nargs="+", default=["gcp", "aws", "azure"], help=platform_help
+    )
 
     campaign = subparsers.add_parser(
         "campaign",
         help="run a benchmarks x platforms x eras x memory x seeds sweep in parallel",
     )
     campaign.add_argument("--benchmarks", nargs="+", required=True)
-    campaign.add_argument("--platforms", nargs="+", default=["gcp", "aws", "azure"])
-    campaign.add_argument("--eras", nargs="+", choices=("2022", "2024"), default=["2024"])
+    campaign.add_argument(
+        "--platforms", nargs="+", default=["gcp", "aws", "azure"], help=platform_help
+    )
+    campaign.add_argument("--eras", nargs="+", default=None, help=era_help)
+    campaign.add_argument("--scenarios", default=None, help=scenarios_help)
     campaign.add_argument(
         "--memory-configs", nargs="+", type=int, default=None,
         help="memory configurations in MB (default: each benchmark's own configuration)",
@@ -121,7 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(scenarios: Optional[str] = None) -> int:
+    if scenarios:
+        load_scenarios(scenarios)
     print("Application benchmarks:")
     for name in benchmark_names("application"):
         print(f"  {name}")
@@ -131,6 +178,14 @@ def _cmd_list() -> int:
     print("Platforms:")
     for name in available_platforms():
         print(f"  {name}")
+    print("Eras:")
+    for era in available_eras():
+        print(f"  {era}")
+    registered = available_scenarios()
+    if registered:
+        print("Scenarios:")
+        for name, spec in registered.items():
+            print(f"  {name} = {spec.canonical()}")
     return 0
 
 
@@ -165,6 +220,8 @@ def _cmd_transcribe(benchmark_name: str, platform: str, output: Optional[str]) -
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        load_scenarios(args.scenarios)
     benchmark = get_benchmark(args.benchmark)
     result = run_benchmark(
         benchmark,
@@ -193,6 +250,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        load_scenarios(args.scenarios)
     benchmark = get_benchmark(args.benchmark)
     results = compare_platforms(
         benchmark,
@@ -204,11 +263,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         workload=args.workload,
     )
-    rows = [result.summary.as_row() for result in results.values() if result.summary]
+    rows = []
+    open_loop_rows = []
+    for key, result in results.items():
+        # Label each row with the comparison key (the full spec, era
+        # included) -- two variants of one base platform must stay
+        # distinguishable in the table.
+        if result.summary:
+            rows.append({**result.summary.as_row(), "platform": key})
+        if result.open_loop:
+            open_loop_rows.append({**result.open_loop.as_row(), "platform": key})
     print(report.format_table(rows, f"{args.benchmark}: platform comparison"))
-    open_loop_rows = [
-        result.open_loop.as_row() for result in results.values() if result.open_loop
-    ]
     if open_loop_rows:
         print(report.format_table(open_loop_rows, "open-loop workload summaries"))
     medians = {platform: result.median_runtime for platform, result in results.items()}
@@ -220,13 +285,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        load_scenarios(args.scenarios)
     unknown = [name for name in args.benchmarks if name not in benchmark_names("all")]
     if unknown:
         raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
     spec = CampaignSpec(
         benchmarks=args.benchmarks,
         platforms=args.platforms,
-        eras=args.eras,
+        eras=args.eras if args.eras else (DEFAULT_ERA,),
         memory_configs=args.memory_configs if args.memory_configs else (None,),
         seeds=range(args.seeds),
         burst_size=args.burst_size,
@@ -236,9 +303,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         workloads=args.workloads or (),
     )
     jobs = spec.expand()
+    # Era-pinned platform specs sweep once instead of crossing the eras
+    # dimension, so count the actual platform-era variants.
+    platform_eras = sum(
+        1 if platform.era is not None else len(spec.eras) for platform in spec.platforms
+    )
     print(f"campaign: {len(jobs)} cells "
-          f"({len(spec.benchmarks)} benchmarks x {len(spec.platforms)} platforms x "
-          f"{len(spec.eras)} eras x {len(spec.memory_configs)} memory configs x "
+          f"({len(spec.benchmarks)} benchmarks x {platform_eras} platform-era variants x "
+          f"{len(spec.memory_configs)} memory configs x "
           f"{len(spec.workloads)} workloads x {len(spec.seeds)} seeds)")
     campaign = run_campaign(spec, workers=args.workers, cache_dir=args.cache_dir)
     if args.cache_dir:
@@ -256,7 +328,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args.scenarios)
         if args.command == "stats":
             return _cmd_stats(args.benchmark)
         if args.command == "transcribe":
@@ -267,7 +339,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, OSError, ImportError) as exc:
+        # OSError covers unreadable --scenarios / --output / trace files;
+        # ImportError covers TOML scenario files on Python < 3.11.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 1  # pragma: no cover - unreachable with required subparsers

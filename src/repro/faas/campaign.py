@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..sim.platforms.spec import DEFAULT_ERA, PlatformSpec, available_eras, is_builtin_spec
 from .cost import CostReport, combine_cost_reports
 from .experiment import ExperimentConfig, ExperimentResult
 from .results import result_from_dict, result_to_dict
@@ -44,7 +45,10 @@ from .workload import WorkloadSpec
 #: Bump when the cached document layout changes; stale entries are recomputed.
 #: v2: jobs carry a full WorkloadSpec (the workloads sweep dimension) instead
 #: of the burst_size/mode pair, and the fingerprint covers it.
-CACHE_VERSION = 2
+#: v3: jobs identify the platform by a full PlatformSpec (base, era,
+#: overrides) instead of the (platform, era) string pair; fingerprints cover
+#: the spec, so every v2 cell document is invalidated and recomputed.
+CACHE_VERSION = 3
 
 #: Sentinel distinguishing "use the spec's first memory config" from an
 #: explicit ``None`` (= the benchmark's own memory configuration).
@@ -65,11 +69,19 @@ def derive_job_seed(base_seed: int, *coordinates: object) -> int:
 
 @dataclass(frozen=True)
 class CampaignJob:
-    """One cell of a campaign: a fully specified, picklable unit of work."""
+    """One cell of a campaign: a fully specified, picklable unit of work.
+
+    ``platform`` is a fully resolved :class:`PlatformSpec` (the era is always
+    pinned).  Cells over builtin platforms/eras are self-contained -- worker
+    processes resolve them without the parent's scenario definitions, which
+    are expanded at parse time.  Cells referencing platforms or eras
+    registered at runtime (``register_platform``/``register_era``) depend on
+    the registering process and are executed there (see
+    :func:`run_campaign`).
+    """
 
     benchmark: str
-    platform: str
-    era: str
+    platform: PlatformSpec
     memory_mb: Optional[int]
     seed_index: int
     seed: int
@@ -77,9 +89,18 @@ class CampaignJob:
     repetitions: int
 
     @property
+    def era(self) -> str:
+        return self.platform.era or DEFAULT_ERA
+
+    @property
+    def platform_label(self) -> str:
+        """Era-less canonical spec -- the 'platform' coordinate of tables."""
+        return self.platform.label
+
+    @property
     def cell_key(self) -> Tuple[str, str, str, Optional[int], str, int]:
         return (
-            self.benchmark, self.platform, self.era, self.memory_mb,
+            self.benchmark, self.platform_label, self.era, self.memory_mb,
             self.workload.canonical(), self.seed_index,
         )
 
@@ -87,14 +108,13 @@ class CampaignJob:
     def group_key(self) -> Tuple[str, str, str, Optional[int], str]:
         """The aggregation group: every seed replicate of one table cell."""
         return (
-            self.benchmark, self.platform, self.era, self.memory_mb,
+            self.benchmark, self.platform_label, self.era, self.memory_mb,
             self.workload.canonical(),
         )
 
     def experiment_config(self) -> ExperimentConfig:
         return ExperimentConfig(
             platform=self.platform,
-            era=self.era,
             seed=self.seed,
             repetitions=self.repetitions,
             memory_mb=self.memory_mb,
@@ -104,7 +124,7 @@ class CampaignJob:
     def to_dict(self) -> Dict[str, object]:
         return {
             "benchmark": self.benchmark,
-            "platform": self.platform,
+            "platform": self.platform.to_dict(),
             "era": self.era,
             "memory_mb": self.memory_mb,
             "seed_index": self.seed_index,
@@ -124,10 +144,17 @@ class CampaignJob:
             workload = WorkloadSpec.from_mode(
                 str(document.get("mode", "burst")), int(document.get("burst_size", 30))
             )
+        platform_doc = document["platform"]
+        if isinstance(platform_doc, str):
+            # Legacy (v1/v2) job documents carried a (platform, era) string pair.
+            platform = PlatformSpec(
+                base=platform_doc, era=str(document.get("era", DEFAULT_ERA))
+            )
+        else:
+            platform = PlatformSpec.from_dict(platform_doc)  # type: ignore[arg-type]
         return cls(
             benchmark=str(document["benchmark"]),
-            platform=str(document["platform"]),
-            era=str(document["era"]),
+            platform=platform,
             memory_mb=int(memory_mb) if memory_mb is not None else None,
             seed_index=int(document["seed_index"]),
             seed=int(document["seed"]),
@@ -145,6 +172,13 @@ class CampaignJob:
 class CampaignSpec:
     """A declarative sweep: benchmarks x platforms x eras x memory x workloads x seeds.
 
+    ``platforms`` is a spec-valued sweep dimension: entries may be
+    :class:`~repro.sim.platforms.spec.PlatformSpec` objects, spec strings
+    (``"aws"``, ``"aws@2022"``, ``"azure:cold_start=x1.5"``), or registered
+    scenario names.  Era-less entries are crossed with the ``eras`` dimension
+    exactly as the bare platform strings always were; an entry that pins its
+    own era (``"aws@2022"``) is swept once, ignoring ``eras``.
+
     ``workloads`` is the arrival-process sweep dimension; entries may be
     :class:`~repro.faas.workload.WorkloadSpec` objects or CLI spec strings
     (``"poisson:rate=50,duration=120"``).  When left empty, the deprecated
@@ -153,8 +187,8 @@ class CampaignSpec:
     """
 
     benchmarks: Sequence[str]
-    platforms: Sequence[str] = ("gcp", "aws", "azure")
-    eras: Sequence[str] = ("2024",)
+    platforms: Sequence[Union[str, PlatformSpec]] = ("gcp", "aws", "azure")
+    eras: Sequence[str] = (DEFAULT_ERA,)
     memory_configs: Sequence[Optional[int]] = (None,)
     seeds: Sequence[int] = (0, 1)
     burst_size: int = 30
@@ -165,14 +199,29 @@ class CampaignSpec:
 
     def __post_init__(self) -> None:
         self.benchmarks = tuple(self.benchmarks)
-        self.platforms = tuple(self.platforms)
-        self.eras = tuple(self.eras)
+        self.platforms = tuple(
+            PlatformSpec.coerce(entry) for entry in self.platforms
+        )
+        # Era labels are strings throughout (a programmatic eras=(2022,)
+        # would otherwise crash the validation below with a TypeError).
+        self.eras = tuple(str(era) for era in self.eras)
         self.memory_configs = tuple(self.memory_configs) or (None,)
         self.seeds = tuple(self.seeds)
         if not self.benchmarks:
             raise ValueError("a campaign needs at least one benchmark")
         if not self.platforms or not self.eras or not self.seeds:
             raise ValueError("platforms, eras, and seeds must be non-empty")
+        if len({p.canonical() for p in self.platforms}) != len(self.platforms):
+            raise ValueError("duplicate platforms in the sweep")
+        known_eras = available_eras()
+        pinned_eras = {p.era for p in self.platforms if p.era is not None}
+        unknown_eras = sorted((set(self.eras) | pinned_eras) - set(known_eras))
+        if unknown_eras:
+            # Catch bad eras -- swept or pinned inside a platform spec --
+            # before any worker burns compute on the campaign.
+            raise ValueError(
+                f"unknown era(s) {', '.join(unknown_eras)}; registered: {known_eras}"
+            )
         if self.mode not in ("burst", "warm"):
             raise ValueError(f"unknown trigger mode {self.mode!r}")
         if self.burst_size < 1 or self.repetitions < 1:
@@ -192,7 +241,11 @@ class CampaignSpec:
         jobs: List[CampaignJob] = []
         for benchmark in self.benchmarks:
             for platform in self.platforms:
-                for era in self.eras:
+                # An era-pinned spec is swept once; era-less specs cross the
+                # eras dimension (the legacy platforms x eras behaviour).
+                entry_eras = (platform.era,) if platform.era is not None else self.eras
+                for era in entry_eras:
+                    resolved = platform.with_era(era)
                     for memory_mb in self.memory_configs:
                         for workload in self.workloads:
                             for seed_index in self.seeds:
@@ -200,16 +253,18 @@ class CampaignSpec:
                                 # seed coordinates: different arrival processes
                                 # over the same cell reuse one platform seed
                                 # (exactly as burst/warm always did), so
-                                # workload sweeps are paired comparisons.
+                                # workload sweeps are paired comparisons.  The
+                                # platform coordinate is the era-less label, so
+                                # plain specs keep their historical seeds and
+                                # "aws@2022" pairs with "aws" in era 2022.
                                 seed = derive_job_seed(
-                                    self.base_seed, benchmark, platform, era,
-                                    memory_mb, seed_index,
+                                    self.base_seed, benchmark, resolved.label,
+                                    era, memory_mb, seed_index,
                                 )
                                 jobs.append(
                                     CampaignJob(
                                         benchmark=benchmark,
-                                        platform=platform,
-                                        era=era,
+                                        platform=resolved,
                                         memory_mb=memory_mb,
                                         seed_index=seed_index,
                                         seed=seed,
@@ -217,12 +272,22 @@ class CampaignSpec:
                                         repetitions=self.repetitions,
                                     )
                                 )
+        seen: Dict[Tuple[str, str, str, Optional[int], str, int], CampaignJob] = {}
+        for job in jobs:
+            if job.cell_key in seen:
+                raise ValueError(
+                    f"sweep produces duplicate cells, e.g. {job.cell_key!r} "
+                    f"(check for repeated sweep values, or an era-pinned "
+                    f"platform spec colliding with an era-less one crossed "
+                    f"with the same era)"
+                )
+            seen[job.cell_key] = job
         return jobs
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "benchmarks": list(self.benchmarks),
-            "platforms": list(self.platforms),
+            "platforms": [p.canonical() for p in self.platforms],
             "eras": list(self.eras),
             "memory_configs": list(self.memory_configs),
             "seeds": list(self.seeds),
@@ -274,20 +339,28 @@ class CampaignResult:
     def cell(
         self,
         benchmark: str,
-        platform: str,
+        platform: Union[str, PlatformSpec],
         era: Optional[str] = None,
         memory_mb: object = _FIRST,
         seed_index: Optional[int] = None,
         workload: Optional[Union[str, WorkloadSpec]] = None,
     ) -> ExperimentResult:
-        """Look up one cell's result (defaults resolve to the spec's first value)."""
-        era = era if era is not None else self.spec.eras[0]
+        """Look up one cell's result (defaults resolve to the spec's first value).
+
+        ``platform`` accepts any spec form; a spec that pins its own era
+        (``"aws@2022"``) overrides the ``era`` argument.
+        """
+        spec = PlatformSpec.coerce(platform)
+        if spec.era is not None:
+            era = spec.era
+        elif era is None:
+            era = self.spec.eras[0]
         memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
         seed_index = seed_index if seed_index is not None else self.spec.seeds[0]
         workload = workload if workload is not None else self.spec.workloads[0]
         if isinstance(workload, str):
             workload = WorkloadSpec.parse(workload)
-        key = (benchmark, platform, era, memory_mb, workload.canonical(), seed_index)
+        key = (benchmark, spec.label, era, memory_mb, workload.canonical(), seed_index)
         for cell in self.cells:
             if cell.job.cell_key == key:
                 return cell.result
@@ -363,25 +436,58 @@ class CampaignResult:
                 "workload": workload,
             }
             row.update(combined.per_1000_executions.as_row())
+            # as_row() reports the profile's base name; the sweep coordinate
+            # (which may carry spec overrides) is the row identity.
+            row["platform"] = platform
             rows.append(row)
         return rows
+
+    def _view_keys(self, era: Optional[str]) -> Dict[Tuple[str, str], str]:
+        """``(platform_label, era) -> display key`` for the first-seed views.
+
+        With ``era=None``, every platform entry contributes one cell: era-less
+        entries at the spec's first era, era-pinned entries (``"aws@2022"``)
+        at their own era -- so pinned variants are never silently dropped.
+        With an explicit ``era``, only cells of that era are selected.  The
+        display key is the era-less label unless two entries share it (e.g.
+        ``aws@2022`` and ``aws@2024`` pinned side by side), in which case the
+        era-qualified canonical form keeps them distinct.
+        """
+        selected: List[Tuple[str, str, str]] = []  # (label, era, canonical)
+        for entry in self.spec.platforms:
+            if entry.era is not None:
+                # Era-pinned entries exist only in their own era.
+                if era is not None and entry.era != era:
+                    continue
+                entry_era = entry.era
+            else:
+                # Era-less entries sweep the eras dimension: pick the
+                # requested era, or the spec's first era for the default view.
+                entry_era = era if era is not None else str(self.spec.eras[0])
+            selected.append((entry.label, entry_era, entry.with_era(entry_era).canonical()))
+        labels = [label for label, _, _ in selected]
+        return {
+            (label, entry_era): label if labels.count(label) == 1 else canonical
+            for label, entry_era, canonical in selected
+        }
 
     def scaling_profiles(
         self, era: Optional[str] = None, memory_mb: object = _FIRST
     ) -> Dict[str, Dict[str, List[Dict[str, float]]]]:
         """Figure 11 inputs: ``{benchmark: {platform: profile}}`` (first seed)."""
-        era = era if era is not None else self.spec.eras[0]
+        view = self._view_keys(era)
         memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
         seed_index = self.spec.seeds[0]
         workload = self.spec.workloads[0].canonical()
         profiles: Dict[str, Dict[str, List[Dict[str, float]]]] = {}
         for cell in self.cells:
             job = cell.job
-            if job.era != era or job.memory_mb != memory_mb or job.seed_index != seed_index:
+            key = view.get((job.platform_label, job.era))
+            if key is None or job.memory_mb != memory_mb or job.seed_index != seed_index:
                 continue
             if job.workload.canonical() != workload:
                 continue
-            profiles.setdefault(job.benchmark, {})[job.platform] = cell.result.scaling_profile
+            profiles.setdefault(job.benchmark, {})[key] = cell.result.scaling_profile
         return profiles
 
     def by_benchmark_platform(
@@ -390,18 +496,19 @@ class CampaignResult:
         """First-seed results as ``{benchmark: {platform: result}}`` -- the shape
         consumed by :func:`repro.analysis.tables.table5_cold_starts_and_transitions`
         and the figure builders."""
-        era = era if era is not None else self.spec.eras[0]
+        view = self._view_keys(era)
         memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
         seed_index = self.spec.seeds[0]
         workload = self.spec.workloads[0].canonical()
         grouped: Dict[str, Dict[str, ExperimentResult]] = {}
         for cell in self.cells:
             job = cell.job
-            if job.era != era or job.memory_mb != memory_mb or job.seed_index != seed_index:
+            key = view.get((job.platform_label, job.era))
+            if key is None or job.memory_mb != memory_mb or job.seed_index != seed_index:
                 continue
             if job.workload.canonical() != workload:
                 continue
-            grouped.setdefault(job.benchmark, {})[job.platform] = cell.result
+            grouped.setdefault(job.benchmark, {})[key] = cell.result
         return grouped
 
     def to_dict(self) -> Dict[str, object]:
@@ -439,6 +546,11 @@ def _cache_path(cache_dir: Path, job: CampaignJob) -> Path:
 def _load_cached(cache_dir: Optional[Path], job: CampaignJob) -> Optional[ExperimentResult]:
     if cache_dir is None:
         return None
+    if not is_builtin_spec(job.platform):
+        # The fingerprint covers the spec but not the runtime-registered
+        # factory behind it; editing that factory must never serve stale
+        # cached numbers, so such cells bypass the cache entirely.
+        return None
     path = _cache_path(cache_dir, job)
     if not path.exists():
         return None
@@ -459,6 +571,8 @@ def _load_cached(cache_dir: Optional[Path], job: CampaignJob) -> Optional[Experi
 def _store_cached(cache_dir: Optional[Path], job: CampaignJob, document: Dict[str, object]) -> None:
     if cache_dir is None:
         return
+    if not is_builtin_spec(job.platform):
+        return  # see _load_cached: runtime factories are not fingerprintable
     cache_dir.mkdir(parents=True, exist_ok=True)
     payload = {
         "version": CACHE_VERSION,
@@ -518,10 +632,26 @@ def run_campaign(
             for job in pending:
                 finish(job, _execute_job(job.to_dict()))
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_execute_job, job.to_dict()): job for job in pending}
-                for future in as_completed(futures):
-                    finish(futures[future], future.result())
+            # Cells whose platform or era exists only in this process's
+            # registry (runtime register_platform/register_era calls) cannot
+            # be resolved by freshly spawned workers -- scenario references
+            # are already expanded, but a custom factory is not picklable
+            # state.  Run those cells in the parent while the pool churns
+            # through the portable ones.
+            portable = [job for job in pending if is_builtin_spec(job.platform)]
+            local = [job for job in pending if not is_builtin_spec(job.platform)]
+            if not portable:
+                for job in local:
+                    finish(job, _execute_job(job.to_dict()))
+            else:
+                with ProcessPoolExecutor(max_workers=min(workers, len(portable))) as pool:
+                    futures = {
+                        pool.submit(_execute_job, job.to_dict()): job for job in portable
+                    }
+                    for job in local:
+                        finish(job, _execute_job(job.to_dict()))
+                    for future in as_completed(futures):
+                        finish(futures[future], future.result())
 
     cells = [
         CampaignCell(job=job, result=results[job.fingerprint()][0],

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..core.critical_path import WorkflowMeasurement
 from ..sim.orchestration.events import OrchestrationStats
 from ..sim.platforms.base import Platform, PlatformProfile
-from ..sim.platforms.profiles import get_profile
+from ..sim.platforms.spec import DEFAULT_ERA, PlatformSpec
 from .benchmark import WorkflowBenchmark
 from .cost import CostReport, combine_cost_reports, compute_cost_report
 from .deployment import Deployment
@@ -59,6 +59,15 @@ def derive_platform_seed(seed: int, repetition: int) -> int:
 class ExperimentConfig:
     """How a benchmark experiment is executed.
 
+    ``platform`` accepts a :class:`~repro.sim.platforms.spec.PlatformSpec`, a
+    spec string (``"aws"``, ``"aws@2022"``,
+    ``"azure@2024:cold_start=x1.5"``), or a registered scenario name; it is
+    normalised to a spec with the era pinned.  The deprecated ``era`` field
+    remains as a parse-through alias: legacy ``(platform="aws", era="2022")``
+    string pairs produce the exact same spec -- and bit-identical results --
+    as ``platform="aws@2022"``.  An era both in the spec and in ``era`` must
+    agree.
+
     The workload is the source of truth for *what* is invoked; ``mode`` and
     ``burst_size`` are deprecated aliases kept for backwards compatibility --
     when no ``workload`` is given they are compiled into the equivalent
@@ -66,8 +75,8 @@ class ExperimentConfig:
     the workload otherwise so old readers keep working.
     """
 
-    platform: str = "aws"
-    era: str = "2024"
+    platform: Union[str, PlatformSpec] = "aws"
+    era: Optional[str] = None  # deprecated alias; see class docstring
     seed: int = 0
     burst_size: int = 30
     repetitions: int = 1
@@ -78,6 +87,15 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ValueError("repetitions must be positive")
+        spec = PlatformSpec.coerce(self.platform)
+        if spec.era is not None and self.era is not None and spec.era != self.era:
+            raise ValueError(
+                f"platform spec pins era {spec.era!r} but era={self.era!r} was "
+                f"also given; drop one of them"
+            )
+        resolved_era = spec.era or self.era or DEFAULT_ERA
+        self.platform = spec.with_era(resolved_era)
+        self.era = resolved_era
         if self.workload is None:
             if self.mode not in ("burst", "warm"):
                 raise ValueError(f"unknown trigger mode {self.mode!r}")
@@ -89,6 +107,16 @@ class ExperimentConfig:
                 self.workload = WorkloadSpec.parse(self.workload)
             self.mode = self.workload.kind
             self.burst_size = self.workload.burst_size
+
+    @property
+    def platform_spec(self) -> PlatformSpec:
+        assert isinstance(self.platform, PlatformSpec)  # normalised in __post_init__
+        return self.platform
+
+    @property
+    def platform_name(self) -> str:
+        """Era-less platform label (``"aws"`` for plain specs) used in tables."""
+        return self.platform_spec.label
 
     @property
     def workload_spec(self) -> WorkloadSpec:
@@ -155,7 +183,7 @@ class ExperimentRunner:
         return self._config
 
     def _make_platform(self, repetition: int) -> Platform:
-        profile = get_profile(self._config.platform, era=self._config.era)
+        profile = self._config.platform_spec.resolve()
         if self._config.memory_mb is not None:
             profile = profile.with_overrides(default_memory_mb=self._config.memory_mb)
         return Platform(profile, seed=derive_platform_seed(self._config.seed, repetition))
@@ -199,7 +227,7 @@ class ExperimentRunner:
 
         result = ExperimentResult(
             benchmark=benchmark.name,
-            platform=self._config.platform,
+            platform=self._config.platform_name,
             config=self._config,
         )
         cost_reports: List[CostReport] = []
@@ -213,13 +241,15 @@ class ExperimentRunner:
             if rep.cost is not None:
                 cost_reports.append(rep.cost)
 
-        result.summary = summarize(benchmark.name, self._config.platform, result.measurements)
+        result.summary = summarize(
+            benchmark.name, self._config.platform_name, result.measurements
+        )
         result.scaling_profile = container_scaling_profile(result.measurements)
         workload = self._config.workload_spec
         if workload.is_open_loop:
             result.open_loop = open_loop_summary_over_repetitions(
                 benchmark.name,
-                self._config.platform,
+                self._config.platform_name,
                 repetition_groups,
                 duration_per_repetition_s=workload.duration_s,
             )
@@ -230,17 +260,19 @@ class ExperimentRunner:
 
 def run_benchmark(
     benchmark: WorkflowBenchmark,
-    platform: str,
+    platform: Union[str, PlatformSpec],
     burst_size: int = 30,
     repetitions: int = 1,
     mode: str = "burst",
     seed: int = 0,
-    era: str = "2024",
+    era: Optional[str] = None,
     memory_mb: Optional[int] = None,
     workload: Optional[Union[str, WorkloadSpec]] = None,
 ) -> ExperimentResult:
     """One-call convenience wrapper around :class:`ExperimentRunner`.
 
+    ``platform`` accepts a :class:`~repro.sim.platforms.spec.PlatformSpec`, a
+    spec string (``"aws@2022:cold_start=x1.5"``), or a scenario name;
     ``workload`` accepts a :class:`~repro.faas.workload.WorkloadSpec` or a CLI
     spec string (``"poisson:rate=50,duration=120"``) and takes precedence over
     the deprecated ``mode``/``burst_size`` pair.
@@ -260,27 +292,46 @@ def run_benchmark(
 
 def compare_platforms(
     benchmark: WorkflowBenchmark,
-    platforms: Sequence[str] = ("gcp", "aws", "azure"),
+    platforms: Sequence[Union[str, PlatformSpec]] = ("gcp", "aws", "azure"),
     burst_size: int = 30,
     repetitions: int = 1,
     mode: str = "burst",
     seed: int = 0,
-    era: str = "2024",
+    era: Optional[str] = None,
     workload: Optional[Union[str, WorkloadSpec]] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run the same benchmark on several platforms (the paper's main comparison)."""
+    """Run the same benchmark on several platforms (the paper's main comparison).
+
+    ``platforms`` entries are platform specs (objects, spec strings, or
+    scenario names); the returned dict is keyed by each entry's canonical
+    form, so plain names keep their legacy keys (``"aws"``) while
+    ``"aws@2022"``-style variants stay distinguishable.
+    """
+    specs = [PlatformSpec.coerce(platform) for platform in platforms]
+    keys = [spec.canonical() for spec in specs]
+    # Duplicates are detected on the era-resolved identity, so "aws" and
+    # "aws@2024" (the same cell once the default era applies) are caught,
+    # matching CampaignSpec.expand()'s duplicate-cell check.
+    resolved = [
+        spec.with_era(spec.era or era or DEFAULT_ERA).canonical() for spec in specs
+    ]
+    if len(set(resolved)) != len(resolved):
+        raise ValueError(f"duplicate platforms in comparison: {keys}")
     return {
-        platform: run_benchmark(
+        key: run_benchmark(
             benchmark,
-            platform,
+            spec,
             burst_size=burst_size,
             repetitions=repetitions,
             mode=mode,
             seed=seed,
-            era=era,
+            # A spec's own era wins over the comparison-wide era, matching
+            # the campaign's pinned-entry semantics -- so "aws aws@2022"
+            # with era="2024" compares the two eras instead of erroring.
+            era=era if spec.era is None else None,
             workload=workload,
         )
-        for platform in platforms
+        for key, spec in zip(keys, specs)
     }
 
 

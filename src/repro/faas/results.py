@@ -16,6 +16,7 @@ from typing import Dict, List, Union
 from ..core.critical_path import FunctionMeasurement, WorkflowMeasurement
 from ..sim.billing import CostBreakdown
 from ..sim.orchestration.events import OrchestrationStats
+from ..sim.platforms.spec import PlatformSpec
 from .cost import CostReport
 from .experiment import ExperimentConfig, ExperimentResult
 from .metrics import open_loop_summary_over_repetitions, summarize
@@ -75,8 +76,11 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
         "benchmark": result.benchmark,
         "platform": result.platform,
         "config": {
-            "platform": result.config.platform,
+            # "platform"/"era" stay as plain strings for legacy readers; the
+            # full spec (base, era, overrides) round-trips via "platform_spec".
+            "platform": result.config.platform_name,
             "era": result.config.era,
+            "platform_spec": result.config.platform_spec.to_dict(),
             "seed": result.config.seed,
             "burst_size": result.config.burst_size,
             "repetitions": result.config.repetitions,
@@ -166,9 +170,17 @@ def result_from_dict(document: Dict[str, object]) -> ExperimentResult:
         workload = WorkloadSpec.from_mode(
             str(config_doc.get("mode", "burst")), int(config_doc.get("burst_size", 30))
         )
+    spec_doc = config_doc.get("platform_spec")
+    if spec_doc is not None:
+        platform: object = PlatformSpec.from_dict(spec_doc)  # type: ignore[arg-type]
+        era = None  # the spec pins the era
+    else:
+        # Legacy documents identify the platform by a (name, era) string pair.
+        platform = str(config_doc["platform"])
+        era = str(config_doc["era"])
     config = ExperimentConfig(
-        platform=str(config_doc["platform"]),
-        era=str(config_doc["era"]),
+        platform=platform,  # type: ignore[arg-type]
+        era=era,
         seed=int(config_doc["seed"]),
         repetitions=int(config_doc["repetitions"]),
         memory_mb=int(memory_mb) if memory_mb is not None else None,

@@ -13,7 +13,7 @@ eras) live in the sibling modules of this package.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Dict, Generator, List, Optional, Tuple, Union
 
 from ...core.definition import WorkflowDefinition
@@ -53,7 +53,19 @@ class PlatformProfile:
     default_memory_mb: int = 256
 
     def with_overrides(self, **changes: object) -> "PlatformProfile":
-        """Return a copy of the profile with selected fields replaced."""
+        """Return a copy of the profile with selected fields replaced.
+
+        Field names are validated up front: a typo (e.g. from a scenario
+        file) raises a ``KeyError`` naming the unknown field and the valid
+        ones instead of ``replace``'s opaque ``TypeError``.
+        """
+        valid = {f.name for f in dataclass_fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise KeyError(
+                f"unknown profile field(s) {', '.join(repr(name) for name in unknown)}; "
+                f"valid fields: {sorted(valid)}"
+            )
         return replace(self, **changes)  # type: ignore[arg-type]
 
 

@@ -1,8 +1,9 @@
-"""Platform registry and measurement eras (RQ5: evolution of performance).
+"""Builtin platform registrations and measurement eras (RQ5: evolution).
 
-The paper compares measurements from July 2022 and January 2024.  The profile
-registry exposes both eras; the 2022 era differs from 2024 in the parameters
-that visibly changed between the two measurement campaigns (Figure 16):
+The paper compares measurements from July 2022 and January 2024.  This module
+registers both eras of the builtin platforms with the pluggable registry in
+:mod:`.spec`; the 2022 era differs from 2024 in the parameters that visibly
+changed between the two measurement campaigns (Figure 16):
 
 * Azure's orchestration overhead for parallel phases roughly halved between
   2022 and 2024 (visible in the Machine Learning benchmark), so the 2022 era
@@ -10,18 +11,32 @@ that visibly changed between the two measurement campaigns (Figure 16):
 * AWS and Google Cloud stayed essentially stable, so their 2022 profiles only
   differ in the deployment region (europe-west-1 for GCP in 2022) and a small
   cold-start regression.
+
+Anything beyond the builtin grid -- hypothetical platforms, extrapolated
+eras, scenario files -- goes through :class:`~.spec.PlatformSpec` and the
+``register_platform`` / ``register_era`` / ``register_scenario`` hooks.
+:func:`get_profile` remains as a thin deprecated shim over the spec API.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List
 
 from .aws import aws_profile
 from .azure import azure_profile
 from .base import PlatformProfile
 from .gcp import gcp_profile
 from .hpc import hpc_profile
+from .spec import (  # noqa: F401  (re-exported for backwards compatibility)
+    DEFAULT_ERA,
+    _finalize_builtins,
+    available_eras,
+    available_platforms,
+    available_scenarios,
+    get_profile,
+    register_era,
+    register_platform,
+)
 
 ERAS = ("2022", "2024")
 CLOUD_PLATFORMS = ("aws", "gcp", "azure")
@@ -51,33 +66,20 @@ def _azure_2022() -> PlatformProfile:
     return base.with_overrides(orchestration=orchestration)
 
 
-_REGISTRY: Dict[str, Dict[str, Callable[[], PlatformProfile]]] = {
-    "2024": {
-        "aws": aws_profile,
-        "gcp": gcp_profile,
-        "azure": azure_profile,
-        "hpc": hpc_profile,
-    },
-    "2022": {
-        "aws": _aws_2022,
-        "gcp": _gcp_2022,
-        "azure": _azure_2022,
-        "hpc": hpc_profile,
-    },
-}
+# Era order matters for display: the paper's chronology.
+register_era("2022")
+register_era("2024")
 
+# The era-less registration is the default profile (the 2024 measurements);
+# 2022 variants are era-specific factories on top.
+register_platform("aws", aws_profile)
+register_platform("gcp", gcp_profile)
+register_platform("azure", azure_profile)
+register_platform("hpc", hpc_profile)
+register_platform("aws", _aws_2022, era="2022")
+register_platform("gcp", _gcp_2022, era="2022")
+register_platform("azure", _azure_2022, era="2022")
 
-def available_platforms(era: str = "2024") -> List[str]:
-    if era not in _REGISTRY:
-        raise KeyError(f"unknown era {era!r}; available: {sorted(_REGISTRY)}")
-    return sorted(_REGISTRY[era])
-
-
-def get_profile(platform: str, era: str = "2024") -> PlatformProfile:
-    """Look up the profile of ``platform`` (``aws``/``gcp``/``azure``/``hpc``) in ``era``."""
-    if era not in _REGISTRY:
-        raise KeyError(f"unknown era {era!r}; available: {sorted(_REGISTRY)}")
-    registry = _REGISTRY[era]
-    if platform not in registry:
-        raise KeyError(f"unknown platform {platform!r}; available: {sorted(registry)}")
-    return registry[platform]()
+# Everything registered from here on (by library users at runtime) is
+# process-local state that campaign cells must not assume in workers.
+_finalize_builtins(ALL_PLATFORMS, ERAS)

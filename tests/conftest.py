@@ -5,7 +5,31 @@ from __future__ import annotations
 import pytest
 
 from repro.core import WorkflowDefinition
-from repro.sim import FunctionSpec, Platform, get_profile
+from repro.sim import FunctionSpec, Platform, resolve_platform
+from repro.sim.platforms import spec as platform_spec_module
+
+
+@pytest.fixture(autouse=True)
+def isolated_platform_registry():
+    """Snapshot the global platform registry around every test.
+
+    Tests register eras, platforms, and scenarios freely; restoring the
+    registry afterwards keeps the suite order-independent.
+    """
+    factories = dict(platform_spec_module._FACTORIES)
+    platforms = list(platform_spec_module._PLATFORM_NAMES)
+    eras = list(platform_spec_module._ERAS)
+    scenarios = dict(platform_spec_module._SCENARIOS)
+    runtime_keys = set(platform_spec_module._RUNTIME_KEYS)
+    yield
+    platform_spec_module._FACTORIES.clear()
+    platform_spec_module._FACTORIES.update(factories)
+    platform_spec_module._PLATFORM_NAMES[:] = platforms
+    platform_spec_module._ERAS[:] = eras
+    platform_spec_module._SCENARIOS.clear()
+    platform_spec_module._SCENARIOS.update(scenarios)
+    platform_spec_module._RUNTIME_KEYS.clear()
+    platform_spec_module._RUNTIME_KEYS.update(runtime_keys)
 
 
 @pytest.fixture
@@ -57,19 +81,19 @@ def simple_functions() -> dict:
 @pytest.fixture(params=["aws", "gcp", "azure"])
 def cloud_platform(request) -> Platform:
     """A fresh simulated platform instance for each cloud provider."""
-    return Platform(get_profile(request.param), seed=42)
+    return Platform(resolve_platform(request.param), seed=42)
 
 
 @pytest.fixture
 def aws_platform() -> Platform:
-    return Platform(get_profile("aws"), seed=7)
+    return Platform(resolve_platform("aws"), seed=7)
 
 
 @pytest.fixture
 def azure_platform() -> Platform:
-    return Platform(get_profile("azure"), seed=7)
+    return Platform(resolve_platform("azure"), seed=7)
 
 
 @pytest.fixture
 def gcp_platform() -> Platform:
-    return Platform(get_profile("gcp"), seed=7)
+    return Platform(resolve_platform("gcp"), seed=7)

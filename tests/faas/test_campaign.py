@@ -15,6 +15,7 @@ from repro.faas import (
     run_campaign,
 )
 from repro.benchmarks import get_benchmark
+from repro.sim import PlatformSpec, load_scenarios
 
 
 def small_spec(**overrides) -> CampaignSpec:
@@ -202,6 +203,249 @@ class TestCampaignAggregation:
         encoded = json.loads(json.dumps(document))
         assert len(encoded["cells"]) == 12
         assert len(encoded["comparison_table"]) == 6
+
+
+class TestPlatformSpecSweep:
+    def test_spec_entries_sweep_alongside_plain_names(self):
+        spec = small_spec(
+            benchmarks=("function_chain",),
+            platforms=("aws", "aws:cold_start=x5"),
+            seeds=(0,),
+        )
+        campaign = run_campaign(spec, workers=1)
+        assert len(campaign.cells) == 2
+        plain = campaign.cell("function_chain", "aws")
+        varied = campaign.cell("function_chain", "aws:cold_start=x5")
+        assert varied.median_runtime > plain.median_runtime
+
+    def test_era_pinned_entry_pairs_with_the_era_dimension(self):
+        """An "aws@2022" platform entry is the same cell -- same seed, same
+        fingerprint -- as a plain "aws" entry crossed with eras=("2022",)."""
+        by_dimension = small_spec(
+            benchmarks=("mapreduce",), platforms=("aws",), eras=("2022",), seeds=(0,)
+        ).expand()
+        by_pin = small_spec(
+            benchmarks=("mapreduce",), platforms=("aws@2022",), seeds=(0,)
+        ).expand()
+        assert len(by_dimension) == len(by_pin) == 1
+        assert by_dimension[0].seed == by_pin[0].seed
+        assert by_dimension[0].fingerprint() == by_pin[0].fingerprint()
+
+    def test_era_pinned_entry_is_swept_once(self):
+        jobs = small_spec(
+            benchmarks=("mapreduce",), platforms=("aws@2022", "gcp"),
+            eras=("2022", "2024"), seeds=(0,),
+        ).expand()
+        # gcp crosses both eras; aws@2022 ignores the eras dimension.
+        assert len(jobs) == 3
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(platforms=("aws", "aws"))
+        spec = small_spec(
+            benchmarks=("mapreduce",), platforms=("aws", "aws@2024"),
+            eras=("2024",), seeds=(0,),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            spec.expand()
+
+    def test_golden_cell_fingerprint(self):
+        """Pinned: cell fingerprints are CACHE_VERSION-3 cache keys.  Old
+        string-era (v2) cell documents fail the version check and are
+        recomputed; see test_v2_cache_documents_are_invalidated."""
+        job = small_spec(
+            benchmarks=("mapreduce",), platforms=("aws",), eras=("2022",), seeds=(0,)
+        ).expand()[0]
+        assert job.seed == 822283549
+        assert job.fingerprint() == (
+            "6bf1f6538a566ce362667525689a453663f072adb285bc4ac9477534bc890351"
+        )
+
+    def test_v2_cache_documents_are_invalidated(self, tmp_path):
+        """A cache entry stamped with the previous CACHE_VERSION is ignored."""
+        from repro.faas.campaign import CACHE_VERSION, _cache_path
+
+        spec = small_spec(benchmarks=("mapreduce",), platforms=("aws",), seeds=(0,))
+        job = spec.expand()[0]
+        first = run_campaign(spec, workers=1, cache_dir=tmp_path)
+        assert first.cache_hits == 0
+        path = _cache_path(tmp_path, job)
+        document = json.loads(path.read_text())
+        assert document["version"] == CACHE_VERSION == 3
+        document["version"] = 2
+        path.write_text(json.dumps(document))
+        rerun = run_campaign(spec, workers=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == 0
+
+    def test_scenario_cells_run_in_worker_processes(self, tmp_path):
+        """Scenario specs are expanded before cells ship to workers, so the
+        worker processes never need the parent's scenario registry."""
+        scenario_file = tmp_path / "scenarios.json"
+        scenario_file.write_text(json.dumps({
+            "platforms": {"gcp-sweep-test": {"spec": "gcp:cold_start=x0.5"}}
+        }))
+        load_scenarios(scenario_file)
+        spec = small_spec(
+            benchmarks=("function_chain",), platforms=("gcp", "gcp-sweep-test"),
+            seeds=(0,),
+        )
+        serial = run_campaign(spec, workers=1)
+        pooled = run_campaign(spec, workers=2)
+        assert serial.aggregated_medians() == pooled.aggregated_medians()
+        label = "gcp:scaling.cold_start_median_s=x0.5"
+        assert serial.cell("function_chain", "gcp-sweep-test").platform == label
+        assert {job.platform_label for job in spec.expand()} == {"gcp", label}
+
+    def test_default_views_include_era_pinned_entries(self):
+        """Regression: by_benchmark_platform()/scaling_profiles() must not
+        silently drop cells whose platform spec pins a non-default era."""
+        spec = small_spec(
+            benchmarks=("function_chain",), platforms=("aws@2022", "gcp"), seeds=(0,)
+        )
+        campaign = run_campaign(spec, workers=1)
+        grouped = campaign.by_benchmark_platform()
+        assert set(grouped["function_chain"]) == {"aws", "gcp"}
+        profiles = campaign.scaling_profiles()
+        assert set(profiles["function_chain"]) == {"aws", "gcp"}
+        # An explicit era still filters strictly.
+        assert set(campaign.by_benchmark_platform(era="2022")["function_chain"]) == {"aws"}
+
+    def test_default_view_disambiguates_same_base_pinned_twice(self):
+        spec = small_spec(
+            benchmarks=("function_chain",), platforms=("aws@2022", "aws@2024"),
+            seeds=(0,),
+        )
+        campaign = run_campaign(spec, workers=1)
+        assert set(campaign.by_benchmark_platform()["function_chain"]) == \
+            {"aws@2022", "aws@2024"}
+
+    def test_unknown_pinned_era_rejected_before_execution(self):
+        with pytest.raises(ValueError, match="2031"):
+            small_spec(platforms=("aws@2031",))
+        with pytest.raises(ValueError, match="2031"):
+            small_spec(eras=("2031",))
+        # Programmatic int eras get the same readable error, not a TypeError.
+        with pytest.raises(ValueError, match="2031"):
+            small_spec(eras=(2031,))
+        # ...and valid int eras are normalised to the string labels.
+        assert small_spec(eras=(2022,)).eras == ("2022",)
+
+    def test_runtime_registered_platform_runs_in_parent_process(self):
+        """Platforms registered at runtime exist only in this process, so
+        their cells must not ship to pool workers."""
+        from repro.sim import aws_profile, register_platform
+        from repro.sim.platforms.spec import is_builtin_spec
+
+        register_platform("edge-parent-test", lambda: aws_profile(region="edge-1"))
+        spec = small_spec(
+            benchmarks=("function_chain",), platforms=("aws", "edge-parent-test"),
+            seeds=(0,),
+        )
+        portable = [job for job in spec.expand() if is_builtin_spec(job.platform)]
+        local = [job for job in spec.expand() if not is_builtin_spec(job.platform)]
+        assert [job.platform_label for job in portable] == ["aws"]
+        assert [job.platform_label for job in local] == ["edge-parent-test"]
+        serial = run_campaign(spec, workers=1)
+        pooled = run_campaign(spec, workers=2)
+        assert serial.aggregated_medians() == pooled.aggregated_medians()
+
+    def test_runtime_registered_platform_bypasses_the_result_cache(self, tmp_path):
+        """The fingerprint cannot cover a runtime factory's behaviour, so
+        editing the factory must never serve stale cached cells."""
+        from repro.sim import aws_profile, register_platform
+
+        register_platform("edge-cache-test", lambda: aws_profile(region="edge-1"))
+        spec = small_spec(
+            benchmarks=("function_chain",), platforms=("edge-cache-test",), seeds=(0,)
+        )
+        first = run_campaign(spec, workers=1, cache_dir=tmp_path)
+        assert not list(tmp_path.glob("*.json"))
+        # Re-registering with 5x cold starts must be recomputed, not cached.
+        register_platform(
+            "edge-cache-test",
+            lambda: PlatformSpec.parse("aws:cold_start=x5").resolve(),
+            overwrite=True,
+        )
+        rerun = run_campaign(spec, workers=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == 0
+        assert rerun.cells[0].result.median_runtime > first.cells[0].result.median_runtime
+
+    def test_scenario_file_may_pin_an_extrapolated_era(self, tmp_path):
+        """A scenario pinning an unregistered era declares it instead of
+        registering something unusable."""
+        from repro.sim import available_eras
+
+        scenario_file = tmp_path / "scenarios.json"
+        scenario_file.write_text(json.dumps({
+            "platforms": {"aws-2031-test": {"base": "aws", "era": "2031",
+                                            "overrides": {"cold_start": "x0.5"}}}
+        }))
+        load_scenarios(scenario_file)
+        assert "2031" in available_eras()
+        spec = small_spec(
+            benchmarks=("function_chain",), platforms=("aws-2031-test",), seeds=(0,)
+        )
+        campaign = run_campaign(spec, workers=2)
+        assert campaign.cells[0].result.summary is not None
+        assert campaign.cells[0].job.era == "2031"
+
+    def test_runtime_registered_platform_survives_spawn_workers(self):
+        """Regression: under the spawn start method (macOS/Windows default),
+        worker processes have a fresh registry; runtime-registered platform
+        cells must still complete (they run in the parent)."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            import multiprocessing as mp
+            mp.set_start_method("spawn", force=True)
+            from repro.sim import aws_profile, register_era, register_platform
+            from repro.faas import CampaignSpec, run_campaign
+            register_platform("edge-spawn-test", lambda: aws_profile(region="edge-1"))
+            register_era("2026")
+            spec = CampaignSpec(
+                benchmarks=("function_chain",),
+                platforms=("aws", "edge-spawn-test", "aws@2026"),
+                seeds=(0,), burst_size=2,
+            )
+            campaign = run_campaign(spec, workers=2)
+            assert len(campaign.cells) == 3
+            assert all(cell.result.summary is not None for cell in campaign.cells)
+            print("SPAWN-OK")
+            """
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=300,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "SPAWN-OK" in completed.stdout
+
+    def test_jobs_with_spec_platforms_pickle_and_round_trip(self):
+        import pickle
+
+        spec = small_spec(
+            benchmarks=("mapreduce",), platforms=("azure@2022:cold_start=x1.5",),
+            seeds=(0,),
+        )
+        for job in spec.expand():
+            clone = pickle.loads(pickle.dumps(job))
+            assert clone == job
+            assert type(job).from_dict(json.loads(json.dumps(job.to_dict()))) == job
+            assert job.platform == PlatformSpec.parse("azure@2022:cold_start=x1.5")
+
+    def test_campaign_to_dict_round_trips_spec_platforms(self):
+        spec = small_spec(
+            benchmarks=("function_chain",), platforms=("aws", "aws@2022"), seeds=(0,)
+        )
+        campaign = run_campaign(spec, workers=1)
+        document = json.loads(json.dumps(campaign.to_dict()))
+        assert document["spec"]["platforms"] == ["aws", "aws@2022"]
+        assert len(document["cells"]) == 2
 
 
 class TestResultRoundTrip:

@@ -1,5 +1,7 @@
 """Tests for triggers, the experiment runner, metrics aggregation, and cost reports."""
 
+import json
+
 import pytest
 
 from repro.benchmarks import get_benchmark
@@ -15,8 +17,13 @@ from repro.faas import (
     split_warm_cold,
     summarize,
 )
-from repro.faas.results import load_measurements, result_to_dict, save_result
-from repro.sim import Platform, get_profile
+from repro.faas.results import (
+    load_measurements,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.sim import Platform, PlatformSpec, get_profile
 
 
 class TestTriggers:
@@ -99,6 +106,97 @@ class TestExperimentRunner:
         first = run_benchmark(get_benchmark("mapreduce"), "gcp", burst_size=4, seed=1)
         second = run_benchmark(get_benchmark("mapreduce"), "gcp", burst_size=4, seed=2)
         assert first.median_runtime != pytest.approx(second.median_runtime, rel=1e-6)
+
+
+class TestPlatformSpecConfig:
+    def test_legacy_pair_and_spec_are_bit_identical_pinned(self):
+        """Regression pin: the (platform, era) string pair parses through the
+        spec API and reproduces the exact pre-spec numbers."""
+        legacy = run_benchmark(get_benchmark("mapreduce"), "aws", burst_size=3,
+                               seed=0, era="2022")
+        spec = run_benchmark(get_benchmark("mapreduce"), "aws@2022", burst_size=3,
+                             seed=0)
+        assert legacy.median_runtime == spec.median_runtime == 11.722144092900013
+        assert legacy.cost is not None and spec.cost is not None
+        assert legacy.cost.per_execution.total_usd == \
+            spec.cost.per_execution.total_usd == 0.0004624146823211932
+
+    def test_config_normalises_platform_to_a_pinned_spec(self):
+        config = ExperimentConfig(platform="aws")
+        assert config.platform == PlatformSpec(base="aws", era="2024")
+        assert config.era == "2024"
+        assert config.platform_name == "aws"
+
+    def test_conflicting_eras_rejected(self):
+        with pytest.raises(ValueError, match="era"):
+            ExperimentConfig(platform="aws@2022", era="2024")
+        # Agreeing eras are fine.
+        config = ExperimentConfig(platform="aws@2022", era="2022")
+        assert config.era == "2022"
+
+    def test_unknown_platform_rejected_at_config_time(self):
+        with pytest.raises(KeyError):
+            ExperimentConfig(platform="ibm")
+
+    def test_override_spec_changes_results(self):
+        base = run_benchmark(get_benchmark("function_chain"), "aws", burst_size=2,
+                             seed=1)
+        slow = run_benchmark(get_benchmark("function_chain"), "aws:cold_start=x5",
+                             burst_size=2, seed=1)
+        assert slow.median_runtime > base.median_runtime
+        assert slow.platform == "aws:scaling.cold_start_median_s=x5"
+
+    def test_result_platform_label_is_era_less(self):
+        result = run_benchmark(get_benchmark("function_chain"), "aws@2022",
+                               burst_size=2, seed=1)
+        assert result.platform == "aws"
+        assert result.config.era == "2022"
+
+    def test_spec_config_round_trips_through_documents(self):
+        result = run_benchmark(get_benchmark("function_chain"),
+                               "azure@2022:cold_start=x1.5", burst_size=2, seed=3)
+        document = json.loads(json.dumps(result_to_dict(result)))
+        assert document["config"]["platform"] == \
+            "azure:scaling.cold_start_median_s=x1.5"
+        assert document["config"]["era"] == "2022"
+        restored = result_from_dict(document)
+        assert restored.config == result.config
+        assert restored.config.platform_spec == \
+            PlatformSpec.parse("azure@2022:cold_start=x1.5")
+        assert restored.median_runtime == pytest.approx(result.median_runtime)
+
+    def test_legacy_documents_without_platform_spec_parse(self):
+        result = run_benchmark(get_benchmark("function_chain"), "aws",
+                               burst_size=2, seed=1, era="2022")
+        document = json.loads(json.dumps(result_to_dict(result)))
+        del document["config"]["platform_spec"]
+        restored = result_from_dict(document)
+        assert restored.config.platform_spec == PlatformSpec(base="aws", era="2022")
+        assert restored.config == result.config
+
+    def test_compare_platforms_keeps_spec_keys_distinct(self):
+        results = compare_platforms(
+            get_benchmark("function_chain"), platforms=("aws", "aws@2022"),
+            burst_size=2, seed=1,
+        )
+        assert set(results) == {"aws", "aws@2022"}
+        with pytest.raises(ValueError, match="duplicate"):
+            compare_platforms(get_benchmark("function_chain"),
+                              platforms=("aws", "aws"), burst_size=2)
+        # "aws" and "aws@2024" are the same cell once the default era applies.
+        with pytest.raises(ValueError, match="duplicate"):
+            compare_platforms(get_benchmark("function_chain"),
+                              platforms=("aws", "aws@2024"), burst_size=2)
+
+    def test_compare_platforms_pinned_era_wins_over_global_era(self):
+        """Mixing era-pinned specs with a comparison-wide era compares the
+        eras (campaign pinned-entry semantics) instead of raising."""
+        results = compare_platforms(
+            get_benchmark("function_chain"), platforms=("aws", "aws@2022"),
+            era="2024", burst_size=2, seed=1,
+        )
+        assert results["aws"].config.era == "2024"
+        assert results["aws@2022"].config.era == "2022"
 
 
 class TestCostAccounting:

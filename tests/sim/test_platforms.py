@@ -45,6 +45,16 @@ class TestProfileRegistry:
         assert changed.default_memory_mb == 2048
         assert profile.default_memory_mb != 2048 or profile is not changed
 
+    def test_with_overrides_rejects_unknown_fields_by_name(self):
+        """A typo'd field raises a KeyError naming it and the valid fields,
+        not an opaque replace() TypeError."""
+        profile = get_profile("aws")
+        with pytest.raises(KeyError) as excinfo:
+            profile.with_overrides(default_memory="oops", regon="eu")
+        message = str(excinfo.value)
+        assert "default_memory" in message and "regon" in message
+        assert "default_memory_mb" in message and "region" in message
+
 
 class TestFunctionInvocation:
     def invoke(self, platform: Platform, handler, payload=None, memory=256):

@@ -169,3 +169,93 @@ class TestWorkloadCli:
         assert "campaign: 2 cells" in out
         assert "2 workloads" in out
         assert "constant(duration=5,rate=1)" in out
+
+
+class TestPlatformSpecCli:
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps({
+            "platforms": {
+                "cli-test-variant": {"base": "aws",
+                                     "overrides": {"cold_start": "x2"}},
+            }
+        }))
+        return str(path)
+
+    def test_list_prints_eras_and_scenarios(self, tmp_path, capsys):
+        assert main(["list", "--scenarios", self.scenario_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Eras:" in out and "2022" in out and "2024" in out
+        assert "cli-test-variant = aws:scaling.cold_start_median_s=x2" in out
+
+    def test_run_accepts_platform_spec_strings(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        code = main([
+            "run", "function_chain", "--platform", "aws@2022:cold_start=x1.5",
+            "--burst-size", "2", "--output", str(target),
+        ])
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["config"]["era"] == "2022"
+        assert document["config"]["platform_spec"]["base"] == "aws"
+        assert document["config"]["platform_spec"]["overrides"]
+
+    def test_run_with_scenario_name(self, tmp_path, capsys):
+        code = main([
+            "run", "function_chain", "--scenarios", self.scenario_file(tmp_path),
+            "--platform", "cli-test-variant", "--burst-size", "2",
+        ])
+        assert code == 0
+        assert "function_chain on cli-test-variant" in capsys.readouterr().out
+
+    def test_compare_distinguishes_spec_variants(self, capsys):
+        code = main([
+            "compare", "function_chain", "--burst-size", "2",
+            "--platforms", "aws", "aws@2022:cold_start=x3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aws@2022:scaling.cold_start_median_s=x3" in out
+
+    def test_campaign_sweeps_scenario_alongside_spec(self, tmp_path, capsys):
+        """Acceptance: a scenario-file variant sweeps next to aws@2022-style
+        specs from the CLI, with cache-able spec-aware fingerprints."""
+        cache = str(tmp_path / "cache")
+        argv = [
+            "campaign", "--benchmarks", "function_chain",
+            "--scenarios", self.scenario_file(tmp_path),
+            "--platforms", "aws@2022", "cli-test-variant",
+            "--seeds", "1", "--burst-size", "2", "--workers", "1",
+            "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 cells" in out
+        assert "aws:scaling.cold_start_median_s=x2" in out
+        assert main(argv) == 0
+        assert "cache: 2/2 cells" in capsys.readouterr().out
+
+    def test_unknown_platform_or_era_reports_error(self, capsys):
+        assert main(["run", "ml", "--platform", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["run", "ml", "--era", "1999"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["campaign", "--benchmarks", "ml", "--eras", "1999"]) == 2
+        assert "unknown era" in capsys.readouterr().err
+        assert main(["campaign", "--benchmarks", "ml", "--platforms", "aws@1999"]) == 2
+        assert "unknown era" in capsys.readouterr().err
+
+    def test_missing_scenario_file_reports_error(self, capsys):
+        assert main(["list", "--scenarios", "/nonexistent/scenarios.toml"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_header_counts_era_pinned_variants(self, tmp_path, capsys):
+        code = main([
+            "campaign", "--benchmarks", "function_chain",
+            "--platforms", "aws@2022", "gcp", "--eras", "2022", "2024",
+            "--seeds", "1", "--burst-size", "2", "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 3 cells" in out
+        assert "3 platform-era variants" in out
