@@ -24,6 +24,16 @@ Usage examples::
     repro-flow campaign --benchmarks ml --workload burst poisson:rate=5,duration=30
     repro-flow campaign --benchmarks ml --scenarios scenarios.toml \
         --platforms aws my-custom-variant
+
+Campaigns scale across hosts through a shared run directory (see
+``repro.faas.grid``): each host executes one planner shard, progress streams
+into per-shard logs, and an interrupted run resumes where it left off::
+
+    repro-flow campaign --benchmarks ml --run-dir /shared/run1 --shard 0/2
+    repro-flow campaign --benchmarks ml --run-dir /shared/run1 --shard 1/2
+    repro-flow campaign-status /shared/run1
+    repro-flow campaign-merge /shared/run1 --output campaign.json
+    repro-flow campaign --resume /shared/run1
 """
 
 from __future__ import annotations
@@ -31,12 +41,27 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .analysis import report
 from .benchmarks import benchmark_names, get_benchmark
 from .core.transcription import AWSTranscriber, AzureTranscriber, GCPTranscriber
-from .faas import CampaignSpec, compare_platforms, run_benchmark, run_campaign
+from .faas import (
+    CampaignError,
+    CampaignSpec,
+    GridRun,
+    compare_platforms,
+    grid_status,
+    merge_run,
+    parse_shard,
+    probe_cache,
+    run_benchmark,
+    run_campaign,
+    run_grid_worker,
+    shard_of,
+)
+from .faas.grid import DEFAULT_LEASE_TTL_S
 from .faas.results import result_to_dict
 from .sim.platforms.spec import (
     DEFAULT_ERA,
@@ -132,9 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="run a benchmarks x platforms x eras x memory x seeds sweep in parallel",
     )
-    campaign.add_argument("--benchmarks", nargs="+", required=True)
+    # Spec-shaping flags default to None (the effective defaults are applied
+    # in _cmd_campaign): --resume reads the spec from the run directory, and
+    # a None default is how an explicitly passed flag -- which would be
+    # silently ignored there -- is detected and rejected.
+    campaign.add_argument("--benchmarks", nargs="+", default=None)
     campaign.add_argument(
-        "--platforms", nargs="+", default=["gcp", "aws", "azure"], help=platform_help
+        "--platforms", nargs="+", default=None,
+        help=f"{platform_help} (default: gcp aws azure)",
     )
     campaign.add_argument("--eras", nargs="+", default=None, help=era_help)
     campaign.add_argument("--scenarios", default=None, help=scenarios_help)
@@ -143,12 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory configurations in MB (default: each benchmark's own configuration)",
     )
     campaign.add_argument(
-        "--seeds", type=int, default=2, help="number of seed replicates per cell"
+        "--seeds", type=int, default=None,
+        help="number of seed replicates per cell (default: 2)",
     )
-    campaign.add_argument("--base-seed", type=int, default=0)
-    campaign.add_argument("--burst-size", type=int, default=30)
-    campaign.add_argument("--repetitions", type=int, default=1)
-    campaign.add_argument("--mode", choices=("burst", "warm"), default="burst")
+    campaign.add_argument("--base-seed", type=int, default=None,
+                          help="campaign base seed (default: 0)")
+    campaign.add_argument("--burst-size", type=int, default=None,
+                          help="burst size (default: 30)")
+    campaign.add_argument("--repetitions", type=int, default=None,
+                          help="repetitions per cell (default: 1)")
+    campaign.add_argument("--mode", choices=("burst", "warm"), default=None,
+                          help="trigger mode (default: burst)")
     campaign.add_argument(
         "--workload", nargs="+", default=None, dest="workloads",
         help=f"workload sweep dimension; each entry is a {workload_help}",
@@ -162,6 +197,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the per-cell result cache (re-runs skip cached cells)",
     )
     campaign.add_argument("--output", help="write the aggregated campaign result as JSON")
+    campaign.add_argument(
+        "--run-dir", default=None,
+        help="durable grid run directory shared between workers/hosts; progress "
+             "streams into per-shard logs and the run survives interruption",
+    )
+    campaign.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="execute only planner shard I of N (requires --run-dir or --resume); "
+             "disjoint hosts given 0/N .. N-1/N never collide",
+    )
+    campaign.add_argument(
+        "--resume", default=None, metavar="RUN_DIR",
+        help="continue an interrupted grid run from its run directory; the "
+             "campaign spec is read from the directory, so spec flags "
+             "(--benchmarks, --workload, ...) must not be combined with it",
+    )
+    campaign.add_argument(
+        "--dry-run", action="store_true",
+        help="print the expanded cell plan (count, shard assignment with "
+             "--shard, cache hit/miss with --cache-dir) without executing",
+    )
+    campaign.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries per cell for transient worker failures (default: 1)",
+    )
+    campaign.add_argument(
+        "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL_S,
+        help="grid lease time-to-live in seconds; a crashed worker's cells are "
+             "reclaimed after this long (default: %(default)s)",
+    )
+    campaign.add_argument(
+        "--worker-id", default=None,
+        help="grid worker identity in leases/logs (default: hostname-pid)",
+    )
+
+    status = subparsers.add_parser(
+        "campaign-status", help="report per-shard progress of a grid run directory"
+    )
+    status.add_argument("run_dir", help="grid run directory (see campaign --run-dir)")
+
+    merge = subparsers.add_parser(
+        "campaign-merge",
+        help="fold a grid run's shard logs (and cell cache) into one campaign result",
+    )
+    merge.add_argument("run_dir", help="grid run directory (see campaign --run-dir)")
+    merge.add_argument(
+        "--cache-dir", default=None,
+        help="also fold cells from this per-cell result cache",
+    )
+    merge.add_argument(
+        "--partial", action="store_true",
+        help="merge whatever is finished so far (workers may still be live)",
+    )
+    merge.add_argument("--output", help="write the merged campaign result as JSON")
 
     return parser
 
@@ -284,24 +373,104 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_tables(campaign, output: Optional[str]) -> None:
+    print(report.format_table(campaign.comparison_table(), "campaign: platform comparison"))
+    print(report.format_table(campaign.cost_table(), "campaign: cost per 1000 executions [$]"))
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(campaign.to_dict(), handle, indent=2)
+        print(f"aggregated campaign result written to {output}")
+
+
+def _print_campaign_plan(spec: CampaignSpec, shard, cache_dir: Optional[str]) -> int:
+    """The --dry-run view: every cell, its shard, and its cache state."""
+    jobs = spec.expand()
+    rows: List[dict] = []
+    hits = mine = 0
+    for job in jobs:
+        row = {
+            "benchmark": job.benchmark,
+            "platform": job.platform.canonical(),
+            "memory_mb": job.memory_mb if job.memory_mb is not None else "default",
+            "workload": job.workload.canonical(),
+            "seed": job.seed_index,
+            "fingerprint": job.fingerprint()[:12],
+        }
+        if shard is not None:
+            index, count = shard
+            job_shard = shard_of(job.fingerprint(), count)
+            row["shard"] = job_shard
+            row["assigned"] = "this worker" if job_shard == index else ""
+            mine += job_shard == index
+        if cache_dir:
+            cached = probe_cache(cache_dir, job)
+            row["cache"] = "hit" if cached else "miss"
+            hits += cached
+        rows.append(row)
+    print(report.format_table(rows, "campaign plan (dry run)"))
+    summary = f"plan: {len(jobs)} cells"
+    if shard is not None:
+        summary += f", {mine} assigned to shard {shard[0]}/{shard[1]}"
+    if cache_dir:
+        summary += f", {hits} cached / {len(jobs) - hits} to compute"
+    print(summary)
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.scenarios:
         load_scenarios(args.scenarios)
-    unknown = [name for name in args.benchmarks if name not in benchmark_names("all")]
-    if unknown:
-        raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
-    spec = CampaignSpec(
-        benchmarks=args.benchmarks,
-        platforms=args.platforms,
-        eras=args.eras if args.eras else (DEFAULT_ERA,),
-        memory_configs=args.memory_configs if args.memory_configs else (None,),
-        seeds=range(args.seeds),
-        burst_size=args.burst_size,
-        repetitions=args.repetitions,
-        mode=args.mode,
-        base_seed=args.base_seed,
-        workloads=args.workloads or (),
-    )
+    shard = parse_shard(args.shard) if args.shard else None
+
+    run = None
+    if args.resume:
+        # The spec comes from the run directory; spec-shaping flags alongside
+        # --resume would be silently ignored, so reject them loudly.  Every
+        # such flag defaults to None in the parser exactly so an explicitly
+        # passed value is detectable here.
+        conflicting = [
+            flag for flag, provided in (
+                ("--benchmarks", args.benchmarks is not None),
+                ("--platforms", args.platforms is not None),
+                ("--eras", args.eras is not None),
+                ("--memory-configs", args.memory_configs is not None),
+                ("--seeds", args.seeds is not None),
+                ("--burst-size", args.burst_size is not None),
+                ("--repetitions", args.repetitions is not None),
+                ("--mode", args.mode is not None),
+                ("--base-seed", args.base_seed is not None),
+                ("--workload", args.workloads is not None),
+                ("--scenarios", args.scenarios is not None),
+                ("--run-dir", args.run_dir is not None),
+            ) if provided
+        ]
+        if conflicting:
+            raise ValueError(
+                f"--resume reads the campaign spec from the run directory; "
+                f"{', '.join(conflicting)} cannot be combined with it (to "
+                f"change the sweep, start a fresh run directory)"
+            )
+        run = GridRun.open(args.resume)
+        spec = run.spec
+    else:
+        if not args.benchmarks:
+            raise ValueError("--benchmarks is required (or pass --resume RUN_DIR)")
+        unknown = [name for name in args.benchmarks if name not in benchmark_names("all")]
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
+        spec = CampaignSpec(
+            benchmarks=args.benchmarks,
+            platforms=args.platforms if args.platforms is not None else ("gcp", "aws", "azure"),
+            eras=args.eras if args.eras else (DEFAULT_ERA,),
+            memory_configs=args.memory_configs if args.memory_configs else (None,),
+            seeds=range(args.seeds if args.seeds is not None else 2),
+            burst_size=args.burst_size if args.burst_size is not None else 30,
+            repetitions=args.repetitions if args.repetitions is not None else 1,
+            mode=args.mode if args.mode is not None else "burst",
+            base_seed=args.base_seed if args.base_seed is not None else 0,
+            workloads=args.workloads or (),
+        )
+
     jobs = spec.expand()
     # Era-pinned platform specs sweep once instead of crossing the eras
     # dimension, so count the actual platform-era variants.
@@ -312,15 +481,91 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"({len(spec.benchmarks)} benchmarks x {platform_eras} platform-era variants x "
           f"{len(spec.memory_configs)} memory configs x "
           f"{len(spec.workloads)} workloads x {len(spec.seeds)} seeds)")
-    campaign = run_campaign(spec, workers=args.workers, cache_dir=args.cache_dir)
-    if args.cache_dir:
-        print(f"cache: {campaign.cache_hits}/{len(jobs)} cells served from {args.cache_dir}")
-    print(report.format_table(campaign.comparison_table(), "campaign: platform comparison"))
-    print(report.format_table(campaign.cost_table(), "campaign: cost per 1000 executions [$]"))
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(campaign.to_dict(), handle, indent=2)
-        print(f"aggregated campaign result written to {args.output}")
+
+    if run is None and args.run_dir:
+        if not args.dry_run:
+            # No --shard joins an existing run at its own shard count (or
+            # starts a fresh single-shard run).
+            run = GridRun.create(spec, args.run_dir,
+                                 shard_count=shard[1] if shard else None)
+        elif (Path(args.run_dir) / GridRun.MANIFEST).exists():
+            # A dry run must not create the directory, but an existing run
+            # still validates the spec and the --shard argument against it.
+            run = GridRun.create(spec, args.run_dir, shard_count=None)
+
+    if run is not None and shard is not None and shard[1] != run.shard_count:
+        raise ValueError(
+            f"--shard {args.shard} does not match the run directory's "
+            f"{run.shard_count} shard(s)"
+        )
+
+    if args.dry_run:
+        return _print_campaign_plan(spec, shard, args.cache_dir)
+
+    if run is None:
+        if shard is not None:
+            raise ValueError("--shard needs a shared run directory: pass --run-dir "
+                             "(or --resume)")
+        campaign = run_campaign(spec, workers=args.workers, cache_dir=args.cache_dir,
+                                max_retries=args.max_retries)
+        if args.cache_dir:
+            print(f"cache: {campaign.cache_hits}/{len(jobs)} cells served from {args.cache_dir}")
+        _print_campaign_tables(campaign, args.output)
+        return 0
+
+    # Grid path: this invocation is one worker over a shared run directory.
+    worker_report = run_grid_worker(
+        run,
+        shard=shard[0] if shard else None,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        worker_id=args.worker_id,
+        lease_ttl_s=args.lease_ttl,
+        max_retries=args.max_retries,
+    )
+    print(worker_report.describe())
+    for failure in worker_report.failures:
+        print(f"failed: {failure.describe()}", file=sys.stderr)
+    statuses = grid_status(run)
+    print(report.format_table([s.as_row() for s in statuses],
+                              f"grid run {run.run_dir}"))
+    outstanding = sum(s.pending + s.leased + s.failed for s in statuses)
+    if outstanding == 0:
+        print(f"run complete: {len(jobs)}/{len(jobs)} cells done")
+        campaign = merge_run(run, cache_dir=args.cache_dir)
+        _print_campaign_tables(campaign, args.output)
+    else:
+        print(f"run incomplete: {outstanding}/{len(jobs)} cells outstanding; "
+              f"run more shards/workers, then `repro-flow campaign-merge {run.run_dir}`")
+    # Permanently failed cells exit 3 exactly like the in-process path's
+    # CampaignError, so wrappers can key on one code for "cells failed".
+    return 3 if worker_report.failed else 0
+
+
+def _cmd_campaign_status(run_dir: str) -> int:
+    run = GridRun.open(run_dir)
+    statuses = grid_status(run)
+    print(report.format_table([s.as_row() for s in statuses],
+                              f"grid run {run.run_dir} ({run.shard_count} shard(s))"))
+    total = sum(s.total for s in statuses)
+    done = sum(s.done for s in statuses)
+    failed = sum(s.failed for s in statuses)
+    leased = sum(s.leased for s in statuses)
+    pending = sum(s.pending for s in statuses)
+    print(f"cells: {done}/{total} done, {failed} failed, {leased} leased, "
+          f"{pending} pending")
+    if done == total:
+        print("run complete")
+    return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    run = GridRun.open(args.run_dir)
+    campaign = merge_run(run, cache_dir=args.cache_dir, allow_partial=args.partial)
+    total = len(run.spec.expand())
+    print(f"merged {len(campaign.cells)}/{total} cells "
+          f"({campaign.cache_hits} served from cache)")
+    _print_campaign_tables(campaign, args.output)
     return 0
 
 
@@ -339,9 +584,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "campaign-status":
+            return _cmd_campaign_status(args.run_dir)
+        if args.command == "campaign-merge":
+            return _cmd_campaign_merge(args)
+    except CampaignError as exc:
+        # Name the failures, then surface the salvaged cells: without a
+        # --cache-dir the partial result on the exception is the only copy
+        # of the completed work, so print it and honour --output.
+        print(f"error: {exc}", file=sys.stderr)
+        partial = exc.partial
+        if partial is not None and partial.cells:
+            print(f"salvaged {len(partial.cells)} completed cell(s) "
+                  f"before the failure:")
+            _print_campaign_tables(partial, getattr(args, "output", None))
+        return 3
     except (KeyError, ValueError, OSError, ImportError) as exc:
-        # OSError covers unreadable --scenarios / --output / trace files;
-        # ImportError covers TOML scenario files on Python < 3.11.
+        # OSError covers unreadable --scenarios / --output / trace files and
+        # missing grid run directories; ImportError covers TOML scenario
+        # files on Python < 3.11.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 1  # pragma: no cover - unreachable with required subparsers

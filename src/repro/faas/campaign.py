@@ -31,7 +31,9 @@ import hashlib
 import json
 import os
 import statistics
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -163,9 +165,18 @@ class CampaignJob:
         )
 
     def fingerprint(self) -> str:
-        """Stable cache key covering everything that influences the result."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
-        return hashlib.sha256(f"v{CACHE_VERSION}:{canonical}".encode()).hexdigest()
+        """Stable cache key covering everything that influences the result.
+
+        Memoized: the grid paths consult the fingerprint many times per cell
+        (shard assignment, leases, logs, merge), and the job is frozen, so
+        the digest is computed once per instance.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            canonical = json.dumps(self.to_dict(), sort_keys=True)
+            cached = hashlib.sha256(f"v{CACHE_VERSION}:{canonical}".encode()).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
 
 @dataclass
@@ -297,6 +308,33 @@ class CampaignSpec:
             "base_seed": self.base_seed,
             "workloads": [w.to_dict() for w in self.workloads],
         }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        The round trip is exact: the rebuilt spec expands to jobs with the
+        same fingerprints, so a run directory created on one host describes
+        the identical campaign on every other host.
+        """
+        return cls(
+            benchmarks=[str(name) for name in document["benchmarks"]],  # type: ignore[union-attr]
+            platforms=list(document["platforms"]),  # type: ignore[arg-type]
+            eras=list(document["eras"]),  # type: ignore[arg-type]
+            memory_configs=[
+                int(value) if value is not None else None
+                for value in document.get("memory_configs", [None])  # type: ignore[union-attr]
+            ],
+            seeds=[int(value) for value in document["seeds"]],  # type: ignore[union-attr]
+            burst_size=int(document.get("burst_size", 30)),  # type: ignore[arg-type]
+            repetitions=int(document.get("repetitions", 1)),  # type: ignore[arg-type]
+            mode=str(document.get("mode", "burst")),
+            base_seed=int(document.get("base_seed", 0)),  # type: ignore[arg-type]
+            workloads=[
+                WorkloadSpec.from_dict(entry)  # type: ignore[arg-type]
+                for entry in document.get("workloads", [])  # type: ignore[union-attr]
+            ],
+        )
 
 
 def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
@@ -543,7 +581,8 @@ def _cache_path(cache_dir: Path, job: CampaignJob) -> Path:
     return cache_dir / f"{job.fingerprint()}.json"
 
 
-def _load_cached(cache_dir: Optional[Path], job: CampaignJob) -> Optional[ExperimentResult]:
+def _load_cached_document(cache_dir: Optional[Path], job: CampaignJob) -> Optional[Dict[str, object]]:
+    """The raw serialised result document of a cached cell, if valid."""
     if cache_dir is None:
         return None
     if not is_builtin_spec(job.platform):
@@ -562,10 +601,25 @@ def _load_cached(cache_dir: Optional[Path], job: CampaignJob) -> Optional[Experi
         return None
     if document.get("fingerprint") != job.fingerprint():
         return None
+    result_doc = document.get("result")
+    return result_doc if isinstance(result_doc, dict) else None
+
+
+def _load_cached(cache_dir: Optional[Path], job: CampaignJob) -> Optional[ExperimentResult]:
+    document = _load_cached_document(cache_dir, job)
+    if document is None:
+        return None
     try:
-        return result_from_dict(document["result"])
+        return result_from_dict(document)
     except (KeyError, TypeError, ValueError):
         return None
+
+
+def probe_cache(cache_dir: Optional[Union[str, Path]], job: CampaignJob) -> bool:
+    """True when the cell cache already holds this job's result (dry runs)."""
+    if cache_dir is None:
+        return False
+    return _load_cached_document(Path(cache_dir), job) is not None
 
 
 def _store_cached(cache_dir: Optional[Path], job: CampaignJob, document: Dict[str, object]) -> None:
@@ -587,11 +641,207 @@ def _store_cached(cache_dir: Optional[Path], job: CampaignJob, document: Dict[st
 
 
 # ------------------------------------------------------------------ execution
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that still failed after every retry."""
+
+    job: CampaignJob
+    error: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"cell {self.job.fingerprint()[:12]} {self.job.cell_key!r}: "
+            f"{self.error} (after {self.attempts} attempt(s))"
+        )
+
+
+class CampaignError(RuntimeError):
+    """Some campaign cells failed permanently.
+
+    Raised only after every in-flight cell has been drained and every
+    completed cell has been salvaged: written to the cache/logs when the run
+    has one, and in any case carried on the exception as ``partial`` (a
+    :class:`CampaignResult` of the completed cells), so an operator can fix
+    the cause and re-run just the failed cells.  ``failures`` names each
+    failed job by fingerprint and cell key.
+    """
+
+    def __init__(self, failures: Sequence[CellFailure],
+                 partial: Optional["CampaignResult"] = None):
+        self.failures = list(failures)
+        self.partial = partial
+        details = "\n  ".join(failure.describe() for failure in self.failures)
+        super().__init__(f"{len(self.failures)} campaign cell(s) failed:\n  {details}")
+
+
+def run_cells(
+    pending: Sequence[CampaignJob],
+    workers: Optional[int],
+    finish: Callable[[CampaignJob, Dict[str, object]], None],
+    fail: Callable[[CellFailure], None],
+    *,
+    max_retries: int = 1,
+    admit: Optional[Callable[[CampaignJob], bool]] = None,
+    skip: Optional[Callable[[CampaignJob], None]] = None,
+    tick: Optional[Callable[[], None]] = None,
+    tick_interval_s: Optional[float] = None,
+) -> None:
+    """The cell-execution core shared by :func:`run_campaign` and the grid.
+
+    Runs every admitted cell, serially (``workers <= 1``) or over a
+    ``ProcessPoolExecutor``.  A raising cell is retried up to ``max_retries``
+    times and then reported through ``fail`` -- one bad cell never aborts the
+    rest of the batch.  The hooks exist for the distributed grid path:
+
+    * ``admit`` is consulted once per cell just before its first attempt
+      (lease claiming); returning False routes the cell to ``skip`` instead
+      of executing it.  Retries of an admitted cell are not re-admitted.
+    * ``tick`` fires at least every ``tick_interval_s`` seconds while cells
+      are in flight on the pool, and between serial attempts (lease
+      heartbeat renewal).
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    jobs = list(pending)
+    if not jobs:
+        return
+    if workers is None:
+        workers = min(len(jobs), os.cpu_count() or 1)
+
+    # Jobs not yet finished/failed/skipped, and which of them already passed
+    # admission -- the drain list if the process pool itself dies.
+    remaining: Dict[str, CampaignJob] = {job.fingerprint(): job for job in jobs}
+    admitted: set = set()
+
+    def settle(job: CampaignJob) -> None:
+        remaining.pop(job.fingerprint(), None)
+
+    def attempt(job: CampaignJob, pre_admitted: bool = False,
+                isolated: bool = False) -> None:
+        if not pre_admitted:
+            if admit is not None and not admit(job):
+                settle(job)
+                if skip is not None:
+                    skip(job)
+                return
+            admitted.add(job.fingerprint())
+        last: Optional[BaseException] = None
+        for _ in range(max_retries + 1):
+            if tick is not None:
+                tick()
+            try:
+                if isolated:
+                    # One fresh single-cell pool per attempt: a cell that
+                    # hard-kills its host process (OOM, segfault) burns its
+                    # retries and becomes a CellFailure instead of taking
+                    # this process -- and all undrained results -- with it.
+                    with ProcessPoolExecutor(max_workers=1) as solo:
+                        document = solo.submit(_execute_job, job.to_dict()).result()
+                else:
+                    document = _execute_job(job.to_dict())
+            except Exception as exc:  # noqa: BLE001 - isolate per-cell faults
+                last = exc
+                continue
+            settle(job)
+            finish(job, document)
+            return
+        settle(job)
+        fail(CellFailure(job=job, error=f"{type(last).__name__}: {last}",
+                         attempts=max_retries + 1))
+
+    if workers <= 1:
+        for job in jobs:
+            attempt(job)
+        return
+
+    # Cells whose platform or era exists only in this process's registry
+    # (runtime register_platform/register_era calls) cannot be resolved by
+    # freshly spawned workers -- scenario references are already expanded,
+    # but a custom factory is not picklable state.  Run those cells in the
+    # parent while the pool churns through the portable ones.
+    portable = [job for job in jobs if is_builtin_spec(job.platform)]
+    local = [job for job in jobs if not is_builtin_spec(job.platform)]
+    if not portable:
+        for job in local:
+            attempt(job)
+        return
+
+    attempts: Dict[str, int] = {}
+    queue = deque(portable)
+    # Submission happens in windows rather than all at once so that, on the
+    # grid, a cell is only lease-claimed shortly before it can actually run
+    # -- late-joining workers pick up the unclaimed remainder of a shard.
+    window = workers * 2
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(portable))) as pool:
+            live: Dict[Future, CampaignJob] = {}
+
+            def refill() -> None:
+                while queue and len(live) < window:
+                    job = queue.popleft()
+                    if admit is not None and not admit(job):
+                        settle(job)
+                        if skip is not None:
+                            skip(job)
+                        continue
+                    admitted.add(job.fingerprint())
+                    attempts[job.fingerprint()] = 1
+                    live[pool.submit(_execute_job, job.to_dict())] = job
+
+            refill()
+            while live:
+                done, _ = wait(live, timeout=tick_interval_s, return_when=FIRST_COMPLETED)
+                if tick is not None:
+                    tick()
+                for future in done:
+                    job = live.pop(future)
+                    try:
+                        document = future.result()
+                    except BrokenProcessPool:
+                        raise  # the pool died, not the cell: drain serially below
+                    except Exception as exc:  # noqa: BLE001 - isolate per-cell faults
+                        count = attempts.get(job.fingerprint(), 1)
+                        if count <= max_retries:
+                            attempts[job.fingerprint()] = count + 1
+                            live[pool.submit(_execute_job, job.to_dict())] = job
+                        else:
+                            settle(job)
+                            fail(CellFailure(job=job,
+                                             error=f"{type(exc).__name__}: {exc}",
+                                             attempts=count))
+                    else:
+                        settle(job)
+                        finish(job, document)
+                refill()
+            # Local cells run in the parent *after* the pooled loop: while
+            # the pool churns, the parent sits in wait() firing tick()
+            # heartbeats, which a long local cell executing here would
+            # starve -- letting a rival reclaim every in-flight pooled
+            # cell's lease mid-run.
+            for job in local:
+                attempt(job)
+    except BrokenProcessPool:
+        # A pool worker was killed hard (OOM killer, segfault) and took the
+        # executor down with it.  That must not abort the campaign: every
+        # unfinished cell -- in flight, queued, or local -- is drained with
+        # the usual per-cell fault isolation.  The killer may be any of the
+        # cells that were in flight and may crash deterministically, so
+        # portable cells are drained in fresh single-cell pools, never in
+        # this process.  Local cells stay in-parent (they never entered the
+        # pool, so they cannot be the killer, and a fresh pool under the
+        # spawn start method could not resolve their runtime registrations).
+        for fingerprint, job in list(remaining.items()):
+            attempt(job, pre_admitted=fingerprint in admitted,
+                    isolated=is_builtin_spec(job.platform))
+
+
 def run_campaign(
     spec: CampaignSpec,
     workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[CampaignJob, bool], None]] = None,
+    max_retries: int = 1,
 ) -> CampaignResult:
     """Execute a campaign, one worker process per CPU by default.
 
@@ -601,6 +851,14 @@ def run_campaign(
     are loaded from disk instead of recomputed, and fresh cells are written
     back.  ``progress`` is called once per finished cell with the job and
     whether it was served from cache.
+
+    A raising cell is retried ``max_retries`` times (transient worker
+    failures); cells that keep failing are collected and raised as one
+    :class:`CampaignError` -- but only after every other cell has finished
+    and been salvaged to the cache, so no completed work is ever lost.
+
+    For multi-host execution over a shared run directory, see
+    :mod:`repro.faas.grid`.
     """
     jobs = spec.expand()
     cache_path = Path(cache_dir) if cache_dir is not None else None
@@ -616,46 +874,25 @@ def run_campaign(
         else:
             pending.append(job)
 
-    if pending:
-        if workers is None:
-            workers = min(len(pending), os.cpu_count() or 1)
+    failures: List[CellFailure] = []
 
-        def finish(job: CampaignJob, document: Dict[str, object]) -> None:
-            # Cache (and report) every cell as soon as it completes, so an
-            # interrupted campaign keeps the work it already did.
-            _store_cached(cache_path, job, document)
-            results[job.fingerprint()] = (result_from_dict(document), False)
-            if progress is not None:
-                progress(job, False)
+    def finish(job: CampaignJob, document: Dict[str, object]) -> None:
+        # Cache (and report) every cell as soon as it completes, so an
+        # interrupted campaign keeps the work it already did.
+        _store_cached(cache_path, job, document)
+        results[job.fingerprint()] = (result_from_dict(document), False)
+        if progress is not None:
+            progress(job, False)
 
-        if workers <= 1:
-            for job in pending:
-                finish(job, _execute_job(job.to_dict()))
-        else:
-            # Cells whose platform or era exists only in this process's
-            # registry (runtime register_platform/register_era calls) cannot
-            # be resolved by freshly spawned workers -- scenario references
-            # are already expanded, but a custom factory is not picklable
-            # state.  Run those cells in the parent while the pool churns
-            # through the portable ones.
-            portable = [job for job in pending if is_builtin_spec(job.platform)]
-            local = [job for job in pending if not is_builtin_spec(job.platform)]
-            if not portable:
-                for job in local:
-                    finish(job, _execute_job(job.to_dict()))
-            else:
-                with ProcessPoolExecutor(max_workers=min(workers, len(portable))) as pool:
-                    futures = {
-                        pool.submit(_execute_job, job.to_dict()): job for job in portable
-                    }
-                    for job in local:
-                        finish(job, _execute_job(job.to_dict()))
-                    for future in as_completed(futures):
-                        finish(futures[future], future.result())
-
+    run_cells(pending, workers, finish, failures.append, max_retries=max_retries)
     cells = [
-        CampaignCell(job=job, result=results[job.fingerprint()][0],
-                     from_cache=results[job.fingerprint()][1])
+        CampaignCell(job=job, result=results[fingerprint][0],
+                     from_cache=results[fingerprint][1])
         for job in jobs
+        if (fingerprint := job.fingerprint()) in results
     ]
+    if failures:
+        # Without a cache_dir the on-disk salvage is a no-op, so the
+        # completed cells ride along on the exception instead of being lost.
+        raise CampaignError(failures, partial=CampaignResult(spec=spec, cells=cells))
     return CampaignResult(spec=spec, cells=cells)

@@ -1,0 +1,734 @@
+"""Sharded, resumable, multi-host campaign execution with streaming aggregation.
+
+:func:`~repro.faas.campaign.run_campaign` executes a campaign inside a single
+process tree.  This module scales the same campaigns across any number of
+worker processes on any number of hosts that share one *run directory* (local
+disk, NFS, or a synced volume) -- the execution fabric of the full paper
+evaluation.  Cell fingerprints already make cells location-independent, so
+the grid only has to coordinate *who runs what*:
+
+* **shard planner** -- :func:`plan_shards` deterministically partitions the
+  expanded cells by fingerprint, so disjoint hosts given ``--shard 0/4`` ..
+  ``--shard 3/4`` never even look at each other's cells;
+* **lease queue** -- within a shard, :class:`LeaseQueue` hands out TTL leases
+  via atomic hard-link claim files, so ad-hoc workers can join or leave and a
+  crashed worker's cells are reclaimed once its lease expires;
+* **streaming result log** -- workers append finished cells to per-shard
+  JSONL logs (:class:`~repro.faas.results.ResultLog`) as they complete, so
+  progress is durable and observable while the run is live;
+* **merge and status** -- :func:`merge_run` folds the logs (plus the ordinary
+  cell cache) into a :class:`~repro.faas.campaign.CampaignResult` one record
+  at a time, idempotently and order-independently; :func:`grid_status`
+  reports done/failed/leased/pending counts per shard.
+
+Layout of a run directory::
+
+    RUN_DIR/
+      grid.json                   campaign spec + shard count + versions
+      leases/<fingerprint>.lease  live claims: {worker, deadline}
+      results/shard-0000.jsonl    streaming per-cell result documents
+
+Every operation is a plain file read, append, link, or rename -- there is no
+coordinator process to start, and any worker (or an operator's status/merge
+invocation) can run at any time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .campaign import (
+    CACHE_VERSION,
+    CampaignCell,
+    CampaignJob,
+    CampaignResult,
+    CampaignSpec,
+    CellFailure,
+    _load_cached,
+    _load_cached_document,
+    _store_cached,
+    run_cells,
+)
+from .experiment import ExperimentResult
+from .results import ResultLog, result_from_dict
+
+#: Bump when the run-directory layout changes incompatibly.
+GRID_VERSION = 1
+
+#: Default lease time-to-live.  A pooled worker (workers > 1) heartbeats its
+#: leases several times per TTL even while cells are executing, so there the
+#: TTL only needs to cover scheduling hiccups.  A serial worker (workers=1)
+#: renews only *between* cells, so its TTL must cover the longest single
+#: cell runtime -- or a concurrent worker may reclaim and duplicate the cell
+#: mid-flight (harmless for correctness, the merge deduplicates, but wasted
+#: compute).
+DEFAULT_LEASE_TTL_S = 300.0
+
+
+# ------------------------------------------------------------- shard planner
+def shard_of(fingerprint: str, shard_count: int) -> int:
+    """The shard owning a cell: the fingerprint's leading 64 bits mod N.
+
+    Depends only on the SHA-256 cell fingerprint, so every process on every
+    host -- regardless of ``PYTHONHASHSEED``, platform, or the order cells
+    are considered in -- assigns each cell to the same shard.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    return int(fingerprint[:16], 16) % shard_count
+
+
+def plan_shards(spec: CampaignSpec, shard_count: int) -> List[List[CampaignJob]]:
+    """Partition the expanded cells into ``shard_count`` disjoint shards.
+
+    Every cell lands in exactly one shard; within a shard, cells keep the
+    spec's deterministic expansion order.  Fingerprint hashing spreads cells
+    roughly evenly without any global coordination.
+    """
+    shards: List[List[CampaignJob]] = [[] for _ in range(shard_count)]
+    for job in spec.expand():
+        shards[shard_of(job.fingerprint(), shard_count)].append(job)
+    return shards
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``i/N`` shard argument into ``(index, count)``."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like i/N with 0 <= i < N, e.g. 0/4: {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"shard index out of range: {text!r}")
+    return index, count
+
+
+def _safe_worker_id(worker_id: str) -> str:
+    """A filesystem-safe worker identity (used in lease and log file names)."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", worker_id).strip("._-")
+    return cleaned or "worker"
+
+
+# --------------------------------------------------------------- lease queue
+@dataclass
+class LeaseQueue:
+    """File-based TTL leases over a shared directory.
+
+    A claim atomically hard-links a uniquely named temp file onto
+    ``<fingerprint>.lease`` -- ``link(2)`` fails if the target exists, so
+    exactly one contender wins no matter how many workers race.  Reclaiming
+    an expired lease first renames it onto a unique tombstone; the rename
+    succeeds for exactly one contender, so two workers never both adopt the
+    same crashed worker's cell.
+
+    A worker that merely stalls past its TTL is *not* fenced: its cell may be
+    re-executed elsewhere.  That is safe here -- cells are deterministic and
+    the merge step deduplicates by fingerprint -- so the queue prefers
+    availability over exclusivity.
+
+    A finished cell's lease becomes a permanent *done marker*
+    (:meth:`mark_done`): unlike a released or expired lease it can never be
+    claimed again, so workers whose startup scan predates the completion do
+    not re-execute cells that are already in the logs.
+    """
+
+    directory: Union[str, Path]
+    worker_id: str
+    ttl_s: float = DEFAULT_LEASE_TTL_S
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> Path:
+        return Path(self.directory) / f"{fingerprint}.lease"
+
+    def _write_claim(self, fingerprint: str) -> Path:
+        temp = Path(self.directory) / (
+            f".{fingerprint}.{self.worker_id}.{uuid.uuid4().hex}.tmp"
+        )
+        temp.write_text(json.dumps({
+            "fingerprint": fingerprint,
+            "worker": self.worker_id,
+            "deadline": time.time() + self.ttl_s,
+        }))
+        return temp
+
+    def claim(self, fingerprint: str) -> bool:
+        """Try to acquire the lease; True when this worker now holds it."""
+        path = self._path(fingerprint)
+        temp = self._write_claim(fingerprint)
+        try:
+            try:
+                os.link(temp, path)
+                return True
+            except FileExistsError:
+                pass
+            holder = self.read(fingerprint)
+            if holder is not None and holder.get("done"):
+                return False  # the cell is finished and logged; never re-claim
+            if holder is not None and float(holder.get("deadline", 0)) >= time.time():
+                return False  # live lease held by someone else
+            # Expired or unreadable: tombstone-rename it out of the way.
+            # Exactly one contender's rename succeeds.
+            tombstone = Path(self.directory) / f".{fingerprint}.expired.{uuid.uuid4().hex}"
+            try:
+                os.rename(path, tombstone)
+            except FileNotFoundError:
+                pass  # the holder released, or a rival tombstoned it first
+            else:
+                # Verify the rename swept up what we observed: a rival may
+                # have reclaimed and re-linked a *fresh* claim (or a done
+                # marker) between our read and our rename.  If so, restore
+                # it and back off instead of stealing a live lease.
+                try:
+                    snatched = json.loads(tombstone.read_text())
+                except (OSError, json.JSONDecodeError):
+                    snatched = None
+                if isinstance(snatched, dict) and (
+                    snatched.get("done")
+                    or float(snatched.get("deadline", 0)) >= time.time()
+                ):
+                    try:
+                        os.link(tombstone, path)
+                    except FileExistsError:
+                        pass  # a third claim already took the slot
+                    tombstone.unlink(missing_ok=True)
+                    return False
+                tombstone.unlink(missing_ok=True)
+            try:
+                os.link(temp, path)
+                return True
+            except FileExistsError:
+                return False  # a rival claimed between the rename and link
+        finally:
+            temp.unlink(missing_ok=True)
+
+    def read(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        try:
+            document = json.loads(self._path(fingerprint).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def renew(self, fingerprint: str) -> bool:
+        """Heartbeat: push our lease's deadline out by another TTL.
+
+        Returns False -- without touching the file -- when the lease is no
+        longer ours: a worker that stalled past its TTL and was reclaimed
+        must not clobber the reclaimer's live claim.  (A read-then-replace
+        window remains in which a rival reclaims between the ownership check
+        and the rename; the consequence is bounded -- the cell runs twice
+        and the merge deduplicates -- and closing it would need real file
+        locking, which NFS makes unreliable.)
+        """
+        holder = self.read(fingerprint)
+        if holder is None or holder.get("worker") != self.worker_id:
+            return False
+        temp = self._write_claim(fingerprint)
+        os.replace(temp, self._path(fingerprint))
+        return True
+
+    def mark_done(self, fingerprint: str) -> None:
+        """Replace the lease with a permanent done marker.
+
+        The cell's result is in the logs, so no later claim should ever
+        succeed: a worker whose startup scan predates this completion would
+        otherwise find the lease gone, reclaim the cell, and recompute it.
+        The marker is written unconditionally -- even if the lease was
+        reclaimed from us mid-cell, the cell *is* done.
+        """
+        temp = Path(self.directory) / (
+            f".{fingerprint}.{self.worker_id}.{uuid.uuid4().hex}.tmp"
+        )
+        temp.write_text(json.dumps({
+            "fingerprint": fingerprint,
+            "worker": self.worker_id,
+            "done": True,
+        }))
+        os.replace(temp, self._path(fingerprint))
+
+    def release(self, fingerprint: str) -> None:
+        """Drop our lease; a rival's claim (after reclaiming us) is left alone.
+
+        Only a lease confirmed to be ours is unlinked: if the file is absent
+        or unreadable (e.g. mid-way through a rival's tombstone reclaim),
+        releasing is a no-op rather than a risk of deleting the rival's fresh
+        claim an instant after it appears.
+        """
+        holder = self.read(fingerprint)
+        if holder is None or holder.get("worker") != self.worker_id:
+            return
+        self._path(fingerprint).unlink(missing_ok=True)
+
+    def active(self) -> Dict[str, Dict[str, object]]:
+        """All unexpired leases, keyed by fingerprint."""
+        now = time.time()
+        leases: Dict[str, Dict[str, object]] = {}
+        for path in sorted(Path(self.directory).glob("*.lease")):
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(document, dict):
+                continue
+            if float(document.get("deadline", 0)) >= now:
+                leases[str(document.get("fingerprint", path.stem))] = document
+        return leases
+
+
+# ----------------------------------------------------------------- run state
+@dataclass
+class GridScan:
+    """One streaming pass over the shard logs: who is done, who failed."""
+
+    completed: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    failed: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+@dataclass
+class GridRun:
+    """A durable, shareable campaign run directory."""
+
+    run_dir: Path
+    spec: CampaignSpec
+    shard_count: int
+
+    MANIFEST = "grid.json"
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        spec: CampaignSpec,
+        run_dir: Union[str, Path],
+        shard_count: Optional[int] = 1,
+    ) -> "GridRun":
+        """Initialise a run directory, or join it if it already exists.
+
+        Joining verifies that the directory was initialised for the *same*
+        campaign (identical spec document and shard count); a mismatch is an
+        error rather than a silent mixture of two different sweeps.  Passing
+        ``shard_count=None`` joins an existing run at whatever shard count it
+        was initialised with (a fresh run defaults to one shard) -- the
+        "help finish this run, any shard" entry.
+        """
+        if shard_count is not None and shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        run_path = Path(run_dir)
+        manifest_path = run_path / cls.MANIFEST
+        spec_document = json.loads(json.dumps(spec.to_dict()))
+        def join() -> "GridRun":
+            manifest = cls._read_manifest(manifest_path)
+            if shard_count is not None and int(manifest["shard_count"]) != shard_count:
+                raise ValueError(
+                    f"run directory {run_path} was initialised with "
+                    f"{manifest['shard_count']} shard(s), not {shard_count}"
+                )
+            if manifest["spec"] != spec_document:
+                raise ValueError(
+                    f"run directory {run_path} was initialised for a different "
+                    f"campaign spec; start a fresh run directory"
+                )
+            return cls._from_manifest(run_path, manifest)
+
+        if manifest_path.exists():
+            return join()
+        (run_path / "leases").mkdir(parents=True, exist_ok=True)
+        (run_path / "results").mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "grid_version": GRID_VERSION,
+            "cache_version": CACHE_VERSION,
+            "shard_count": int(shard_count) if shard_count is not None else 1,
+            "spec": spec_document,
+        }
+        temp = run_path / f".{cls.MANIFEST}.{uuid.uuid4().hex}.tmp"
+        temp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        try:
+            # Exclusive link, like a lease claim: when two hosts race to
+            # initialise the same fresh directory, exactly one manifest wins
+            # and the loser validates against it instead of replacing it.
+            os.link(temp, manifest_path)
+        except FileExistsError:
+            return join()
+        finally:
+            temp.unlink(missing_ok=True)
+        return cls._from_manifest(run_path, manifest)
+
+    @classmethod
+    def open(cls, run_dir: Union[str, Path]) -> "GridRun":
+        """Open an existing run directory (the resume/status/merge entry)."""
+        run_path = Path(run_dir)
+        manifest_path = run_path / cls.MANIFEST
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"{run_path} is not a grid run directory (no {cls.MANIFEST})"
+            )
+        return cls._from_manifest(run_path, cls._read_manifest(manifest_path))
+
+    @classmethod
+    def _read_manifest(cls, path: Path) -> Dict[str, object]:
+        manifest = json.loads(path.read_text())
+        if manifest.get("grid_version") != GRID_VERSION:
+            raise ValueError(
+                f"{path} has grid_version {manifest.get('grid_version')!r}; "
+                f"this build speaks {GRID_VERSION}"
+            )
+        if manifest.get("cache_version") != CACHE_VERSION:
+            # Result documents in the logs were produced under different cell
+            # semantics; merging them would silently mix incompatible data.
+            raise ValueError(
+                f"{path} was produced with cell-cache version "
+                f"{manifest.get('cache_version')!r} (current: {CACHE_VERSION}); "
+                f"start a fresh run directory"
+            )
+        return manifest
+
+    @classmethod
+    def _from_manifest(cls, run_path: Path, manifest: Dict[str, object]) -> "GridRun":
+        # Always rebuild the spec from the manifest document (not from the
+        # caller's in-memory spec) so every host merges from bit-identical
+        # state.
+        return cls(
+            run_dir=run_path,
+            spec=CampaignSpec.from_dict(manifest["spec"]),  # type: ignore[arg-type]
+            shard_count=int(manifest["shard_count"]),  # type: ignore[arg-type]
+        )
+
+    # -- layout -------------------------------------------------------------
+    @property
+    def leases_dir(self) -> Path:
+        return self.run_dir / "leases"
+
+    @property
+    def results_dir(self) -> Path:
+        return self.run_dir / "results"
+
+    def shard_log(self, shard: int, worker_id: str) -> ResultLog:
+        """This worker's private append segment of a shard's result stream.
+
+        Each worker appends to its own file, so no two processes -- let alone
+        two hosts over NFS, where ``O_APPEND`` is not atomic -- ever write
+        the same log file.  Readers fold all of a shard's segments together
+        (:meth:`iter_shard_records`); the merge is order-independent, so the
+        segmentation is invisible to consumers.
+        """
+        return ResultLog(
+            self.results_dir / f"shard-{shard:04d}.{_safe_worker_id(worker_id)}.jsonl"
+        )
+
+    def iter_shard_records(self, shard: int):
+        """Every record of a shard, streamed across all worker segments."""
+        for path in sorted(self.results_dir.glob(f"shard-{shard:04d}.*.jsonl")):
+            yield from ResultLog(path)
+
+    # -- state --------------------------------------------------------------
+    def scan(self, shard: Optional[int] = None) -> GridScan:
+        """Stream the shard logs once and classify cells.
+
+        ``shard`` limits the scan to one shard's logs (what a shard-pinned
+        worker needs at startup); ``None`` scans the whole run.  A success
+        record wins over any failure record for the same cell (a resumed
+        worker retrying a previously failed cell appends the success after
+        the failure), and duplicate successes collapse to the first.  Result
+        payloads are dropped from the retained records -- the scan is
+        bookkeeping (who is done, who failed, by which worker), so its memory
+        footprint stays per-cell-constant however large the results are;
+        :func:`merge_run` streams the payloads separately.
+        """
+        scan = GridScan()
+        shards = range(self.shard_count) if shard is None else (shard,)
+        for shard_index in shards:
+            for record in self.iter_shard_records(shard_index):
+                fingerprint = str(record.get("fingerprint", ""))
+                if not fingerprint:
+                    continue
+                if isinstance(record.get("result"), dict):
+                    # Mirror merge_run's structural check: a record whose
+                    # payload cannot possibly merge must not mark the cell
+                    # done, or it could never be recomputed.
+                    slim = {key: value for key, value in record.items()
+                            if key not in ("result", "job")}
+                    scan.completed.setdefault(fingerprint, slim)
+                    scan.failed.pop(fingerprint, None)
+                elif "result" not in record and fingerprint not in scan.completed:
+                    scan.failed[fingerprint] = record
+        return scan
+
+
+# --------------------------------------------------------------- grid worker
+@dataclass
+class GridWorkerReport:
+    """What one :func:`run_grid_worker` invocation did."""
+
+    worker_id: str
+    executed: int = 0
+    cache_hits: int = 0
+    already_done: int = 0
+    skipped_leased: int = 0
+    failed: int = 0
+    failures: List[CellFailure] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"worker {self.worker_id}: {self.executed} executed, "
+            f"{self.cache_hits} from cache, {self.already_done} already done, "
+            f"{self.skipped_leased} leased elsewhere, {self.failed} failed"
+        )
+
+
+def run_grid_worker(
+    run: GridRun,
+    shard: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    worker_id: Optional[str] = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    max_retries: int = 1,
+    progress: Optional[Callable[[CampaignJob, bool], None]] = None,
+) -> GridWorkerReport:
+    """Execute (one shard of) a grid run, cooperating through the lease queue.
+
+    ``shard`` restricts this worker to one planner shard; ``None`` walks
+    every shard, which is the resume path.  The call is safe to run
+    concurrently with any number of other workers on this or other hosts:
+    cells already in the logs are skipped, cells under a live lease are left
+    to their holder, and expired leases of crashed workers are reclaimed.
+    Failures are recorded in the shard logs (and the report), never raised --
+    a bad cell on one host must not take down the fleet.
+
+    Lease heartbeats fire from the pool wait loop, so with ``workers > 1``
+    leases stay fresh even while cells execute.  With ``workers=1`` renewal
+    only happens between cells: pick a ``lease_ttl_s`` longer than the
+    longest cell, or concurrent workers may duplicate in-flight cells (the
+    merge deduplicates, so results stay correct either way).
+    """
+    if shard is not None and not 0 <= shard < run.shard_count:
+        raise ValueError(
+            f"shard {shard} out of range for a {run.shard_count}-shard run"
+        )
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    worker_id = _safe_worker_id(worker_id)
+    report = GridWorkerReport(worker_id=worker_id)
+    leases = LeaseQueue(run.leases_dir, worker_id=worker_id, ttl_s=lease_ttl_s)
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+
+    scan = run.scan(shard)
+    pending: List[CampaignJob] = []
+    for job in run.spec.expand():
+        fingerprint = job.fingerprint()
+        job_shard = shard_of(fingerprint, run.shard_count)
+        if shard is not None and job_shard != shard:
+            continue
+        if fingerprint in scan.completed:
+            report.already_done += 1
+            continue
+        cached_document = _load_cached_document(cache_path, job)
+        if cached_document is not None:
+            # Log cache-served cells too, so a merge needs only the logs.
+            run.shard_log(job_shard, worker_id).append({
+                "fingerprint": fingerprint,
+                "shard": job_shard,
+                "worker": worker_id,
+                "from_cache": True,
+                "job": job.to_dict(),
+                "result": cached_document,
+            })
+            leases.mark_done(fingerprint)
+            report.cache_hits += 1
+            if progress is not None:
+                progress(job, True)
+            continue
+        pending.append(job)
+
+    held: set = set()
+
+    def admit(job: CampaignJob) -> bool:
+        fingerprint = job.fingerprint()
+        if leases.claim(fingerprint):
+            held.add(fingerprint)
+            return True
+        return False
+
+    def skip(job: CampaignJob) -> None:
+        report.skipped_leased += 1
+
+    def tick() -> None:
+        for fingerprint in list(held):
+            if not leases.renew(fingerprint):
+                # We stalled past the TTL and a rival reclaimed the cell; it
+                # may now run twice, which the merge deduplicates.  Stop
+                # heartbeating a lease that is no longer ours.
+                held.discard(fingerprint)
+
+    def finish(job: CampaignJob, document: Dict[str, object]) -> None:
+        fingerprint = job.fingerprint()
+        job_shard = shard_of(fingerprint, run.shard_count)
+        _store_cached(cache_path, job, document)
+        run.shard_log(job_shard, worker_id).append({
+            "fingerprint": fingerprint,
+            "shard": job_shard,
+            "worker": worker_id,
+            "from_cache": False,
+            "job": job.to_dict(),
+            "result": document,
+        })
+        held.discard(fingerprint)
+        # A done marker instead of a plain release: a concurrent worker whose
+        # startup scan predates this completion must not re-claim the cell.
+        leases.mark_done(fingerprint)
+        report.executed += 1
+        if progress is not None:
+            progress(job, False)
+
+    def fail(failure: CellFailure) -> None:
+        fingerprint = failure.job.fingerprint()
+        job_shard = shard_of(fingerprint, run.shard_count)
+        run.shard_log(job_shard, worker_id).append({
+            "fingerprint": fingerprint,
+            "shard": job_shard,
+            "worker": worker_id,
+            "job": failure.job.to_dict(),
+            "error": failure.error,
+            "attempts": failure.attempts,
+        })
+        held.discard(fingerprint)
+        leases.release(fingerprint)
+        report.failed += 1
+        report.failures.append(failure)
+
+    run_cells(
+        pending, workers, finish, fail,
+        max_retries=max_retries,
+        admit=admit, skip=skip,
+        tick=tick, tick_interval_s=max(lease_ttl_s / 3.0, 0.05),
+    )
+    return report
+
+
+# ----------------------------------------------------------- merge and status
+def merge_run(
+    run: GridRun,
+    cache_dir: Optional[Union[str, Path]] = None,
+    allow_partial: bool = False,
+) -> CampaignResult:
+    """Fold the shard logs (plus the cell cache) into a ``CampaignResult``.
+
+    Streams the logs record by record: each raw document is parsed into an
+    :class:`~repro.faas.experiment.ExperimentResult` and immediately dropped,
+    so memory scales with the number of distinct cells, never with log volume
+    (duplicates, retries, failure records).  The fold is idempotent and
+    order-independent -- cells are emitted in the spec's expansion order
+    whatever order the logs were written in, so merging twice, or merging
+    shard logs in any order, yields bit-identical ``to_dict()`` documents.
+
+    Cells absent from the logs are looked up in ``cache_dir`` (the ordinary
+    per-cell cache).  With ``allow_partial=True`` the merge may run while
+    workers are still live and covers the cells finished so far; otherwise an
+    incomplete run raises a ``ValueError`` naming the gap.
+    """
+    jobs = run.spec.expand()
+    wanted = {job.fingerprint() for job in jobs}
+    merged: Dict[str, Tuple[ExperimentResult, bool]] = {}
+    for shard in range(run.shard_count):
+        for record in run.iter_shard_records(shard):
+            fingerprint = str(record.get("fingerprint", ""))
+            if fingerprint not in wanted or fingerprint in merged:
+                continue
+            result_document = record.get("result")
+            if not isinstance(result_document, dict):
+                continue
+            try:
+                result = result_from_dict(result_document)
+            except (KeyError, TypeError, ValueError):
+                continue  # corrupt record; a duplicate or the cache may supply it
+            merged[fingerprint] = (result, bool(record.get("from_cache", False)))
+    cache_path = Path(cache_dir) if cache_dir is not None else None
+    if cache_path is not None:
+        for job in jobs:
+            fingerprint = job.fingerprint()
+            if fingerprint in merged:
+                continue
+            cached = _load_cached(cache_path, job)
+            if cached is not None:
+                merged[fingerprint] = (cached, True)
+    missing = [job for job in jobs if job.fingerprint() not in merged]
+    if missing and not allow_partial:
+        raise ValueError(
+            f"run is incomplete: {len(missing)}/{len(jobs)} cells have no result "
+            f"yet (e.g. {missing[0].cell_key!r}); run more workers, resume the "
+            f"run, or merge with allow_partial=True for a preview"
+        )
+    cells = [
+        CampaignCell(job=job, result=merged[fingerprint][0],
+                     from_cache=merged[fingerprint][1])
+        for job in jobs
+        if (fingerprint := job.fingerprint()) in merged
+    ]
+    return CampaignResult(spec=run.spec, cells=cells)
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """Progress of one shard of a grid run."""
+
+    shard: int
+    total: int
+    done: int
+    failed: int
+    leased: int
+    pending: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "cells": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "leased": self.leased,
+            "pending": self.pending,
+        }
+
+
+def grid_status(run: GridRun) -> List[ShardStatus]:
+    """Per-shard done/failed/leased/pending counts from one log+lease scan.
+
+    ``failed`` counts cells whose latest attempt failed and that nobody is
+    currently retrying; a cell under a live lease counts as ``leased`` even
+    if an earlier attempt failed.  ``done + failed + leased + pending``
+    always equals the shard's cell count.
+    """
+    scan = run.scan()
+    leases = LeaseQueue(run.leases_dir, worker_id="status-scan").active()
+    shards = plan_shards(run.spec, run.shard_count)
+    statuses: List[ShardStatus] = []
+    for shard, members in enumerate(shards):
+        done = failed = leased = 0
+        for job in members:
+            fingerprint = job.fingerprint()
+            if fingerprint in scan.completed:
+                done += 1
+            elif fingerprint in leases:
+                leased += 1
+            elif fingerprint in scan.failed:
+                failed += 1
+        statuses.append(ShardStatus(
+            shard=shard,
+            total=len(members),
+            done=done,
+            failed=failed,
+            leased=leased,
+            pending=len(members) - done - failed - leased,
+        ))
+    return statuses

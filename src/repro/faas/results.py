@@ -9,9 +9,10 @@ plotting scripts.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterator, List, Union
 
 from ..core.critical_path import FunctionMeasurement, WorkflowMeasurement
 from ..sim.billing import CostBreakdown
@@ -226,6 +227,67 @@ def result_from_dict(document: Dict[str, object]) -> ExperimentResult:
     if "cost" in document:
         result.cost = _cost_from_dict(dict(document["cost"]))  # type: ignore[arg-type]
     return result
+
+
+class ResultLog:
+    """An append-only JSONL stream of per-cell documents.
+
+    The storage format of the grid's streaming aggregation
+    (:mod:`repro.faas.grid`): workers append one self-contained JSON document
+    per finished cell, and the merge step folds the logs incrementally
+    without ever holding a whole log in memory.
+
+    Each append is a single ``write`` of one newline-terminated line to a
+    file opened in append mode, fsynced before close, so a completed append
+    survives the writer dying.  ``O_APPEND`` writes are atomic on local
+    filesystems but *not* over NFS, so the intended deployment is a single
+    writer per log file -- the grid gives every worker its own log segment
+    (:meth:`repro.faas.grid.GridRun.shard_log`) rather than sharing one.
+    Iteration is tolerant by design: a truncated trailing line (a worker
+    killed mid-append) or an otherwise corrupt line is skipped rather than
+    aborting the merge; a later retry or duplicate record supplies the cell.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, document: Dict[str, object]) -> None:
+        line = json.dumps(document, sort_keys=True)
+        if "\n" in line:  # pragma: no cover - json never emits raw newlines
+            raise ValueError("result-log documents must serialise to one line")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = (line + "\n").encode("utf-8")
+        # A worker killed mid-append leaves a truncated line with no newline;
+        # healing it here keeps that crash from swallowing the next record.
+        try:
+            with open(self.path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                if probe.read(1) != b"\n":
+                    payload = b"\n" + payload
+        except OSError:
+            pass  # no file yet, or empty: nothing to heal
+        with open(self.path, "ab") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(document, dict):
+                    yield document
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:

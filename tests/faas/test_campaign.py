@@ -1,10 +1,12 @@
 """Tests for the parallel experiment campaign subsystem."""
 
 import json
+import os
 
 import pytest
 
 from repro.faas import (
+    CampaignError,
     CampaignSpec,
     ExperimentConfig,
     ExperimentRunner,
@@ -16,6 +18,35 @@ from repro.faas import (
 )
 from repro.benchmarks import get_benchmark
 from repro.sim import PlatformSpec, load_scenarios
+
+
+# Crash injection for the broken-pool tests: must be module-level functions so
+# the pool can pickle them by reference, and must spare the parent (pytest)
+# process.  Crash state is communicated to forked children via environment.
+from repro.faas.campaign import _execute_job as _real_execute_job  # noqa: E402
+
+_PARENT_PID = os.getpid()
+
+
+def _crash_pool_worker_once_per_cell(payload):
+    """Hard-kill the host process the first time each mapreduce cell runs."""
+    if payload["benchmark"] == "mapreduce" and os.getpid() != _PARENT_PID:
+        flag = os.path.join(
+            os.environ["REPRO_TEST_CRASH_FLAGS"],
+            f"{payload['benchmark']}-{payload['seed_index']}",
+        )
+        if not os.path.exists(flag):
+            with open(flag, "w", encoding="utf-8"):
+                pass
+            os._exit(1)  # simulated OOM kill mid-cell
+    return _real_execute_job(payload)
+
+
+def _always_crash_pool_worker(payload):
+    """Hard-kill the host process every time a mapreduce cell runs."""
+    if payload["benchmark"] == "mapreduce" and os.getpid() != _PARENT_PID:
+        os._exit(1)
+    return _real_execute_job(payload)
 
 
 def small_spec(**overrides) -> CampaignSpec:
@@ -143,7 +174,7 @@ class TestCampaignCache:
         """An interrupted campaign keeps the work it already did."""
         bad_spec = small_spec(benchmarks=("mapreduce", "does_not_exist"),
                               platforms=("aws",), seeds=(0,))
-        with pytest.raises(KeyError):
+        with pytest.raises(CampaignError):
             run_campaign(bad_spec, workers=1, cache_dir=tmp_path)
         good_spec = small_spec(benchmarks=("mapreduce",), platforms=("aws",), seeds=(0,))
         rerun = run_campaign(good_spec, workers=1, cache_dir=tmp_path)
@@ -157,6 +188,137 @@ class TestCampaignCache:
         rerun = run_campaign(spec, workers=1, cache_dir=tmp_path)
         assert rerun.cache_hits == 0
         assert rerun.cells[0].result.summary is not None
+
+
+class TestFaultIsolation:
+    def test_campaign_error_names_the_failed_job(self):
+        spec = small_spec(benchmarks=("does_not_exist",), platforms=("aws",), seeds=(0,))
+        with pytest.raises(CampaignError, match="does_not_exist") as excinfo:
+            run_campaign(spec, workers=1, max_retries=0)
+        failure = excinfo.value.failures[0]
+        assert failure.job.fingerprint()[:12] in str(excinfo.value)
+        assert failure.job.cell_key[0] == "does_not_exist"
+        assert failure.attempts == 1
+
+    def test_campaign_error_carries_the_completed_cells(self):
+        """Without a cache_dir, the completed cells must not be lost: they
+        ride along on the exception as a partial CampaignResult."""
+        spec = small_spec(benchmarks=("mapreduce", "does_not_exist"),
+                          platforms=("aws",), seeds=(0,))
+        with pytest.raises(CampaignError) as excinfo:
+            run_campaign(spec, workers=1, max_retries=0)
+        partial = excinfo.value.partial
+        assert partial is not None
+        assert [cell.job.benchmark for cell in partial.cells] == ["mapreduce"]
+        assert partial.cells[0].result.summary is not None
+
+    def test_pooled_campaign_salvages_every_completed_cell(self, tmp_path):
+        """Regression: a raising future used to abort the whole pool run,
+        abandoning in-flight cells; now every good cell is finished and
+        cached before the CampaignError is raised."""
+        bad_spec = small_spec(
+            benchmarks=("mapreduce", "does_not_exist", "function_chain"),
+            platforms=("aws",), seeds=(0, 1),
+        )
+        with pytest.raises(CampaignError) as excinfo:
+            run_campaign(bad_spec, workers=2, cache_dir=tmp_path, max_retries=0)
+        assert len(excinfo.value.failures) == 2  # both seeds of the bad benchmark
+        good_spec = small_spec(
+            benchmarks=("mapreduce", "function_chain"), platforms=("aws",),
+            seeds=(0, 1),
+        )
+        rerun = run_campaign(good_spec, workers=1, cache_dir=tmp_path)
+        assert rerun.cache_hits == 4
+
+    def test_transient_failure_is_retried(self, monkeypatch):
+        from repro.faas import campaign as campaign_module
+
+        real_execute = campaign_module._execute_job
+        seen = set()
+
+        def flaky(payload):
+            key = json.dumps(payload, sort_keys=True)
+            if key not in seen:
+                seen.add(key)
+                raise OSError("transient worker failure")
+            return real_execute(payload)
+
+        monkeypatch.setattr(campaign_module, "_execute_job", flaky)
+        spec = small_spec(benchmarks=("function_chain",), platforms=("aws",), seeds=(0,))
+        campaign = run_campaign(spec, workers=1)  # default max_retries=1
+        assert campaign.cells[0].result.summary is not None
+
+    def test_exhausted_retries_raise_with_attempt_count(self, monkeypatch):
+        from repro.faas import campaign as campaign_module
+
+        def always_failing(payload):
+            raise OSError("permanent failure")
+
+        monkeypatch.setattr(campaign_module, "_execute_job", always_failing)
+        spec = small_spec(benchmarks=("function_chain",), platforms=("aws",), seeds=(0,))
+        with pytest.raises(CampaignError, match="permanent failure") as excinfo:
+            run_campaign(spec, workers=1, max_retries=2)
+        assert excinfo.value.failures[0].attempts == 3
+
+    def test_negative_max_retries_rejected(self):
+        spec = small_spec(benchmarks=("function_chain",), platforms=("aws",), seeds=(0,))
+        with pytest.raises(ValueError, match="max_retries"):
+            run_campaign(spec, workers=1, max_retries=-1)
+
+    def test_broken_pool_recovers_from_a_transient_crash(self, monkeypatch, tmp_path):
+        """A pool worker killed hard (OOM, segfault) must not abort the
+        campaign: unfinished cells are drained in fresh isolated pools, so a
+        transiently crashing cell completes on its retry."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("crash injection relies on the fork start method")
+        from repro.faas import campaign as campaign_module
+
+        monkeypatch.setenv("REPRO_TEST_CRASH_FLAGS", str(tmp_path))
+        monkeypatch.setattr(
+            campaign_module, "_execute_job", _crash_pool_worker_once_per_cell
+        )
+        spec = small_spec(benchmarks=("mapreduce", "function_chain"),
+                          platforms=("aws",), seeds=(0, 1))
+        campaign = run_campaign(spec, workers=2)
+        assert len(campaign.cells) == 4
+        assert all(cell.result.summary is not None for cell in campaign.cells)
+
+    def test_broken_pool_isolates_a_deterministic_crasher(self, monkeypatch):
+        """A cell that hard-kills its host on every attempt must end as a
+        CellFailure -- never re-executed in (and killing) the parent -- while
+        innocent cells still complete and ride on the partial result."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("crash injection relies on the fork start method")
+        from repro.faas import campaign as campaign_module
+
+        monkeypatch.setattr(
+            campaign_module, "_execute_job", _always_crash_pool_worker
+        )
+        spec = small_spec(benchmarks=("mapreduce", "function_chain"),
+                          platforms=("aws",), seeds=(0, 1))
+        with pytest.raises(CampaignError) as excinfo:
+            run_campaign(spec, workers=2)
+        assert {f.job.benchmark for f in excinfo.value.failures} == {"mapreduce"}
+        partial = excinfo.value.partial
+        assert [cell.job.benchmark for cell in partial.cells] == \
+            ["function_chain", "function_chain"]
+
+
+class TestSpecRoundTrip:
+    def test_spec_from_dict_is_exact(self):
+        spec = small_spec(
+            platforms=("aws", "gcp:cold_start=x0.5", "azure@2022"),
+            memory_configs=(None, 512),
+            workloads=("burst:burst_size=2", "poisson:rate=2,duration=10"),
+        )
+        clone = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.to_dict() == spec.to_dict()
+        assert [job.fingerprint() for job in clone.expand()] == \
+            [job.fingerprint() for job in spec.expand()]
 
 
 class TestCampaignAggregation:

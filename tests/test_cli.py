@@ -27,11 +27,39 @@ class TestParser:
         assert args.mode == "warm"
 
     def test_campaign_defaults(self):
+        # Spec-shaping flags parse to None so --resume can detect explicit
+        # values; the effective defaults (gcp/aws/azure, 2 seeds, ...) are
+        # applied when the spec is built.
         args = build_parser().parse_args(["campaign", "--benchmarks", "ml"])
-        assert args.platforms == ["gcp", "aws", "azure"]
-        assert args.seeds == 2
+        assert args.platforms is None
+        assert args.seeds is None
         assert args.workers is None
         assert args.cache_dir is None
+        assert args.run_dir is None
+        assert args.shard is None
+        assert args.resume is None
+        assert args.dry_run is False
+        assert args.max_retries == 1
+
+    def test_campaign_grid_flags(self):
+        args = build_parser().parse_args([
+            "campaign", "--benchmarks", "ml", "--run-dir", "/shared/run",
+            "--shard", "1/4", "--lease-ttl", "30", "--worker-id", "host-a",
+        ])
+        assert args.run_dir == "/shared/run"
+        assert args.shard == "1/4"
+        assert args.lease_ttl == 30.0
+        assert args.worker_id == "host-a"
+
+    def test_campaign_status_and_merge_verbs(self):
+        args = build_parser().parse_args(["campaign-status", "/shared/run"])
+        assert args.run_dir == "/shared/run"
+        args = build_parser().parse_args([
+            "campaign-merge", "/shared/run", "--partial", "--output", "out.json",
+        ])
+        assert args.run_dir == "/shared/run"
+        assert args.partial is True
+        assert args.output == "out.json"
 
 
 class TestCommands:
@@ -121,6 +149,62 @@ class TestCommands:
     def test_campaign_unknown_benchmark_fails(self, capsys):
         assert main(["campaign", "--benchmarks", "nope"]) == 2
         assert "error: unknown benchmarks: nope" in capsys.readouterr().err
+
+    def test_campaign_without_benchmarks_or_resume_fails(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "--benchmarks is required" in capsys.readouterr().err
+
+    def test_failed_campaign_without_cache_writes_partial_output(self, tmp_path, capsys):
+        """Without --cache-dir, the salvaged cells on CampaignError are the
+        only copy of completed work: they must reach --output."""
+        import repro.cli as cli
+
+        target = tmp_path / "partial.json"
+        original = cli.benchmark_names
+        try:
+            cli.benchmark_names = lambda kind: list(original(kind)) + ["does_not_exist"]
+            code = main([
+                "campaign", "--benchmarks", "mapreduce", "does_not_exist",
+                "--platforms", "aws", "--seeds", "1", "--burst-size", "2",
+                "--workers", "1", "--max-retries", "0", "--output", str(target),
+            ])
+        finally:
+            cli.benchmark_names = original
+        assert code == 3
+        document = json.loads(target.read_text())
+        assert len(document["cells"]) == 1
+        assert document["cells"][0]["job"]["benchmark"] == "mapreduce"
+
+    def test_campaign_failed_cell_reports_failure_and_salvage(self, tmp_path, capsys):
+        # Bypass the CLI benchmark validation to exercise the execution-time
+        # fault isolation: a cell that keeps failing names its job and exits 3.
+        import repro.cli as cli
+
+        original = cli.benchmark_names
+        try:
+            cli.benchmark_names = lambda kind: list(original(kind)) + ["does_not_exist"]
+            code = main([
+                "campaign", "--benchmarks", "mapreduce", "does_not_exist",
+                "--platforms", "aws", "--seeds", "1", "--burst-size", "2",
+                "--workers", "1", "--max-retries", "0",
+                "--cache-dir", str(tmp_path / "cache"),
+            ])
+        finally:
+            cli.benchmark_names = original
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "1 campaign cell(s) failed" in captured.err
+        assert "does_not_exist" in captured.err
+        # The completed cells are surfaced despite the failure.
+        assert "salvaged 1 completed cell(s)" in captured.out
+        assert "platform comparison" in captured.out
+        # The good cell was salvaged to the cache before the raise.
+        assert main([
+            "campaign", "--benchmarks", "mapreduce", "--platforms", "aws",
+            "--seeds", "1", "--burst-size", "2", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "cache: 1/1 cells" in capsys.readouterr().out
 
     def test_campaign_invalid_spec_reports_error(self, capsys):
         assert main(["campaign", "--benchmarks", "ml", "--seeds", "0"]) == 2
@@ -259,3 +343,133 @@ class TestPlatformSpecCli:
         out = capsys.readouterr().out
         assert "campaign: 3 cells" in out
         assert "3 platform-era variants" in out
+
+
+class TestGridCli:
+    ARGS = [
+        "campaign", "--benchmarks", "function_chain",
+        "--platforms", "aws", "azure", "--seeds", "2",
+        "--burst-size", "2", "--workers", "1",
+    ]
+
+    def test_dry_run_prints_plan_without_executing(self, tmp_path, capsys):
+        code = main(self.ARGS + [
+            "--dry-run", "--shard", "0/2", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign plan (dry run)" in out
+        assert "this worker" in out
+        assert "plan: 4 cells, 3 assigned to shard 0/2, 0 cached / 4 to compute" in out
+        assert "platform comparison" not in out  # nothing was executed
+        assert not (tmp_path / "cache").exists()
+
+    def test_dry_run_reports_cache_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--dry-run", "--cache-dir", cache]) == 0
+        assert "4 cached / 0 to compute" in capsys.readouterr().out
+
+    def test_shard_without_run_dir_fails(self, capsys):
+        assert main(self.ARGS + ["--shard", "0/2"]) == 2
+        assert "--shard needs a shared run directory" in capsys.readouterr().err
+
+    def test_sharded_run_status_merge_resume_flow(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+
+        # Shard 0 of 2: the run stays incomplete.
+        assert main(self.ARGS + ["--run-dir", run_dir, "--shard", "0/2"]) == 0
+        out = capsys.readouterr().out
+        assert "run incomplete" in out
+
+        assert main(["campaign-status", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cells: 3/4 done, 0 failed, 0 leased, 1 pending" in out
+
+        # A partial merge is allowed while the other shard is outstanding...
+        assert main(["campaign-merge", run_dir, "--partial"]) == 0
+        assert "merged 3/4 cells" in capsys.readouterr().out
+        # ...but a strict merge refuses.
+        assert main(["campaign-merge", run_dir]) == 2
+        assert "incomplete" in capsys.readouterr().err
+
+        # Resume picks up the remaining shard without the spec arguments.
+        assert main(["campaign", "--resume", run_dir, "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "run complete: 4/4 cells done" in out
+        assert "platform comparison" in out
+
+        assert main(["campaign-status", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cells: 4/4 done, 0 failed, 0 leased, 0 pending" in out
+        assert "run complete" in out
+
+        target = tmp_path / "merged.json"
+        assert main(["campaign-merge", run_dir, "--output", str(target)]) == 0
+        assert "merged 4/4 cells" in capsys.readouterr().out
+        document = json.loads(target.read_text())
+        assert len(document["cells"]) == 4
+
+    def test_mismatched_shard_count_fails(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(self.ARGS + ["--run-dir", run_dir, "--shard", "0/2"]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--run-dir", run_dir, "--shard", "0/3"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_run_dir_join_without_shard_finishes_the_run(self, tmp_path, capsys):
+        """An ad-hoc helper can join an existing multi-shard run with
+        --run-dir alone and work every remaining shard."""
+        run_dir = str(tmp_path / "run")
+        assert main(self.ARGS + ["--run-dir", run_dir, "--shard", "0/2"]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--run-dir", run_dir]) == 0
+        assert "run complete: 4/4 cells done" in capsys.readouterr().out
+
+    def test_dry_run_validates_shard_against_existing_run_dir(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(self.ARGS + ["--run-dir", run_dir, "--shard", "0/2"]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + [
+            "--run-dir", run_dir, "--shard", "0/3", "--dry-run",
+        ]) == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_resume_rejects_spec_flags(self, tmp_path, capsys):
+        """Spec-shaping flags next to --resume would be silently ignored
+        (the spec lives in the run directory), so they error instead."""
+        run_dir = str(tmp_path / "run")
+        assert main(self.ARGS + ["--run-dir", run_dir, "--shard", "0/2"]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "--resume", run_dir, "--benchmarks", "ml",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--benchmarks" in err and "fresh run directory" in err
+        # Flags with non-None effective defaults are detected too.
+        assert main(["campaign", "--resume", run_dir, "--seeds", "5"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+        assert main([
+            "campaign", "--resume", run_dir, "--platforms", "aws",
+        ]) == 2
+        assert "--platforms" in capsys.readouterr().err
+        assert main([
+            "campaign", "--resume", run_dir, "--run-dir", str(tmp_path / "other"),
+        ]) == 2
+        assert "--run-dir" in capsys.readouterr().err
+        # Non-spec flags (workers, cache, retries) remain valid with --resume.
+        assert main(["campaign", "--resume", run_dir, "--workers", "1"]) == 0
+        assert "run complete" in capsys.readouterr().out
+
+    def test_dry_run_does_not_create_the_run_dir(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh"
+        assert main(self.ARGS + [
+            "--run-dir", str(fresh), "--shard", "0/2", "--dry-run",
+        ]) == 0
+        assert "campaign plan (dry run)" in capsys.readouterr().out
+        assert not fresh.exists()
+
+    def test_status_on_missing_run_dir_fails(self, tmp_path, capsys):
+        assert main(["campaign-status", str(tmp_path / "nope")]) == 2
+        assert "not a grid run directory" in capsys.readouterr().err
