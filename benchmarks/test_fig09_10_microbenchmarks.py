@@ -1,23 +1,16 @@
-"""Figures 9 and 10: sources of orchestration overhead (experiments E3, E4, E5)."""
+"""Figures 9 and 10: sources of orchestration overhead (experiments E3, E4, E5).
+
+The sweep points live in ``conftest.ARTIFACT_CONFIG``; the cells execute in
+the shared planned campaign and the tests only render from it."""
 
 from __future__ import annotations
 
-from conftest import BURST_SIZE, SEED
-
-from repro.analysis import figures, report
+from repro.analysis import report
 
 
-def test_fig09a_storage_io_overhead(benchmark):
+def test_fig09a_storage_io_overhead(benchmark, build_artifact):
     series = benchmark.pedantic(
-        figures.figure9a_storage_overhead,
-        kwargs={
-            "download_sizes": (1 << 12, 1 << 17, 1 << 22, 1 << 27),
-            "num_functions": 20,
-            "burst_size": max(4, BURST_SIZE // 2),
-            "seed": SEED,
-        },
-        rounds=1,
-        iterations=1,
+        build_artifact, args=("figure9a",), rounds=1, iterations=1
     )
     print()
     print(report.format_series(series, "Figure 9a: overhead of parallel storage downloads"))
@@ -29,17 +22,9 @@ def test_fig09a_storage_io_overhead(benchmark):
     assert aws[-1]["median_overhead_s"] < 5 * aws[0]["median_overhead_s"]
 
 
-def test_fig09b_return_payload_latency(benchmark):
+def test_fig09b_return_payload_latency(benchmark, build_artifact):
     series = benchmark.pedantic(
-        figures.figure9b_payload_latency,
-        kwargs={
-            "payload_sizes": (1 << 6, 1 << 10, 1 << 14, 1 << 17),
-            "chain_length": 10,
-            "burst_size": max(4, BURST_SIZE // 2),
-            "seed": SEED,
-        },
-        rounds=1,
-        iterations=1,
+        build_artifact, args=("figure9b",), rounds=1, iterations=1
     )
     print()
     print(report.format_series(series, "Figure 9b: latency of a warm 10-function chain"))
@@ -50,17 +35,9 @@ def test_fig09b_return_payload_latency(benchmark):
     assert aws[-1]["median_latency_s"] < 2.5 * aws[0]["median_latency_s"]
 
 
-def test_fig10_parallel_sleep_overhead(benchmark):
+def test_fig10_parallel_sleep_overhead(benchmark, build_artifact):
     heatmaps = benchmark.pedantic(
-        figures.figure10_parallel_sleep,
-        kwargs={
-            "parallelism": (2, 8, 16),
-            "durations_s": (1.0, 5.0, 20.0),
-            "burst_size": max(4, BURST_SIZE // 2),
-            "seed": SEED,
-        },
-        rounds=1,
-        iterations=1,
+        build_artifact, args=("figure10",), rounds=1, iterations=1
     )
     print()
     for platform, cells in heatmaps.items():

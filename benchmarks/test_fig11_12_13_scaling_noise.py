@@ -1,9 +1,7 @@
 """Figures 11, 12, 13: scaling profiles, warm vs cold invocations, and OS noise
-(experiments E1, E2, E6)."""
+(experiments E1, E2, E6).  All cells come from the shared planned campaign."""
 
 from __future__ import annotations
-
-from conftest import BURST_SIZE, SEED
 
 from repro.analysis import figures, report
 
@@ -31,12 +29,9 @@ def test_fig11_container_scaling_profiles(benchmark, e1_campaign):
         assert aws_peak > azure_peak, name
 
 
-def test_fig12_warm_vs_cold(benchmark):
+def test_fig12_warm_vs_cold(benchmark, build_artifact):
     figure = benchmark.pedantic(
-        figures.figure12_warm_cold,
-        kwargs={"benchmarks": ("ml", "mapreduce"), "burst_size": BURST_SIZE, "seed": SEED},
-        rounds=1,
-        iterations=1,
+        build_artifact, args=("figure12",), rounds=1, iterations=1
     )
     print()
     print(report.format_nested(figure, "Figure 12: critical path and overhead, cold vs warm"))
@@ -51,12 +46,9 @@ def test_fig12_warm_vs_cold(benchmark):
         assert azure["speedup_critical_path"] < 2.0, name
 
 
-def test_fig13_os_noise_and_normalised_critical_path(benchmark):
+def test_fig13_os_noise_and_normalised_critical_path(benchmark, build_artifact):
     data = benchmark.pedantic(
-        figures.figure13_os_noise,
-        kwargs={"memory_configurations": (128, 256, 512, 1024, 2048), "events": 5000, "seed": SEED},
-        rounds=1,
-        iterations=1,
+        build_artifact, args=("figure13",), rounds=1, iterations=1
     )
     print()
     print(report.format_series(data["suspension"], "Figure 13a: suspension time vs memory"))

@@ -1,19 +1,15 @@
 """Figures 14, 15, 16: scientific workflows vs HPC, pricing, and evolution over time
-(experiments E1, E7, E8, RQ3-RQ5)."""
+(experiments E1, E7, E8, RQ3-RQ5).  All cells come from the shared planned
+campaign."""
 
 from __future__ import annotations
-
-from conftest import BURST_SIZE, SEED
 
 from repro.analysis import figures, report
 
 
-def test_fig14_genome_vs_hpc_scaling(benchmark):
+def test_fig14_genome_vs_hpc_scaling(benchmark, build_artifact):
     data = benchmark.pedantic(
-        figures.figure14_genome_scaling,
-        kwargs={"job_counts": (5, 10, 20), "burst_size": max(3, BURST_SIZE // 4), "seed": SEED},
-        rounds=1,
-        iterations=1,
+        build_artifact, args=("figure14",), rounds=1, iterations=1
     )
     print()
     full_rows = [dict(platform=p, **v) for p, v in data["full_workflow"].items()]
@@ -63,12 +59,9 @@ def test_fig15_price_per_1000_executions(benchmark, e1_campaign):
     assert figure["mapreduce"]["gcp"]["orchestration_usd"] > figure["mapreduce"]["aws"]["orchestration_usd"]
 
 
-def test_fig16_evolution_2022_vs_2024(benchmark):
+def test_fig16_evolution_2022_vs_2024(benchmark, build_artifact):
     figure = benchmark.pedantic(
-        figures.figure16_evolution,
-        kwargs={"benchmarks": ("mapreduce", "ml"), "burst_size": BURST_SIZE, "seed": SEED},
-        rounds=1,
-        iterations=1,
+        build_artifact, args=("figure16",), rounds=1, iterations=1
     )
     print()
     rows = []

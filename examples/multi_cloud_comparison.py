@@ -16,7 +16,7 @@ import sys
 
 from repro.analysis import report
 from repro.benchmarks import benchmark_names, get_benchmark
-from repro.faas import compare_platforms
+from repro.faas import WorkloadSpec, compare_platforms
 
 DEFAULT_BENCHMARKS = ("mapreduce", "ml", "trip_booking")
 #: Platform specs to compare: the three 2024-era clouds and one variant.
@@ -37,7 +37,8 @@ def main() -> None:
         print(f"Running {name} with bursts of {BURST_SIZE} invocations on "
               f"{'/'.join(PLATFORMS)} ...")
         results = compare_platforms(
-            get_benchmark(name), platforms=PLATFORMS, burst_size=BURST_SIZE, seed=3
+            get_benchmark(name), platforms=PLATFORMS, seed=3,
+            workload=WorkloadSpec.burst(BURST_SIZE)
         )
         for platform, result in results.items():
             rows.append(

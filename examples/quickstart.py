@@ -12,7 +12,7 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro.core import WorkflowDefinition
-from repro.faas import Deployment, WorkflowBenchmark, run_benchmark
+from repro.faas import Deployment, WorkflowBenchmark, WorkloadSpec, run_benchmark
 from repro.sim import FunctionSpec, InvocationContext
 
 
@@ -96,7 +96,8 @@ def main() -> None:
     print(f"{'platform':<8} {'median runtime':>15} {'critical path':>15} "
           f"{'overhead':>10} {'cold starts':>12} {'cost / 1000 runs':>17}")
     for platform in ("aws", "gcp", "azure"):
-        result = run_benchmark(benchmark, platform, burst_size=10, seed=7)
+        result = run_benchmark(benchmark, platform, seed=7,
+                               workload=WorkloadSpec.burst(10))
         cost = result.cost.per_1000_executions.total_usd if result.cost else 0.0
         print(f"{platform:<8} {result.median_runtime:>13.2f} s {result.median_critical_path:>13.2f} s "
               f"{result.median_overhead:>8.2f} s {result.cold_start_fraction:>11.0%} "
@@ -104,7 +105,8 @@ def main() -> None:
 
     # Platforms are identified by specs, so hypothetical variants run exactly
     # like the builtin clouds -- here: AWS with 3x slower cold starts.
-    result = run_benchmark(benchmark, "aws:cold_start=x3", burst_size=10, seed=7)
+    result = run_benchmark(benchmark, "aws:cold_start=x3", seed=7,
+                           workload=WorkloadSpec.burst(10))
     print(f"\naws with 3x cold starts: median runtime {result.median_runtime:.2f} s")
 
     # A single invocation with full access to its outputs:

@@ -14,7 +14,7 @@ from repro.analysis import report
 from repro.analysis.stats import coefficient_of_variation, strong_scaling_speedups
 from repro.benchmarks import get_benchmark
 from repro.benchmarks.genome import create_individuals_scaling_benchmark
-from repro.faas import run_benchmark
+from repro.faas import WorkloadSpec, run_benchmark
 
 PLATFORMS = ("aws", "gcp", "azure", "hpc")
 JOB_COUNTS = (5, 10, 20)
@@ -26,7 +26,8 @@ def main() -> None:
     rows = []
     for platform in PLATFORMS:
         result = run_benchmark(get_benchmark("genome_1000"), platform,
-                               burst_size=BURST_SIZE, seed=13)
+                               seed=13,
+                               workload=WorkloadSpec.burst(BURST_SIZE))
         runtimes = result.summary.runtimes if result.summary else []
         rows.append(
             {
@@ -46,7 +47,8 @@ def main() -> None:
         durations = {}
         for jobs in JOB_COUNTS:
             benchmark = create_individuals_scaling_benchmark(jobs)
-            result = run_benchmark(benchmark, platform, burst_size=BURST_SIZE, seed=13)
+            result = run_benchmark(benchmark, platform, seed=13,
+                                   workload=WorkloadSpec.burst(BURST_SIZE))
             durations[jobs] = result.median_runtime
             scaling_rows.append(
                 {

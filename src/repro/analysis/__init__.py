@@ -19,10 +19,11 @@ from .stats import (
     speedup,
 )
 
-_LAZY_SUBMODULES = ("figures", "literature", "report", "tables")
+_LAZY_SUBMODULES = ("artifacts", "figures", "literature", "report", "tables")
 
 __all__ = [
     "ConfidenceInterval",
+    "artifacts",
     "coefficient_of_variation",
     "figures",
     "interquartile_range",

@@ -1,51 +1,98 @@
 """Builders for every figure of the paper's evaluation (Section 7).
 
-Each ``figure*`` function runs the experiments needed for one figure on the
-simulated platforms and returns the plotted series as plain dictionaries /
-lists, so the benchmark harness can print the same rows the paper reports and
-tests can assert the expected qualitative shapes.  Figure builders accept a
-``burst_size`` (the paper uses 30) and a ``seed`` so that quick runs stay
-cheap while full runs match the paper's methodology.
+Each figure is a declarative :class:`~repro.analysis.artifacts.ArtifactSpec`:
+a ``cells`` function declaring the campaign cells the figure needs, and a pure
+``build`` function mapping the executed
+:class:`~repro.faas.campaign.CampaignResult` back to the plotted series --
+no simulation calls in the builders, so figures re-render from cached or
+merged grid results at zero cost, and cells shared between figures (the E1
+burst runs feeding Figures 7/8/11/15 and Table 5) execute exactly once per
+plan.
+
+The historical ``figure*`` functions remain as thin shims over the pipeline:
+they plan their single artifact, execute it through the ordinary cache-aware
+campaign runner, and return bit-identical structures (cells carry the raw
+legacy seeds verbatim).  Figure builders accept a ``burst_size`` (the paper
+uses 30) and a ``seed`` so that quick runs stay cheap while full runs match
+the paper's methodology.
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..benchmarks import get_benchmark
-from ..benchmarks.genome import create_individuals_scaling_benchmark
-from ..benchmarks.registry import APPLICATION_BENCHMARKS, PAPER_MEMORY_MB
-from ..faas import run_benchmark
+from ..benchmarks.registry import APPLICATION_BENCHMARKS, canonical_benchmark_spec
+from ..faas.campaign import CampaignResult
 from ..faas.experiment import ExperimentResult
 from ..faas.metrics import split_warm_cold, summarize
+from ..faas.workload import WorkloadSpec
 from ..sim import MEMORY_CONFIGURATIONS_MB, NoiseModel, RandomStreams, resolve_platform
+from ..sim.platforms.spec import PlatformSpec
+from . import report
+from .artifacts import (
+    CLOUDS,
+    ArtifactConfig,
+    ArtifactSpec,
+    CellRequest,
+    collect_pairs,
+    execute_plan,
+    plan_artifacts,
+    register_artifact,
+    request_result,
+)
 from .stats import coefficient_of_variation, speedup
 
-CLOUDS = ("gcp", "aws", "azure")
+#: Legacy default benchmark selection of Figure 11 (no 1000Genome profile).
+FIGURE11_BENCHMARKS = ("video_analysis", "excamera", "mapreduce", "trip_booking", "ml")
+
+#: Default platform selection of Figure 14 (clouds plus the HPC system).
+FIGURE14_PLATFORMS = ("aws", "gcp", "azure", "hpc")
 
 
 # --------------------------------------------------------------------- helpers
-def _run(
-    benchmark_name: str,
-    platform: str,
-    burst_size: int,
-    seed: int,
-    mode: str = "burst",
-    repetitions: int = 1,
-    era: str = "2024",
-    **bench_params: object,
-) -> ExperimentResult:
-    benchmark = get_benchmark(benchmark_name, **bench_params)
-    return run_benchmark(
-        benchmark,
-        platform,
-        burst_size=burst_size,
-        repetitions=repetitions,
-        mode=mode,
-        seed=seed,
-        era=era,
+def _run_single_artifact(
+    name: str, config: ArtifactConfig, workers: Optional[int] = 1
+) -> object:
+    """Plan, execute, and build one artifact (the legacy-shim entry point)."""
+    plan = plan_artifacts([name], config)
+    campaign = execute_plan(plan, workers=workers)
+    return plan.artifacts[0].build(campaign, config)
+
+
+def _platforms(config: ArtifactConfig, artifact: str) -> Tuple[str, ...]:
+    return tuple(config.value(artifact, "platforms", config.platforms))  # type: ignore[arg-type]
+
+
+def _e1_items(
+    config: ArtifactConfig, benchmarks: Optional[Sequence[str]] = None
+) -> Iterator[Tuple[str, str, CellRequest]]:
+    """The E1 cells: every application benchmark on every platform, one burst."""
+    names = (
+        tuple(benchmarks)
+        if benchmarks is not None
+        else (config.benchmarks or tuple(sorted(APPLICATION_BENCHMARKS)))
     )
+    workload = WorkloadSpec.burst(config.closed_burst())
+    for name in names:
+        for platform in config.platforms:
+            yield name, platform, CellRequest(
+                benchmark=name, platform=platform, workload=workload, seed=config.seed
+            )
+
+
+def _e1_cells(config: ArtifactConfig) -> Tuple[CellRequest, ...]:
+    return tuple(request for _, _, request in _e1_items(config))
+
+
+def collect_e1(
+    campaign: CampaignResult,
+    config: ArtifactConfig,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, ExperimentResult]]:
+    """``{benchmark: {platform: ExperimentResult}}`` -- the E1 result shape
+    consumed by the Figure 7/8/11/15 and Table 5 builders."""
+    return collect_pairs(campaign, _e1_items(config, benchmarks))
 
 
 def application_comparison(
@@ -53,31 +100,29 @@ def application_comparison(
     platforms: Sequence[str] = CLOUDS,
     burst_size: int = 30,
     seed: int = 0,
+    workers: Optional[int] = 1,
 ) -> Dict[str, Dict[str, ExperimentResult]]:
     """Run the application benchmarks on all platforms (experiment E1).
 
     Returns ``{benchmark: {platform: ExperimentResult}}`` -- the raw material
-    for Figures 7, 8, 11, 15 and Table 5.
+    for Figures 7, 8, 11, 15 and Table 5.  Executed through the artifact
+    pipeline's campaign plan, so repeated calls with a shared cache are free.
     """
-    names = list(benchmarks) if benchmarks is not None else sorted(APPLICATION_BENCHMARKS)
-    results: Dict[str, Dict[str, ExperimentResult]] = {}
-    for name in names:
-        results[name] = {}
-        for platform in platforms:
-            results[name][platform] = _run(name, platform, burst_size, seed)
-    return results
+    config = ArtifactConfig(
+        burst_size=burst_size,
+        seed=seed,
+        benchmarks=tuple(benchmarks) if benchmarks is not None else None,
+        platforms=tuple(platforms),
+    )
+    plan = plan_artifacts(["figure7"], config)
+    campaign = execute_plan(plan, workers=workers)
+    return collect_e1(campaign, config)
 
 
 # -------------------------------------------------------------------- figure 7
-def figure7_runtime(
-    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
-    benchmarks: Optional[Sequence[str]] = None,
-    burst_size: int = 30,
-    seed: int = 0,
+def _figure7_from_results(
+    results: Dict[str, Dict[str, ExperimentResult]],
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Median runtime (and spread) of every application benchmark per platform."""
-    if results is None:
-        results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
     figure: Dict[str, Dict[str, Dict[str, float]]] = {}
     for benchmark, per_platform in results.items():
         figure[benchmark] = {}
@@ -93,16 +138,35 @@ def figure7_runtime(
     return figure
 
 
-# -------------------------------------------------------------------- figure 8
-def figure8_breakdown(
+def figure7_runtime(
     results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     burst_size: int = 30,
     seed: int = 0,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Critical path vs orchestration overhead per benchmark and platform."""
+    """Median runtime (and spread) of every application benchmark per platform."""
     if results is None:
         results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
+    return _figure7_from_results(results)
+
+
+register_artifact(ArtifactSpec(
+    name="figure7",
+    title="Figure 7: runtime of benchmark applications (burst)",
+    kind="figure",
+    cells=_e1_cells,
+    build=lambda campaign, config: _figure7_from_results(collect_e1(campaign, config)),
+    text=lambda data: report.format_nested(
+        data, "Figure 7: runtime of benchmark applications (burst)"
+    ),
+    description="Median runtime and spread per application benchmark and platform (E1)",
+))
+
+
+# -------------------------------------------------------------------- figure 8
+def _figure8_from_results(
+    results: Dict[str, Dict[str, ExperimentResult]],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
     figure: Dict[str, Dict[str, Dict[str, float]]] = {}
     for benchmark, per_platform in results.items():
         figure[benchmark] = {}
@@ -116,7 +180,70 @@ def figure8_breakdown(
     return figure
 
 
+def figure8_breakdown(
+    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    burst_size: int = 30,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Critical path vs orchestration overhead per benchmark and platform."""
+    if results is None:
+        results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
+    return _figure8_from_results(results)
+
+
+register_artifact(ArtifactSpec(
+    name="figure8",
+    title="Figure 8: critical path vs orchestration overhead",
+    kind="figure",
+    cells=_e1_cells,
+    build=lambda campaign, config: _figure8_from_results(collect_e1(campaign, config)),
+    text=lambda data: report.format_nested(
+        data, "Figure 8: critical path vs orchestration overhead"
+    ),
+    description="Decomposition of runtime into critical path and overhead (E1)",
+))
+
+
 # ------------------------------------------------------------------- figure 9a
+def _figure9a_items(
+    config: ArtifactConfig,
+) -> Iterator[Tuple[int, str, CellRequest]]:
+    sizes = config.value(
+        "figure9a", "download_sizes",
+        tuple(2**exp for exp in range(12, 28, 3)), quick=(2**12, 2**22),
+    )
+    num_functions = config.value("figure9a", "num_functions", 20, quick=5)
+    burst = config.value("figure9a", "burst_size", 10, quick=2)
+    workload = WorkloadSpec.burst(int(burst))  # type: ignore[arg-type]
+    for size in sizes:  # type: ignore[union-attr]
+        for platform in _platforms(config, "figure9a"):
+            benchmark = canonical_benchmark_spec(
+                "storage_io",
+                num_functions=int(num_functions),  # type: ignore[arg-type]
+                download_bytes=int(size),
+                memory_mb=512,
+            )
+            yield int(size), platform, CellRequest(
+                benchmark=benchmark, platform=platform, workload=workload,
+                seed=config.seed,
+            )
+
+
+def _build_figure9a(
+    campaign: CampaignResult, config: ArtifactConfig
+) -> Dict[str, List[Dict[str, float]]]:
+    series: Dict[str, List[Dict[str, float]]] = {
+        platform: [] for platform in _platforms(config, "figure9a")
+    }
+    for size, platform, request in _figure9a_items(config):
+        result = request_result(campaign, request)
+        series[platform].append(
+            {"download_bytes": float(size), "median_overhead_s": result.median_overhead}
+        )
+    return series
+
+
 def figure9a_storage_overhead(
     download_sizes: Sequence[int] = tuple(2**exp for exp in range(12, 28, 3)),
     num_functions: int = 20,
@@ -125,20 +252,73 @@ def figure9a_storage_overhead(
     platforms: Sequence[str] = CLOUDS,
 ) -> Dict[str, List[Dict[str, float]]]:
     """Workflow overhead of parallel object-storage downloads vs file size."""
-    series: Dict[str, List[Dict[str, float]]] = {platform: [] for platform in platforms}
-    for size in download_sizes:
-        for platform in platforms:
-            result = _run(
-                "storage_io", platform, burst_size, seed,
-                num_functions=num_functions, download_bytes=int(size), memory_mb=512,
-            )
-            series[platform].append(
-                {"download_bytes": float(size), "median_overhead_s": result.median_overhead}
-            )
-    return series
+    config = ArtifactConfig(seed=seed).with_overrides(
+        "figure9a",
+        download_sizes=tuple(download_sizes),
+        num_functions=num_functions,
+        burst_size=burst_size,
+        platforms=tuple(platforms),
+    )
+    return _run_single_artifact("figure9a", config)  # type: ignore[return-value]
+
+
+register_artifact(ArtifactSpec(
+    name="figure9a",
+    title="Figure 9a: overhead of parallel storage downloads",
+    kind="figure",
+    cells=lambda config: tuple(request for _, _, request in _figure9a_items(config)),
+    build=_build_figure9a,
+    text=lambda data: report.format_series(
+        data, "Figure 9a: overhead of parallel storage downloads"
+    ),
+    description="Workflow overhead of parallel object-storage downloads vs file size (E3)",
+))
 
 
 # ------------------------------------------------------------------- figure 9b
+def _figure9b_items(
+    config: ArtifactConfig,
+) -> Iterator[Tuple[int, str, CellRequest]]:
+    sizes = config.value(
+        "figure9b", "payload_sizes",
+        tuple(2**exp for exp in range(6, 18, 2)), quick=(2**6, 2**14),
+    )
+    chain_length = config.value("figure9b", "chain_length", 10, quick=4)
+    burst = config.value("figure9b", "burst_size", 10, quick=2)
+    workload = WorkloadSpec.from_mode("warm", int(burst))  # type: ignore[arg-type]
+    for size in sizes:  # type: ignore[union-attr]
+        for platform in _platforms(config, "figure9b"):
+            benchmark = canonical_benchmark_spec(
+                "function_chain",
+                length=int(chain_length),  # type: ignore[arg-type]
+                payload_bytes=int(size),
+                memory_mb=256,
+            )
+            yield int(size), platform, CellRequest(
+                benchmark=benchmark, platform=platform, workload=workload,
+                seed=config.seed,
+            )
+
+
+def _build_figure9b(
+    campaign: CampaignResult, config: ArtifactConfig
+) -> Dict[str, List[Dict[str, float]]]:
+    series: Dict[str, List[Dict[str, float]]] = {
+        platform: [] for platform in _platforms(config, "figure9b")
+    }
+    for size, platform, request in _figure9b_items(config):
+        result = request_result(campaign, request)
+        warm = split_warm_cold(result.measurements)["warm"] or result.measurements
+        overheads = [m.overhead() for m in warm if m.functions]
+        series[platform].append(
+            {
+                "payload_bytes": float(size),
+                "median_latency_s": statistics.median(overheads) if overheads else 0.0,
+            }
+        )
+    return series
+
+
 def figure9b_payload_latency(
     payload_sizes: Sequence[int] = tuple(2**exp for exp in range(6, 18, 2)),
     chain_length: int = 10,
@@ -147,25 +327,72 @@ def figure9b_payload_latency(
     platforms: Sequence[str] = CLOUDS,
 ) -> Dict[str, List[Dict[str, float]]]:
     """Latency of a warm function chain vs return-payload size."""
-    series: Dict[str, List[Dict[str, float]]] = {platform: [] for platform in platforms}
-    for size in payload_sizes:
-        for platform in platforms:
-            result = _run(
-                "function_chain", platform, burst_size, seed, mode="warm",
-                length=chain_length, payload_bytes=int(size), memory_mb=256,
-            )
-            warm = split_warm_cold(result.measurements)["warm"] or result.measurements
-            overheads = [m.overhead() for m in warm if m.functions]
-            series[platform].append(
-                {
-                    "payload_bytes": float(size),
-                    "median_latency_s": statistics.median(overheads) if overheads else 0.0,
-                }
-            )
-    return series
+    config = ArtifactConfig(seed=seed).with_overrides(
+        "figure9b",
+        payload_sizes=tuple(payload_sizes),
+        chain_length=chain_length,
+        burst_size=burst_size,
+        platforms=tuple(platforms),
+    )
+    return _run_single_artifact("figure9b", config)  # type: ignore[return-value]
+
+
+register_artifact(ArtifactSpec(
+    name="figure9b",
+    title="Figure 9b: latency of a warm function chain vs payload size",
+    kind="figure",
+    cells=lambda config: tuple(request for _, _, request in _figure9b_items(config)),
+    build=_build_figure9b,
+    text=lambda data: report.format_series(
+        data, "Figure 9b: latency of a warm function chain vs payload size"
+    ),
+    description="Warm function-chain latency as the return payload grows (E4)",
+))
 
 
 # ------------------------------------------------------------------- figure 10
+def _figure10_items(
+    config: ArtifactConfig,
+) -> Iterator[Tuple[int, float, str, CellRequest]]:
+    parallelism = config.value("figure10", "parallelism", (2, 4, 8, 16), quick=(2,))
+    durations = config.value(
+        "figure10", "durations_s", (1.0, 5.0, 10.0, 20.0), quick=(1.0,)
+    )
+    burst = config.value("figure10", "burst_size", 10, quick=2)
+    workload = WorkloadSpec.burst(int(burst))  # type: ignore[arg-type]
+    for n in parallelism:  # type: ignore[union-attr]
+        for t in durations:  # type: ignore[union-attr]
+            for platform in _platforms(config, "figure10"):
+                benchmark = canonical_benchmark_spec(
+                    "parallel_sleep",
+                    num_functions=int(n),
+                    sleep_seconds=float(t),
+                    memory_mb=256,
+                )
+                yield int(n), float(t), platform, CellRequest(
+                    benchmark=benchmark, platform=platform, workload=workload,
+                    seed=config.seed,
+                )
+
+
+def _build_figure10(
+    campaign: CampaignResult, config: ArtifactConfig
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    heatmaps: Dict[str, Dict[str, Dict[str, float]]] = {
+        platform: {} for platform in _platforms(config, "figure10")
+    }
+    for n, t, platform, request in _figure10_items(config):
+        result = request_result(campaign, request)
+        relative = result.median_runtime / float(t) if t else 0.0
+        heatmaps[platform][f"N={n},T={int(t)}"] = {
+            "parallelism": float(n),
+            "sleep_s": float(t),
+            "relative_overhead": relative,
+            "median_runtime_s": result.median_runtime,
+        }
+    return heatmaps
+
+
 def figure10_parallel_sleep(
     parallelism: Sequence[int] = (2, 4, 8, 16),
     durations_s: Sequence[float] = (1.0, 5.0, 10.0, 20.0),
@@ -174,25 +401,50 @@ def figure10_parallel_sleep(
     platforms: Sequence[str] = CLOUDS,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Relative overhead of the parallel-sleep microbenchmark per (N, T) cell."""
-    heatmaps: Dict[str, Dict[str, Dict[str, float]]] = {p: {} for p in platforms}
-    for n in parallelism:
-        for t in durations_s:
-            for platform in platforms:
-                result = _run(
-                    "parallel_sleep", platform, burst_size, seed,
-                    num_functions=int(n), sleep_seconds=float(t), memory_mb=256,
-                )
-                relative = result.median_runtime / float(t) if t else 0.0
-                heatmaps[platform][f"N={n},T={int(t)}"] = {
-                    "parallelism": float(n),
-                    "sleep_s": float(t),
-                    "relative_overhead": relative,
-                    "median_runtime_s": result.median_runtime,
-                }
-    return heatmaps
+    config = ArtifactConfig(seed=seed).with_overrides(
+        "figure10",
+        parallelism=tuple(parallelism),
+        durations_s=tuple(durations_s),
+        burst_size=burst_size,
+        platforms=tuple(platforms),
+    )
+    return _run_single_artifact("figure10", config)  # type: ignore[return-value]
+
+
+register_artifact(ArtifactSpec(
+    name="figure10",
+    title="Figure 10: relative overhead of parallel sleep",
+    kind="figure",
+    cells=lambda config: tuple(
+        request for _, _, _, request in _figure10_items(config)
+    ),
+    build=_build_figure10,
+    text=lambda data: report.format_nested(
+        data, "Figure 10: relative overhead of parallel sleep (per platform, N/T cell)"
+    ),
+    description="Parallel-sleep overhead heatmaps per platform (E5)",
+))
 
 
 # ------------------------------------------------------------------- figure 11
+def _figure11_benchmarks(config: ArtifactConfig) -> Tuple[str, ...]:
+    names = config.value("figure11", "benchmarks", None)
+    if names is not None:
+        return tuple(names)  # type: ignore[arg-type]
+    return config.benchmarks or FIGURE11_BENCHMARKS
+
+
+def _figure11_from_results(
+    results: Dict[str, Dict[str, ExperimentResult]],
+) -> Dict[str, Dict[str, List[Dict[str, float]]]]:
+    return {
+        benchmark: {
+            platform: result.scaling_profile for platform, result in per_platform.items()
+        }
+        for benchmark, per_platform in results.items()
+    }
+
+
 def figure11_scaling_profiles(
     results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
     benchmarks: Optional[Sequence[str]] = None,
@@ -201,19 +453,84 @@ def figure11_scaling_profiles(
 ) -> Dict[str, Dict[str, List[Dict[str, float]]]]:
     """Distinct containers over time for a burst of workflow invocations."""
     if results is None:
-        names = list(benchmarks) if benchmarks is not None else [
-            "video_analysis", "excamera", "mapreduce", "trip_booking", "ml",
-        ]
+        names = list(benchmarks) if benchmarks is not None else list(FIGURE11_BENCHMARKS)
         results = application_comparison(names, burst_size=burst_size, seed=seed)
-    profiles: Dict[str, Dict[str, List[Dict[str, float]]]] = {}
-    for benchmark, per_platform in results.items():
-        profiles[benchmark] = {
-            platform: result.scaling_profile for platform, result in per_platform.items()
-        }
-    return profiles
+    return _figure11_from_results(results)
+
+
+def _figure11_text(data: Dict[str, Dict[str, List[Dict[str, float]]]]) -> str:
+    rows = []
+    for name, per_platform in data.items():
+        for platform, profile in per_platform.items():
+            rows.append({
+                "benchmark": name,
+                "platform": platform,
+                "peak_containers": max(
+                    (point["containers"] for point in profile), default=0
+                ),
+                "samples": len(profile),
+            })
+    return report.format_table(
+        rows, "Figure 11: peak distinct containers during the burst"
+    )
+
+
+register_artifact(ArtifactSpec(
+    name="figure11",
+    title="Figure 11: container scaling profiles",
+    kind="figure",
+    cells=lambda config: tuple(
+        request for _, _, request in _e1_items(config, _figure11_benchmarks(config))
+    ),
+    build=lambda campaign, config: _figure11_from_results(
+        collect_e1(campaign, config, _figure11_benchmarks(config))
+    ),
+    text=_figure11_text,
+    description="Distinct containers over time during the burst (E1)",
+))
 
 
 # ------------------------------------------------------------------- figure 12
+def _figure12_items(
+    config: ArtifactConfig,
+) -> Iterator[Tuple[str, str, CellRequest, CellRequest]]:
+    names = config.value("figure12", "benchmarks", ("ml", "mapreduce"))
+    burst = int(config.value("figure12", "burst_size", config.closed_burst()))  # type: ignore[arg-type]
+    cold = WorkloadSpec.burst(burst)
+    warm = WorkloadSpec.from_mode("warm", burst)
+    for name in names:  # type: ignore[union-attr]
+        for platform in _platforms(config, "figure12"):
+            yield name, platform, CellRequest(
+                benchmark=name, platform=platform, workload=cold, seed=config.seed,
+            ), CellRequest(
+                benchmark=name, platform=platform, workload=warm, seed=config.seed + 1,
+            )
+
+
+def _build_figure12(
+    campaign: CampaignResult, config: ArtifactConfig
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    figure: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name, platform, cold_request, warm_request in _figure12_items(config):
+        cold_result = request_result(campaign, cold_request)
+        warm_result = request_result(campaign, warm_request)
+        warm_measurements = split_warm_cold(warm_result.measurements)["warm"]
+        warm_summary = summarize(
+            name, platform, warm_measurements or warm_result.measurements
+        )
+        figure.setdefault(name, {})[platform] = {
+            "cold_critical_path_s": cold_result.median_critical_path,
+            "cold_overhead_s": cold_result.median_overhead,
+            "warm_critical_path_s": warm_summary.median_critical_path,
+            "warm_overhead_s": warm_summary.median_overhead,
+            "speedup_critical_path": speedup(
+                cold_result.median_critical_path,
+                warm_summary.median_critical_path or cold_result.median_critical_path,
+            ),
+        }
+    return figure
+
+
 def figure12_warm_cold(
     benchmarks: Sequence[str] = ("ml", "mapreduce"),
     burst_size: int = 30,
@@ -221,40 +538,65 @@ def figure12_warm_cold(
     platforms: Sequence[str] = CLOUDS,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Critical path and overhead of cold (burst) vs warm invocations."""
-    figure: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for benchmark in benchmarks:
-        figure[benchmark] = {}
-        for platform in platforms:
-            cold_result = _run(benchmark, platform, burst_size, seed, mode="burst")
-            warm_result = _run(benchmark, platform, burst_size, seed + 1, mode="warm")
-            warm_measurements = split_warm_cold(warm_result.measurements)["warm"]
-            warm_summary = summarize(benchmark, platform, warm_measurements or warm_result.measurements)
-            figure[benchmark][platform] = {
-                "cold_critical_path_s": cold_result.median_critical_path,
-                "cold_overhead_s": cold_result.median_overhead,
-                "warm_critical_path_s": warm_summary.median_critical_path,
-                "warm_overhead_s": warm_summary.median_overhead,
-                "speedup_critical_path": speedup(
-                    cold_result.median_critical_path,
-                    warm_summary.median_critical_path or cold_result.median_critical_path,
-                ),
-            }
-    return figure
+    config = ArtifactConfig(seed=seed).with_overrides(
+        "figure12",
+        benchmarks=tuple(benchmarks),
+        burst_size=burst_size,
+        platforms=tuple(platforms),
+    )
+    return _run_single_artifact("figure12", config)  # type: ignore[return-value]
+
+
+register_artifact(ArtifactSpec(
+    name="figure12",
+    title="Figure 12: critical path and overhead, cold vs warm",
+    kind="figure",
+    cells=lambda config: tuple(
+        request
+        for item in _figure12_items(config)
+        for request in item[2:]
+    ),
+    build=_build_figure12,
+    text=lambda data: report.format_nested(
+        data, "Figure 12: critical path and overhead, cold vs warm"
+    ),
+    description="Cold (burst) vs warm invocations for ML and MapReduce (E2)",
+))
 
 
 # ------------------------------------------------------------------- figure 13
-def figure13_os_noise(
-    memory_configurations: Sequence[int] = MEMORY_CONFIGURATIONS_MB,
-    events: int = 5000,
-    seed: int = 0,
-    platforms: Sequence[str] = CLOUDS,
+#: Benchmarks (and the memory configuration driving the suspension share)
+#: whose critical paths Figure 13b/c normalises.
+FIGURE13_NORMALIZED = (("mapreduce", 256), ("ml", 1024))
+
+
+def _figure13_items(config: ArtifactConfig) -> Iterator[Tuple[str, str, CellRequest]]:
+    burst = int(config.value("figure13", "burst_size", 10, quick=2))  # type: ignore[arg-type]
+    workload = WorkloadSpec.burst(burst)
+    for benchmark, _memory in FIGURE13_NORMALIZED:
+        for platform in _platforms(config, "figure13"):
+            yield benchmark, platform, CellRequest(
+                benchmark=benchmark, platform=platform, workload=workload,
+                seed=config.seed,
+            )
+
+
+def _build_figure13(
+    campaign: CampaignResult, config: ArtifactConfig
 ) -> Dict[str, object]:
-    """Suspension-time curves (13a) and normalised critical paths (13b/13c)."""
+    memory_configurations = config.value(
+        "figure13", "memory_configurations", MEMORY_CONFIGURATIONS_MB, quick=(256, 1024)
+    )
+    events = int(config.value("figure13", "events", 5000, quick=500))  # type: ignore[arg-type]
+    platforms = _platforms(config, "figure13")
+
     suspension: Dict[str, List[Dict[str, float]]] = {}
     for platform in platforms:
         profile = resolve_platform(platform)
-        noise = NoiseModel(platform, profile.cpu_model, RandomStreams(seed))
-        curve = noise.suspension_curve(memory_configurations, events=events)
+        noise = NoiseModel(platform, profile.cpu_model, RandomStreams(config.seed))
+        curve = noise.suspension_curve(
+            memory_configurations, events=events  # type: ignore[arg-type]
+        )
         suspension[platform] = [
             {
                 "memory_mb": float(memory),
@@ -264,11 +606,12 @@ def figure13_os_noise(
             for memory, values in sorted(curve.items())
         ]
 
+    results = collect_pairs(campaign, _figure13_items(config))
     normalized: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for benchmark, memory in (("mapreduce", 256), ("ml", 1024)):
+    for benchmark, memory in FIGURE13_NORMALIZED:
         normalized[benchmark] = {}
         for platform in platforms:
-            result = _run(benchmark, platform, 10, seed)
+            result = results[benchmark][platform]
             profile = resolve_platform(platform)
             share = profile.cpu_model.suspension(memory)
             critical = result.median_critical_path
@@ -280,17 +623,86 @@ def figure13_os_noise(
     return {"suspension": suspension, "normalized_critical_path": normalized}
 
 
-# ------------------------------------------------------------------- figure 14
-def figure14_genome_scaling(
-    job_counts: Sequence[int] = (5, 10, 20),
-    burst_size: int = 5,
+def figure13_os_noise(
+    memory_configurations: Sequence[int] = MEMORY_CONFIGURATIONS_MB,
+    events: int = 5000,
     seed: int = 0,
-    platforms: Sequence[str] = ("aws", "gcp", "azure", "hpc"),
+    platforms: Sequence[str] = CLOUDS,
 ) -> Dict[str, object]:
-    """1000Genome on clouds vs the HPC system: full workflow and strong scaling."""
-    full_workflow: Dict[str, Dict[str, float]] = {}
+    """Suspension-time curves (13a) and normalised critical paths (13b/13c)."""
+    config = ArtifactConfig(seed=seed).with_overrides(
+        "figure13",
+        memory_configurations=tuple(memory_configurations),
+        events=events,
+        platforms=tuple(platforms),
+    )
+    return _run_single_artifact("figure13", config)  # type: ignore[return-value]
+
+
+def _figure13_text(data: Dict[str, object]) -> str:
+    return "\n\n".join([
+        report.format_series(
+            data["suspension"], "Figure 13a: suspension time vs memory"  # type: ignore[arg-type]
+        ),
+        report.format_nested(
+            data["normalized_critical_path"],  # type: ignore[arg-type]
+            "Figure 13b/c: normalised critical path",
+        ),
+    ])
+
+
+register_artifact(ArtifactSpec(
+    name="figure13",
+    title="Figure 13: OS noise and normalised critical paths",
+    kind="figure",
+    cells=lambda config: tuple(request for _, _, request in _figure13_items(config)),
+    build=_build_figure13,
+    text=_figure13_text,
+    description="Suspension-time curves and noise-normalised critical paths (E6)",
+))
+
+
+# ------------------------------------------------------------------- figure 14
+def _figure14_params(config: ArtifactConfig):
+    platforms = tuple(config.value("figure14", "platforms", FIGURE14_PLATFORMS))  # type: ignore[arg-type]
+    job_counts = tuple(config.value("figure14", "job_counts", (5, 10, 20), quick=(5,)))  # type: ignore[arg-type]
+    burst = int(config.value("figure14", "burst_size", 5, quick=2))  # type: ignore[arg-type]
+    return platforms, job_counts, burst
+
+
+def _figure14_full_items(config: ArtifactConfig) -> Iterator[Tuple[str, CellRequest]]:
+    platforms, _, burst = _figure14_params(config)
+    workload = WorkloadSpec.burst(burst)
     for platform in platforms:
-        result = _run("genome_1000", platform, burst_size, seed)
+        yield platform, CellRequest(
+            benchmark="genome_1000", platform=platform, workload=workload,
+            seed=config.seed,
+        )
+
+
+def _figure14_scaling_items(
+    config: ArtifactConfig,
+) -> Iterator[Tuple[str, int, CellRequest]]:
+    platforms, job_counts, burst = _figure14_params(config)
+    workload = WorkloadSpec.burst(burst)
+    for platform in platforms:
+        for jobs in job_counts:
+            benchmark = canonical_benchmark_spec(
+                "genome_individuals", individuals_jobs=int(jobs)
+            )
+            yield platform, int(jobs), CellRequest(
+                benchmark=benchmark, platform=platform, workload=workload,
+                seed=config.seed,
+            )
+
+
+def _build_figure14(
+    campaign: CampaignResult, config: ArtifactConfig
+) -> Dict[str, object]:
+    platforms, _, _ = _figure14_params(config)
+    full_workflow: Dict[str, Dict[str, float]] = {}
+    for platform, request in _figure14_full_items(config):
+        result = request_result(campaign, request)
         runtimes = result.summary.runtimes if result.summary else []
         full_workflow[platform] = {
             "mean_runtime_s": statistics.fmean(runtimes) if runtimes else 0.0,
@@ -298,14 +710,13 @@ def figure14_genome_scaling(
             "cv": coefficient_of_variation(runtimes),
         }
 
-    individuals_scaling: Dict[str, Dict[int, float]] = {platform: {} for platform in platforms}
-    for platform in platforms:
-        for jobs in job_counts:
-            benchmark = create_individuals_scaling_benchmark(jobs)
-            result = run_benchmark(
-                benchmark, platform, burst_size=burst_size, seed=seed, repetitions=1
-            )
-            individuals_scaling[platform][int(jobs)] = result.median_runtime
+    individuals_scaling: Dict[str, Dict[int, float]] = {
+        platform: {} for platform in platforms
+    }
+    for platform, jobs, request in _figure14_scaling_items(config):
+        individuals_scaling[platform][jobs] = request_result(
+            campaign, request
+        ).median_runtime
 
     speedups: Dict[str, List[Dict[str, float]]] = {}
     for platform, durations in individuals_scaling.items():
@@ -320,22 +731,68 @@ def figure14_genome_scaling(
     }
 
 
+def figure14_genome_scaling(
+    job_counts: Sequence[int] = (5, 10, 20),
+    burst_size: int = 5,
+    seed: int = 0,
+    platforms: Sequence[str] = FIGURE14_PLATFORMS,
+) -> Dict[str, object]:
+    """1000Genome on clouds vs the HPC system: full workflow and strong scaling."""
+    config = ArtifactConfig(seed=seed).with_overrides(
+        "figure14",
+        job_counts=tuple(job_counts),
+        burst_size=burst_size,
+        platforms=tuple(platforms),
+    )
+    return _run_single_artifact("figure14", config)  # type: ignore[return-value]
+
+
 def _pairwise_speedups(durations: Dict[int, float]):
     jobs = sorted(durations)
     for small, large in zip(jobs, jobs[1:]):
         yield small, large, speedup(durations[small], durations[large])
 
 
+def _figure14_text(data: Dict[str, object]) -> str:
+    full_rows = [
+        dict(platform=platform, **values)
+        for platform, values in data["full_workflow"].items()  # type: ignore[union-attr]
+    ]
+    scaling_rows = [
+        {"platform": platform, "jobs": jobs, "median_runtime_s": duration}
+        for platform, durations in data["individuals_scaling"].items()  # type: ignore[union-attr]
+        for jobs, duration in sorted(durations.items())
+    ]
+    speedup_rows = [
+        dict(platform=platform, **entry)
+        for platform, entries in data["speedups"].items()  # type: ignore[union-attr]
+        for entry in entries
+    ]
+    return "\n\n".join([
+        report.format_table(full_rows, "Figure 14a: complete 1000Genome workflow"),
+        report.format_table(scaling_rows, "Figure 14b: strong scaling of the individuals task"),
+        report.format_table(speedup_rows, "Figure 14b: pairwise speedups"),
+    ])
+
+
+register_artifact(ArtifactSpec(
+    name="figure14",
+    title="Figure 14: 1000Genome on clouds vs HPC",
+    kind="figure",
+    cells=lambda config: tuple(
+        [request for _, request in _figure14_full_items(config)]
+        + [request for _, _, request in _figure14_scaling_items(config)]
+    ),
+    build=_build_figure14,
+    text=_figure14_text,
+    description="Scientific workflow on clouds vs the HPC system, with strong scaling (E7/E8)",
+))
+
+
 # ------------------------------------------------------------------- figure 15
-def figure15_pricing(
-    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
-    benchmarks: Optional[Sequence[str]] = None,
-    burst_size: int = 30,
-    seed: int = 0,
+def _figure15_from_results(
+    results: Dict[str, Dict[str, ExperimentResult]],
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Price per 1000 workflow executions, split into function and orchestration cost."""
-    if results is None:
-        results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
     figure: Dict[str, Dict[str, Dict[str, float]]] = {}
     for benchmark, per_platform in results.items():
         figure[benchmark] = {}
@@ -353,7 +810,62 @@ def figure15_pricing(
     return figure
 
 
+def figure15_pricing(
+    results: Optional[Dict[str, Dict[str, ExperimentResult]]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    burst_size: int = 30,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Price per 1000 workflow executions, split into function and orchestration cost."""
+    if results is None:
+        results = application_comparison(benchmarks, burst_size=burst_size, seed=seed)
+    return _figure15_from_results(results)
+
+
+register_artifact(ArtifactSpec(
+    name="figure15",
+    title="Figure 15: price per 1000 workflow executions [$]",
+    kind="figure",
+    cells=_e1_cells,
+    build=lambda campaign, config: _figure15_from_results(collect_e1(campaign, config)),
+    text=lambda data: report.format_nested(
+        data, "Figure 15: price per 1000 workflow executions [$]"
+    ),
+    description="Cost breakdown per 1000 executions per benchmark and platform (E1)",
+))
+
+
 # ------------------------------------------------------------------- figure 16
+def _figure16_items(
+    config: ArtifactConfig,
+) -> Iterator[Tuple[str, str, str, CellRequest]]:
+    names = config.value("figure16", "benchmarks", ("mapreduce", "ml"))
+    eras = config.value("figure16", "eras", ("2022", "2024"))
+    burst = int(config.value("figure16", "burst_size", config.closed_burst()))  # type: ignore[arg-type]
+    workload = WorkloadSpec.burst(burst)
+    for name in names:  # type: ignore[union-attr]
+        for platform in _platforms(config, "figure16"):
+            for era in eras:  # type: ignore[union-attr]
+                spec = PlatformSpec.coerce(platform).with_era(str(era))
+                yield name, platform, str(era), CellRequest(
+                    benchmark=name, platform=spec, workload=workload, seed=config.seed,
+                )
+
+
+def _build_figure16(
+    campaign: CampaignResult, config: ArtifactConfig
+) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
+    figure: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    for name, platform, era, request in _figure16_items(config):
+        result = request_result(campaign, request)
+        figure.setdefault(name, {}).setdefault(platform, {})[era] = {
+            "median_critical_path_s": result.median_critical_path,
+            "median_overhead_s": result.median_overhead,
+            "median_runtime_s": result.median_runtime,
+        }
+    return figure
+
+
 def figure16_evolution(
     benchmarks: Sequence[str] = ("mapreduce", "ml"),
     eras: Sequence[str] = ("2022", "2024"),
@@ -362,16 +874,76 @@ def figure16_evolution(
     platforms: Sequence[str] = CLOUDS,
 ) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
     """Critical path and overhead of MapReduce and ML in 2022 vs 2024."""
-    figure: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
-    for benchmark in benchmarks:
-        figure[benchmark] = {}
-        for platform in platforms:
-            figure[benchmark][platform] = {}
-            for era in eras:
-                result = _run(benchmark, platform, burst_size, seed, era=era)
-                figure[benchmark][platform][era] = {
-                    "median_critical_path_s": result.median_critical_path,
-                    "median_overhead_s": result.median_overhead,
-                    "median_runtime_s": result.median_runtime,
-                }
-    return figure
+    config = ArtifactConfig(seed=seed).with_overrides(
+        "figure16",
+        benchmarks=tuple(benchmarks),
+        eras=tuple(eras),
+        burst_size=burst_size,
+        platforms=tuple(platforms),
+    )
+    return _run_single_artifact("figure16", config)  # type: ignore[return-value]
+
+
+def _figure16_text(data: Dict[str, Dict[str, Dict[str, Dict[str, float]]]]) -> str:
+    rows = []
+    for name, per_platform in data.items():
+        for platform, eras in per_platform.items():
+            for era, values in eras.items():
+                rows.append(
+                    {"benchmark": name, "platform": platform, "era": era, **values}
+                )
+    return report.format_table(
+        rows, "Figure 16: critical path and overhead, 2022 vs 2024"
+    )
+
+
+register_artifact(ArtifactSpec(
+    name="figure16",
+    title="Figure 16: evolution 2022 vs 2024",
+    kind="figure",
+    cells=lambda config: tuple(
+        request for _, _, _, request in _figure16_items(config)
+    ),
+    build=_build_figure16,
+    text=_figure16_text,
+    description="Critical path and overhead across measurement eras (RQ5)",
+))
+
+
+# ------------------------------------------------------- open-loop companion
+def _open_loop_items(config: ArtifactConfig) -> Iterator[Tuple[str, CellRequest]]:
+    benchmark = str(config.value("open_loop", "benchmark", "function_chain"))
+    rate = float(config.value("open_loop", "rate", 5.0, quick=2.0))  # type: ignore[arg-type]
+    duration = float(config.value("open_loop", "duration", 30.0, quick=5.0))  # type: ignore[arg-type]
+    workload = WorkloadSpec.poisson(rate=rate, duration=duration)
+    for platform in _platforms(config, "open_loop"):
+        yield platform, CellRequest(
+            benchmark=benchmark, platform=platform, workload=workload,
+            seed=config.seed,
+        )
+
+
+def _build_open_loop(
+    campaign: CampaignResult, config: ArtifactConfig
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for platform, request in _open_loop_items(config):
+        result = request_result(campaign, request)
+        if result.open_loop is None:
+            continue
+        rows.append({"platform": platform, **result.open_loop.as_row()})
+    return rows
+
+
+register_artifact(ArtifactSpec(
+    name="open_loop",
+    title="Open-loop companion: sustained Poisson traffic per platform",
+    kind="figure",
+    cells=lambda config: tuple(request for _, request in _open_loop_items(config)),
+    build=_build_open_loop,
+    text=lambda data: report.format_table(
+        data, "Open-loop companion: sustained Poisson traffic per platform"
+    ),
+    description="Throughput and tail latency under sustained arrivals "
+                "(beyond-the-paper companion; not a paper figure)",
+))

@@ -6,6 +6,11 @@
 * Table 4 -- key features of the benchmarks (computed from the definitions);
 * Table 5 -- cold-start fractions and state-transition counts (from experiment
   results plus the platform transcribers).
+
+Each table is also registered as a declarative artifact with
+:mod:`repro.analysis.artifacts`: Tables 1-4 are static (they declare no
+campaign cells), Table 5 shares the E1 burst cells with Figures 7/8/11/15, so
+one planned campaign feeds all of them.
 """
 
 from __future__ import annotations
@@ -17,6 +22,9 @@ from ..benchmarks.registry import APPLICATION_BENCHMARKS
 from ..core.transcription import compare_transitions
 from ..faas.experiment import ExperimentResult
 from ..sim import PRICING_BY_PLATFORM, resolve_platform
+from . import report
+from .artifacts import ArtifactSpec, register_artifact
+from .figures import _e1_cells, collect_e1
 from .literature import table1_rows
 
 #: Display order of the application benchmarks, matching the paper's tables.
@@ -115,3 +123,56 @@ def table5_cold_starts_and_transitions(
         row["History events Azure"] = comparison.azure_history_events
         rows.append(row)
     return rows
+
+
+# ------------------------------------------------------------------ artifacts
+def _static_table(name: str, title: str, build, description: str) -> None:
+    register_artifact(ArtifactSpec(
+        name=name,
+        title=title,
+        kind="table",
+        cells=lambda config: (),
+        build=lambda campaign, config: build(),
+        text=lambda data, _title=title: report.format_table(data, _title),
+        description=description,
+    ))
+
+
+_static_table(
+    "table1",
+    "Table 1: analysis of research papers on serverless workflows",
+    table1_literature,
+    "Literature survey of 72 papers on serverless workflows",
+)
+_static_table(
+    "table2",
+    "Table 2: key features of serverless workflow platforms",
+    table2_platform_features,
+    "Programming model, flexibility, parallelism, and interface per platform",
+)
+_static_table(
+    "table3",
+    "Table 3: pricing according to vendor documentation",
+    table3_pricing,
+    "Compute, invocation, and orchestration pricing constants",
+)
+_static_table(
+    "table4",
+    "Table 4: key features of the benchmarks",
+    table4_benchmarks,
+    "#functions, parallelism, critical path, and data volume per benchmark",
+)
+
+register_artifact(ArtifactSpec(
+    name="table5",
+    title="Table 5: relative #cold starts and #state transitions",
+    kind="table",
+    cells=_e1_cells,
+    build=lambda campaign, config: table5_cold_starts_and_transitions(
+        collect_e1(campaign, config)
+    ),
+    text=lambda data: report.format_table(
+        data, "Table 5: relative #cold starts and #state transitions"
+    ),
+    description="Cold-start fractions (E1) and state-transition counts per benchmark",
+))

@@ -7,8 +7,11 @@ from .registry import (
     APPLICATION_BENCHMARKS,
     MICRO_BENCHMARKS,
     PAPER_MEMORY_MB,
+    VARIANT_BENCHMARKS,
     benchmark_names,
+    canonical_benchmark_spec,
     get_benchmark,
+    parse_benchmark_spec,
 )
 
 __all__ = [
@@ -16,7 +19,10 @@ __all__ = [
     "APPLICATION_BENCHMARKS",
     "MICRO_BENCHMARKS",
     "PAPER_MEMORY_MB",
+    "VARIANT_BENCHMARKS",
     "benchmark_names",
+    "canonical_benchmark_spec",
+    "parse_benchmark_spec",
     "excamera",
     "function_chain",
     "genome",

@@ -42,17 +42,22 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .analysis import artifacts as artifact_pipeline
 from .analysis import report
-from .benchmarks import benchmark_names, get_benchmark
-from .core.transcription import AWSTranscriber, AzureTranscriber, GCPTranscriber
+from .benchmarks import benchmark_names, get_benchmark, parse_benchmark_spec
 from .faas import (
     CampaignError,
+    CampaignResult,
     CampaignSpec,
     GridRun,
+    WorkloadSpec,
     compare_platforms,
     grid_status,
+    iter_partial_merges,
+    load_cached_campaign,
+    load_campaign_document,
     merge_run,
     parse_shard,
     probe_cache,
@@ -61,15 +66,21 @@ from .faas import (
     run_grid_worker,
     shard_of,
 )
+from .core.transcription import AWSTranscriber, AzureTranscriber, GCPTranscriber
 from .faas.grid import DEFAULT_LEASE_TTL_S
 from .faas.results import result_to_dict
 from .sim.platforms.spec import (
     DEFAULT_ERA,
+    PlatformSpec,
     available_eras,
     available_platforms,
     available_scenarios,
     load_scenarios,
 )
+
+#: Default per-cell cache directory of ``repro-flow figures``/``report`` --
+#: rendering the same artifacts twice must not simulate anything twice.
+DEFAULT_FIGURES_CACHE = ".repro-flow-cache"
 
 _TRANSCRIBERS = {
     "aws": AWSTranscriber,
@@ -252,7 +263,103 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("--output", help="write the merged campaign result as JSON")
 
+    figures = subparsers.add_parser(
+        "figures",
+        help="render paper figures/tables from ONE planned, deduplicated campaign",
+    )
+    figures.add_argument(
+        "--artifacts", nargs="+", default=None, metavar="NAME",
+        help="artifact names (space or comma separated, e.g. figure7,table5); "
+             "see --list",
+    )
+    figures.add_argument("--all", action="store_true",
+                         help="render every registered figure and table")
+    figures.add_argument("--list", action="store_true", dest="list_artifacts",
+                         help="list the registered artifacts and exit")
+    _add_artifact_source_args(figures)
+    figures.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="write one <artifact>.json (+ .txt) per artifact into this directory",
+    )
+
+    paper_report = subparsers.add_parser(
+        "report",
+        help="render the full paper report (every figure and table) in one go",
+    )
+    _add_artifact_source_args(paper_report)
+    paper_report.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="write per-artifact JSON/text exports plus report.txt into this directory",
+    )
+
     return parser
+
+
+def _add_artifact_source_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``figures`` and ``report``: how to source the cells."""
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test scale: burst 3 and shrunken sweep series")
+    parser.add_argument("--burst-size", type=int, default=30,
+                        help="E1 burst size (the paper uses 30; --quick caps it at 3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=None,
+        help="restrict the E1-style artifacts to these application benchmarks",
+    )
+    parser.add_argument(
+        "--platforms", nargs="+", default=None,
+        help="platform specs for the cloud comparisons (default: gcp aws azure)",
+    )
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: one per CPU)")
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_FIGURES_CACHE,
+        help="per-cell result cache; re-renders are simulation-free "
+             "(default: %(default)s)",
+    )
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the per-cell cache")
+    parser.add_argument(
+        "--run-dir", default=None,
+        help="execute the planned campaign over a durable grid run directory "
+             "(shardable across hosts; see `campaign --run-dir`)",
+    )
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="with --run-dir: execute only planner shard I of N")
+    parser.add_argument(
+        "--plan-only", action="store_true",
+        help="print the unioned campaign plan (and initialise --run-dir) "
+             "without executing",
+    )
+    parser.add_argument(
+        "--render-only", action="store_true",
+        help="do not execute anything: render from the run dir / cache / "
+             "campaign file as-is (incomplete artifacts report as pending)",
+    )
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="with --run-dir: poll partial merges and re-render artifacts live "
+             "as grid workers stream results",
+    )
+    parser.add_argument("--watch-interval", type=float, default=2.0,
+                        help="seconds between --watch polls (default: %(default)s)")
+    parser.add_argument(
+        "--watch-polls", type=int, default=None,
+        help="stop --watch after this many polls even if incomplete",
+    )
+    parser.add_argument(
+        "--from-campaign", default=None, metavar="FILE",
+        help="render from a campaign JSON written with --save-campaign "
+             "(no execution)",
+    )
+    parser.add_argument(
+        "--save-campaign", default=None, metavar="FILE",
+        help="write the executed campaign (full per-cell results) as JSON; "
+             "feed it back via --from-campaign",
+    )
+    parser.add_argument("--max-retries", type=int, default=1)
+    parser.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL_S)
+    parser.add_argument("--worker-id", default=None)
 
 
 def _cmd_list(scenarios: Optional[str] = None) -> int:
@@ -312,16 +419,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.scenarios:
         load_scenarios(args.scenarios)
     benchmark = get_benchmark(args.benchmark)
+    # --mode/--burst-size stay supported flags, but compile to a WorkloadSpec
+    # here (and --era to an era-pinned platform spec) so the CLI never feeds
+    # the deprecated kwargs through the library API.
+    workload = args.workload or WorkloadSpec.from_mode(args.mode, args.burst_size)
+    platform = PlatformSpec.coerce(args.platform).with_default_era(args.era)
     result = run_benchmark(
         benchmark,
-        args.platform,
-        burst_size=args.burst_size,
+        platform,
         repetitions=args.repetitions,
-        mode=args.mode,
         seed=args.seed,
-        era=args.era,
         memory_mb=args.memory_mb,
-        workload=args.workload,
+        workload=workload,
     )
     summary_row = result.summary.as_row() if result.summary else {}
     print(report.format_table([summary_row], f"{args.benchmark} on {args.platform}"))
@@ -342,15 +451,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.scenarios:
         load_scenarios(args.scenarios)
     benchmark = get_benchmark(args.benchmark)
+    workload = args.workload or WorkloadSpec.from_mode(args.mode, args.burst_size)
     results = compare_platforms(
         benchmark,
         platforms=args.platforms,
-        burst_size=args.burst_size,
         repetitions=args.repetitions,
-        mode=args.mode,
         era=args.era,
         seed=args.seed,
-        workload=args.workload,
+        workload=workload,
     )
     rows = []
     open_loop_rows = []
@@ -382,8 +490,13 @@ def _print_campaign_tables(campaign, output: Optional[str]) -> None:
         print(f"aggregated campaign result written to {output}")
 
 
-def _print_campaign_plan(spec: CampaignSpec, shard, cache_dir: Optional[str]) -> int:
-    """The --dry-run view: every cell, its shard, and its cache state."""
+def _print_campaign_plan(
+    spec: CampaignSpec,
+    shard,
+    cache_dir: Optional[str],
+    title: str = "campaign plan (dry run)",
+) -> int:
+    """The --dry-run / --plan-only view: every cell, shard, and cache state."""
     jobs = spec.expand()
     rows: List[dict] = []
     hits = mine = 0
@@ -407,7 +520,7 @@ def _print_campaign_plan(spec: CampaignSpec, shard, cache_dir: Optional[str]) ->
             row["cache"] = "hit" if cached else "miss"
             hits += cached
         rows.append(row)
-    print(report.format_table(rows, "campaign plan (dry run)"))
+    print(report.format_table(rows, title))
     summary = f"plan: {len(jobs)} cells"
     if shard is not None:
         summary += f", {mine} assigned to shard {shard[0]}/{shard[1]}"
@@ -455,7 +568,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         if not args.benchmarks:
             raise ValueError("--benchmarks is required (or pass --resume RUN_DIR)")
-        unknown = [name for name in args.benchmarks if name not in benchmark_names("all")]
+        # Entries may be plain names or parameterised benchmark spec strings
+        # ("storage_io:num_functions=8"); validate the base names up front.
+        unknown = []
+        for name in args.benchmarks:
+            try:
+                parse_benchmark_spec(name)
+            except KeyError:
+                unknown.append(name)
         if unknown:
             raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
         spec = CampaignSpec(
@@ -569,6 +689,223 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------- artifacts
+def _artifact_selection(args: argparse.Namespace, render_all: bool) -> List[str]:
+    if render_all or getattr(args, "all", False):
+        return artifact_pipeline.available_artifacts()
+    if not getattr(args, "artifacts", None):
+        # The full paper campaign is deliberately opt-in: a bare `figures`
+        # must not silently launch ~140 cells at burst 30.
+        raise ValueError(
+            "select artifacts with --artifacts NAME[,NAME...] or pass --all "
+            "(see `repro-flow figures --list` for the registered names)"
+        )
+    names: List[str] = []
+    for entry in args.artifacts:
+        names.extend(part.strip() for part in entry.split(",") if part.strip())
+    seen = set()
+    unique = [name for name in names if not (name in seen or seen.add(name))]
+    for name in unique:
+        artifact_pipeline.get_artifact(name)  # KeyError lists the valid names
+    return unique
+
+
+def _artifact_config(args: argparse.Namespace) -> artifact_pipeline.ArtifactConfig:
+    return artifact_pipeline.ArtifactConfig(
+        burst_size=args.burst_size,
+        seed=args.seed,
+        quick=args.quick,
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        platforms=tuple(args.platforms) if args.platforms else artifact_pipeline.CLOUDS,
+    )
+
+
+def _print_artifact_plan(plan: artifact_pipeline.ArtifactPlan, shard,
+                         cache_dir: Optional[str]) -> None:
+    if plan.spec is not None:
+        # plan.spec.expand() is exactly plan.jobs, so the campaign plan
+        # printer (shard assignment, cache hit/miss) applies verbatim.
+        _print_campaign_plan(plan.spec, shard, cache_dir,
+                             title="artifact campaign plan")
+    else:
+        print("the selected artifacts are static: no campaign cells to run")
+    print(plan.describe())
+
+
+def _emit_artifacts(
+    plan: artifact_pipeline.ArtifactPlan,
+    campaign: Optional[CampaignResult],
+    args: argparse.Namespace,
+    prerendered: Optional[Dict[str, artifact_pipeline.RenderedArtifact]] = None,
+) -> Dict[str, artifact_pipeline.RenderedArtifact]:
+    # Watch mode hands over what it already rendered (and printed) per poll.
+    rendered = (
+        prerendered
+        if prerendered is not None
+        else artifact_pipeline.render_plan(plan, campaign)
+    )
+    if prerendered is None:
+        for artifact in rendered.values():
+            print(artifact.text)
+            print()
+    summary_rows = [
+        {
+            "artifact": artifact.name,
+            "kind": artifact.kind,
+            "cells": artifact.provenance.get("cell_count", 0),
+            "cache_hits": artifact.provenance.get("cache_hits", 0),
+            "status": "rendered" if artifact.complete else
+                      f"pending ({len(artifact.missing)} cell(s) missing)",
+        }
+        for artifact in rendered.values()
+    ]
+    print(report.format_table(summary_rows, "artifacts"))
+    if args.output:
+        written = artifact_pipeline.write_artifacts(rendered, args.output)
+        print(f"wrote {len(written)} artifact file(s) to {args.output}")
+    if args.save_campaign and campaign is not None:
+        with open(args.save_campaign, "w", encoding="utf-8") as handle:
+            json.dump(campaign.to_dict(include_results=True), handle)
+        print(f"full campaign result written to {args.save_campaign}")
+    return rendered
+
+
+def _watch_artifacts(
+    plan: artifact_pipeline.ArtifactPlan,
+    run: GridRun,
+    args: argparse.Namespace,
+    cache_dir: Optional[str],
+) -> Tuple[Optional[CampaignResult],
+           Dict[str, artifact_pipeline.RenderedArtifact], int]:
+    """Re-render artifacts live off partial merges as grid workers stream.
+
+    Completed artifacts are printed the moment their cells land and are not
+    rebuilt on later polls.  The loop ends when every cell is either merged or
+    permanently failed (so a run with dead cells does not spin forever), or
+    after ``--watch-polls`` polls.  Returns the final snapshot, everything
+    rendered, and the count of permanently failed cells.
+    """
+    rendered: Dict[str, artifact_pipeline.RenderedArtifact] = {}
+    campaign: Optional[CampaignResult] = None
+    failed = 0
+    for campaign, done, failed, total in iter_partial_merges(
+        run, cache_dir=cache_dir, interval_s=args.watch_interval,
+        max_polls=args.watch_polls,
+    ):
+        for artifact in plan.artifacts:
+            previous = rendered.get(artifact.name)
+            if previous is not None and previous.complete:
+                continue
+            current = artifact_pipeline.render_artifact(artifact, campaign, plan.config)
+            rendered[artifact.name] = current
+            if current.complete:
+                print(current.text)
+                print()
+        complete = sum(1 for artifact in rendered.values() if artifact.complete)
+        line = (f"[watch] {done}/{total} cells merged, "
+                f"{complete}/{len(rendered)} artifact(s) rendered, "
+                f"{len(rendered) - complete} pending")
+        if failed:
+            line += f", {failed} cell(s) permanently failed"
+        print(line, flush=True)
+        if complete == len(rendered):
+            break
+    return campaign, rendered, failed
+
+
+def _cmd_figures(args: argparse.Namespace, render_all: bool = False) -> int:
+    if getattr(args, "list_artifacts", False):
+        rows = [
+            {
+                "artifact": name,
+                "kind": artifact_pipeline.get_artifact(name).kind,
+                "description": artifact_pipeline.get_artifact(name).description,
+            }
+            for name in artifact_pipeline.available_artifacts()
+        ]
+        print(report.format_table(rows, "registered artifacts"))
+        return 0
+
+    names = _artifact_selection(args, render_all)
+    config = _artifact_config(args)
+    plan = artifact_pipeline.plan_artifacts(names, config)
+    print(plan.describe())
+    cache_dir = None if args.no_cache else args.cache_dir
+    shard = parse_shard(args.shard) if args.shard else None
+    if shard is not None and not args.run_dir:
+        raise ValueError("--shard needs a shared run directory: pass --run-dir")
+    if args.watch and not args.run_dir:
+        raise ValueError("--watch follows a grid run: pass --run-dir")
+
+    campaign: Optional[CampaignResult] = None
+    prerendered: Optional[Dict[str, artifact_pipeline.RenderedArtifact]] = None
+    failed_cells = 0
+    if args.from_campaign:
+        campaign = CampaignResult.from_dict(load_campaign_document(args.from_campaign))
+    elif args.run_dir and plan.spec is not None:
+        # GridRun.create validates --shard's count against an existing run
+        # directory's manifest (a mismatch raises there).
+        run = GridRun.create(plan.spec, args.run_dir,
+                             shard_count=shard[1] if shard else None)
+        if args.plan_only:
+            _print_artifact_plan(plan, shard, cache_dir)
+            return 0
+        if args.watch:
+            campaign, prerendered, failed_cells = _watch_artifacts(
+                plan, run, args, cache_dir
+            )
+        elif args.render_only:
+            campaign = merge_run(run, cache_dir=cache_dir, allow_partial=True)
+        else:
+            worker_report = run_grid_worker(
+                run,
+                shard=shard[0] if shard else None,
+                workers=args.workers,
+                cache_dir=cache_dir,
+                worker_id=args.worker_id,
+                lease_ttl_s=args.lease_ttl,
+                max_retries=args.max_retries,
+            )
+            print(worker_report.describe())
+            for failure in worker_report.failures:
+                print(f"failed: {failure.describe()}", file=sys.stderr)
+            failed_cells = worker_report.failed
+            campaign = merge_run(run, cache_dir=cache_dir, allow_partial=True)
+    elif plan.spec is not None:
+        if args.plan_only:
+            _print_artifact_plan(plan, shard, cache_dir)
+            return 0
+        if args.render_only:
+            # Simulation-free: whatever the warm cell cache already holds.
+            if cache_dir:
+                campaign = load_cached_campaign(plan.spec, cache_dir)
+        else:
+            campaign = artifact_pipeline.execute_plan(
+                plan, workers=args.workers, cache_dir=cache_dir,
+                max_retries=args.max_retries,
+            )
+            if cache_dir and campaign is not None:
+                print(f"cache: {campaign.cache_hits}/{len(plan.jobs)} cells "
+                      f"served from {cache_dir}")
+    elif args.plan_only:
+        _print_artifact_plan(plan, shard, cache_dir)
+        return 0
+
+    _emit_artifacts(plan, campaign, args, prerendered=prerendered)
+    if failed_cells:
+        # Same contract as the campaign grid path (and the in-process path's
+        # CampaignError): permanently failed cells exit 3, so wrappers never
+        # publish artifacts rendered from an incomplete run by accident.
+        print(f"error: {failed_cells} campaign cell(s) failed permanently",
+              file=sys.stderr)
+        return 3
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    return _cmd_figures(args, render_all=True)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -588,16 +925,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_campaign_status(args.run_dir)
         if args.command == "campaign-merge":
             return _cmd_campaign_merge(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
+        if args.command == "report":
+            return _cmd_report(args)
     except CampaignError as exc:
         # Name the failures, then surface the salvaged cells: without a
         # --cache-dir the partial result on the exception is the only copy
-        # of the completed work, so print it and honour --output.
+        # of the completed work, so print it and honour --output.  For the
+        # figures/report commands --output is a *directory* of artifact
+        # exports, not a campaign JSON path, so only campaign verbs write it.
         print(f"error: {exc}", file=sys.stderr)
         partial = exc.partial
         if partial is not None and partial.cells:
             print(f"salvaged {len(partial.cells)} completed cell(s) "
                   f"before the failure:")
-            _print_campaign_tables(partial, getattr(args, "output", None))
+            output = (getattr(args, "output", None)
+                      if args.command not in ("figures", "report") else None)
+            _print_campaign_tables(partial, output)
         return 3
     except (KeyError, ValueError, OSError, ImportError) as exc:
         # OSError covers unreadable --scenarios / --output / trace files and

@@ -195,9 +195,18 @@ class CampaignSpec:
     (``"poisson:rate=50,duration=120"``).  When left empty, the deprecated
     ``mode``/``burst_size`` pair is compiled into the single equivalent
     workload, preserving the pre-workload behaviour.
+
+    ``cells`` holds *explicit* cells appended to the cross product: ragged
+    coordinate sets -- per-cell benchmarks, platforms, workloads, memory and
+    raw seeds -- that no cross product can express.  Entries are
+    :class:`CampaignJob` objects or their ``to_dict`` documents.  Explicit
+    cells carry their platform seed verbatim (``seed == seed_index``), which
+    is how the artifact pipeline (:mod:`repro.analysis.artifacts`) reproduces
+    the figure builders' historical seeds bit-identically.  A campaign may be
+    purely explicit (``benchmarks=()``).
     """
 
-    benchmarks: Sequence[str]
+    benchmarks: Sequence[str] = ()
     platforms: Sequence[Union[str, PlatformSpec]] = ("gcp", "aws", "azure")
     eras: Sequence[str] = (DEFAULT_ERA,)
     memory_configs: Sequence[Optional[int]] = (None,)
@@ -207,6 +216,7 @@ class CampaignSpec:
     mode: str = "burst"  # deprecated alias; see class docstring
     base_seed: int = 0
     workloads: Sequence[Union[str, WorkloadSpec]] = ()
+    cells: Sequence[Union["CampaignJob", Dict[str, object]]] = ()
 
     def __post_init__(self) -> None:
         self.benchmarks = tuple(self.benchmarks)
@@ -218,14 +228,19 @@ class CampaignSpec:
         self.eras = tuple(str(era) for era in self.eras)
         self.memory_configs = tuple(self.memory_configs) or (None,)
         self.seeds = tuple(self.seeds)
-        if not self.benchmarks:
-            raise ValueError("a campaign needs at least one benchmark")
+        self.cells = tuple(
+            entry if isinstance(entry, CampaignJob) else CampaignJob.from_dict(entry)
+            for entry in self.cells
+        )
+        if not self.benchmarks and not self.cells:
+            raise ValueError("a campaign needs at least one benchmark or explicit cell")
         if not self.platforms or not self.eras or not self.seeds:
             raise ValueError("platforms, eras, and seeds must be non-empty")
         if len({p.canonical() for p in self.platforms}) != len(self.platforms):
             raise ValueError("duplicate platforms in the sweep")
         known_eras = available_eras()
         pinned_eras = {p.era for p in self.platforms if p.era is not None}
+        pinned_eras |= {job.era for job in self.cells}
         unknown_eras = sorted((set(self.eras) | pinned_eras) - set(known_eras))
         if unknown_eras:
             # Catch bad eras -- swept or pinned inside a platform spec --
@@ -283,6 +298,7 @@ class CampaignSpec:
                                         repetitions=self.repetitions,
                                     )
                                 )
+        jobs.extend(self.cells)
         seen: Dict[Tuple[str, str, str, Optional[int], str, int], CampaignJob] = {}
         for job in jobs:
             if job.cell_key in seen:
@@ -296,7 +312,7 @@ class CampaignSpec:
         return jobs
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "benchmarks": list(self.benchmarks),
             "platforms": [p.canonical() for p in self.platforms],
             "eras": list(self.eras),
@@ -308,6 +324,12 @@ class CampaignSpec:
             "base_seed": self.base_seed,
             "workloads": [w.to_dict() for w in self.workloads],
         }
+        if self.cells:
+            # Emitted only when present, so documents of purely cross-product
+            # campaigns -- and the grid manifests built from them -- stay
+            # byte-identical with earlier releases.
+            document["cells"] = [job.to_dict() for job in self.cells]
+        return document
 
     @classmethod
     def from_dict(cls, document: Dict[str, object]) -> "CampaignSpec":
@@ -334,6 +356,7 @@ class CampaignSpec:
                 WorkloadSpec.from_dict(entry)  # type: ignore[arg-type]
                 for entry in document.get("workloads", [])  # type: ignore[union-attr]
             ],
+            cells=list(document.get("cells", [])),  # type: ignore[arg-type]
         )
 
 
@@ -374,6 +397,40 @@ class CampaignResult:
     def cache_hits(self) -> int:
         return sum(1 for cell in self.cells if cell.from_cache)
 
+    def index(self) -> Dict[Tuple[str, str, str, Optional[int], str, int], CampaignCell]:
+        """``cell_key -> CampaignCell`` for O(1) lookups.
+
+        Rebuilt whenever the cell list changes size (partial merges grow the
+        result between renders), so consumers may hold one ``CampaignResult``
+        across incremental updates.
+        """
+        cached = getattr(self, "_index", None)
+        if cached is None or len(cached) != len(self.cells):
+            cached = {cell.job.cell_key: cell for cell in self.cells}
+            object.__setattr__(self, "_index", cached)
+        return cached
+
+    def _resolve_key(
+        self,
+        benchmark: str,
+        platform: Union[str, PlatformSpec],
+        era: Optional[str],
+        memory_mb: object,
+        seed_index: Optional[int],
+        workload: Optional[Union[str, WorkloadSpec]],
+    ) -> Tuple[str, str, str, Optional[int], str, int]:
+        spec = PlatformSpec.coerce(platform)
+        if spec.era is not None:
+            era = spec.era
+        elif era is None:
+            era = self.spec.eras[0]
+        memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
+        seed_index = seed_index if seed_index is not None else self.spec.seeds[0]
+        workload = workload if workload is not None else self.spec.workloads[0]
+        if isinstance(workload, str):
+            workload = WorkloadSpec.parse(workload)
+        return (benchmark, spec.label, era, memory_mb, workload.canonical(), seed_index)
+
     def cell(
         self,
         benchmark: str,
@@ -388,21 +445,29 @@ class CampaignResult:
         ``platform`` accepts any spec form; a spec that pins its own era
         (``"aws@2022"``) overrides the ``era`` argument.
         """
-        spec = PlatformSpec.coerce(platform)
-        if spec.era is not None:
-            era = spec.era
-        elif era is None:
-            era = self.spec.eras[0]
-        memory_mb = self.spec.memory_configs[0] if memory_mb is _FIRST else memory_mb
-        seed_index = seed_index if seed_index is not None else self.spec.seeds[0]
-        workload = workload if workload is not None else self.spec.workloads[0]
-        if isinstance(workload, str):
-            workload = WorkloadSpec.parse(workload)
-        key = (benchmark, spec.label, era, memory_mb, workload.canonical(), seed_index)
-        for cell in self.cells:
-            if cell.job.cell_key == key:
-                return cell.result
-        raise KeyError(f"no campaign cell {key!r}")
+        key = self._resolve_key(benchmark, platform, era, memory_mb, seed_index, workload)
+        found = self.index().get(key)
+        if found is None:
+            raise KeyError(f"no campaign cell {key!r}")
+        return found.result
+
+    def get(
+        self,
+        benchmark: str,
+        platform: Union[str, PlatformSpec],
+        era: Optional[str] = None,
+        memory_mb: object = _FIRST,
+        seed_index: Optional[int] = None,
+        workload: Optional[Union[str, WorkloadSpec]] = None,
+    ) -> Optional[ExperimentResult]:
+        """Like :meth:`cell` but returns None for absent cells (partial merges)."""
+        key = self._resolve_key(benchmark, platform, era, memory_mb, seed_index, workload)
+        found = self.index().get(key)
+        return found.result if found is not None else None
+
+    def has_job(self, job: CampaignJob) -> bool:
+        """True when the result holds ``job``'s cell (partial-render probes)."""
+        return job.cell_key in self.index()
 
     def _groups(self) -> Dict[Tuple[str, str, str, Optional[int], str], List[CampaignCell]]:
         groups: Dict[Tuple[str, str, str, Optional[int], str], List[CampaignCell]] = {}
@@ -549,31 +614,65 @@ class CampaignResult:
             grouped.setdefault(job.benchmark, {})[key] = cell.result
         return grouped
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, include_results: bool = False) -> Dict[str, object]:
+        """Serialise the campaign result.
+
+        The default document carries per-cell summaries plus the aggregated
+        tables (what ``--output`` has always written).  With
+        ``include_results=True`` each cell additionally embeds its full
+        :func:`~repro.faas.results.result_to_dict` document, making the file
+        self-contained: :meth:`from_dict` (and the artifact pipeline's
+        ``--from-campaign``) can rebuild every ``ExperimentResult`` without
+        touching a cache directory or run dir.
+        """
+        cells: List[Dict[str, object]] = []
+        for cell in self.cells:
+            entry: Dict[str, object] = {
+                "job": cell.job.to_dict(),
+                "fingerprint": cell.job.fingerprint(),
+                "from_cache": cell.from_cache,
+                "summary": cell.result.summary.as_row() if cell.result.summary else {},
+                "open_loop": (
+                    cell.result.open_loop.as_row()
+                    if cell.result.open_loop is not None
+                    else {}
+                ),
+                "cost_per_1000": (
+                    cell.result.cost.per_1000_executions.as_row()
+                    if cell.result.cost is not None
+                    else {}
+                ),
+            }
+            if include_results:
+                entry["result"] = result_to_dict(cell.result)
+            cells.append(entry)
         return {
             "spec": self.spec.to_dict(),
-            "cells": [
-                {
-                    "job": cell.job.to_dict(),
-                    "fingerprint": cell.job.fingerprint(),
-                    "from_cache": cell.from_cache,
-                    "summary": cell.result.summary.as_row() if cell.result.summary else {},
-                    "open_loop": (
-                        cell.result.open_loop.as_row()
-                        if cell.result.open_loop is not None
-                        else {}
-                    ),
-                    "cost_per_1000": (
-                        cell.result.cost.per_1000_executions.as_row()
-                        if cell.result.cost is not None
-                        else {}
-                    ),
-                }
-                for cell in self.cells
-            ],
+            "cells": cells,
             "comparison_table": self.comparison_table(),
             "cost_table": self.cost_table(),
         }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "CampaignResult":
+        """Rebuild a result from a ``to_dict(include_results=True)`` document.
+
+        Cells without an embedded ``result`` entry are skipped (the document
+        may be a summary-only export or a partial run); the spec round-trips
+        exactly, so downstream cell lookups behave as for a live campaign.
+        """
+        from .results import iter_campaign_cell_results
+
+        spec = CampaignSpec.from_dict(document["spec"])  # type: ignore[arg-type]
+        cells = [
+            CampaignCell(
+                job=CampaignJob.from_dict(job_document),
+                result=result,
+                from_cache=from_cache,
+            )
+            for job_document, result, from_cache in iter_campaign_cell_results(document)
+        ]
+        return cls(spec=spec, cells=cells)
 
 
 # ---------------------------------------------------------------------- cache
@@ -834,6 +933,24 @@ def run_cells(
         for fingerprint, job in list(remaining.items()):
             attempt(job, pre_admitted=fingerprint in admitted,
                     isolated=is_builtin_spec(job.platform))
+
+
+def load_cached_campaign(
+    spec: CampaignSpec, cache_dir: Union[str, Path]
+) -> CampaignResult:
+    """Cache-only load: every cell already in ``cache_dir``, executing nothing.
+
+    The result is partial when some cells were never computed -- the
+    render-only artifact path uses this to re-render whatever a warm cache
+    holds without simulating anything.
+    """
+    cache_path = Path(cache_dir)
+    cells = []
+    for job in spec.expand():
+        cached = _load_cached(cache_path, job)
+        if cached is not None:
+            cells.append(CampaignCell(job=job, result=cached, from_cache=True))
+    return CampaignResult(spec=spec, cells=cells)
 
 
 def run_campaign(

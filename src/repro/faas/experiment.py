@@ -16,6 +16,7 @@ executes every benchmark 180 times = 6 bursts of 30).
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -258,12 +259,35 @@ class ExperimentRunner:
         return result
 
 
+def _warn_deprecated_trigger_kwargs(
+    mode: Optional[str], burst_size: Optional[int], era: Optional[str] = None
+) -> None:
+    """One DeprecationWarning naming every legacy kwarg the caller passed.
+
+    Raised with ``stacklevel=3`` so the warning is attributed to the caller of
+    ``run_benchmark``/``compare_platforms`` -- which is what the test suite's
+    ``error::DeprecationWarning:repro\\..*`` filter keys on to keep deprecated
+    usage out of the library itself.
+    """
+    legacy = [name for name, value in (
+        ("mode", mode), ("burst_size", burst_size), ("era", era),
+    ) if value is not None]
+    if legacy:
+        warnings.warn(
+            f"the {', '.join(legacy)} keyword(s) are deprecated; pass a "
+            f"WorkloadSpec via workload= (e.g. WorkloadSpec.burst(30)) and an "
+            f"era-pinned platform spec (e.g. 'aws@2022') instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
 def run_benchmark(
     benchmark: WorkflowBenchmark,
     platform: Union[str, PlatformSpec],
-    burst_size: int = 30,
+    burst_size: Optional[int] = None,
     repetitions: int = 1,
-    mode: str = "burst",
+    mode: Optional[str] = None,
     seed: int = 0,
     era: Optional[str] = None,
     memory_mb: Optional[int] = None,
@@ -275,15 +299,18 @@ def run_benchmark(
     spec string (``"aws@2022:cold_start=x1.5"``), or a scenario name;
     ``workload`` accepts a :class:`~repro.faas.workload.WorkloadSpec` or a CLI
     spec string (``"poisson:rate=50,duration=120"``) and takes precedence over
-    the deprecated ``mode``/``burst_size`` pair.
+    the deprecated ``mode``/``burst_size``/``era`` trio, which now emits a
+    DeprecationWarning (behaviour is unchanged: the legacy values compile to
+    the equivalent workload / era-pinned spec bit-identically).
     """
+    _warn_deprecated_trigger_kwargs(mode, burst_size, era)
     config = ExperimentConfig(
         platform=platform,
         era=era,
         seed=seed,
-        burst_size=burst_size,
+        burst_size=burst_size if burst_size is not None else 30,
         repetitions=repetitions,
-        mode=mode,
+        mode=mode if mode is not None else "burst",
         memory_mb=memory_mb,
         workload=workload,
     )
@@ -293,9 +320,9 @@ def run_benchmark(
 def compare_platforms(
     benchmark: WorkflowBenchmark,
     platforms: Sequence[Union[str, PlatformSpec]] = ("gcp", "aws", "azure"),
-    burst_size: int = 30,
+    burst_size: Optional[int] = None,
     repetitions: int = 1,
-    mode: str = "burst",
+    mode: Optional[str] = None,
     seed: int = 0,
     era: Optional[str] = None,
     workload: Optional[Union[str, WorkloadSpec]] = None,
@@ -305,8 +332,19 @@ def compare_platforms(
     ``platforms`` entries are platform specs (objects, spec strings, or
     scenario names); the returned dict is keyed by each entry's canonical
     form, so plain names keep their legacy keys (``"aws"``) while
-    ``"aws@2022"``-style variants stay distinguishable.
+    ``"aws@2022"``-style variants stay distinguishable.  ``era`` applies to
+    era-less entries only (a spec's own era wins, matching the campaign's
+    pinned-entry semantics); ``mode``/``burst_size`` are deprecated aliases
+    for ``workload``.
     """
+    _warn_deprecated_trigger_kwargs(mode, burst_size)
+    if workload is None:
+        workload = WorkloadSpec.from_mode(
+            mode if mode is not None else "burst",
+            burst_size if burst_size is not None else 30,
+        )
+    elif isinstance(workload, str):
+        workload = WorkloadSpec.parse(workload)
     specs = [PlatformSpec.coerce(platform) for platform in platforms]
     keys = [spec.canonical() for spec in specs]
     # Duplicates are detected on the era-resolved identity, so "aws" and
@@ -318,17 +356,14 @@ def compare_platforms(
     if len(set(resolved)) != len(resolved):
         raise ValueError(f"duplicate platforms in comparison: {keys}")
     return {
+        # A spec's own era wins over the comparison-wide era -- so
+        # "aws aws@2022" with era="2024" compares the two eras instead of
+        # erroring.
         key: run_benchmark(
             benchmark,
-            spec,
-            burst_size=burst_size,
+            spec.with_era(spec.era or era or DEFAULT_ERA),
             repetitions=repetitions,
-            mode=mode,
             seed=seed,
-            # A spec's own era wins over the comparison-wide era, matching
-            # the campaign's pinned-entry semantics -- so "aws aws@2022"
-            # with era="2024" compares the two eras instead of erroring.
-            era=era if spec.era is None else None,
             workload=workload,
         )
         for key, spec in zip(keys, specs)

@@ -679,6 +679,51 @@ def merge_run(
     return CampaignResult(spec=run.spec, cells=cells)
 
 
+def iter_partial_merges(
+    run: GridRun,
+    cache_dir: Optional[Union[str, Path]] = None,
+    interval_s: float = 2.0,
+    max_polls: Optional[int] = None,
+):
+    """Stream ``(CampaignResult, done, failed, total)`` snapshots of a live run.
+
+    Each snapshot is a partial :func:`merge_run` over whatever the shard logs
+    (plus the cell cache) hold at that moment -- the merge is idempotent and
+    order-independent, so polling while workers append is safe.  ``failed``
+    counts cells whose latest logged attempt failed and that no live lease is
+    retrying: once ``done + failed`` covers every cell the run cannot make
+    further progress on its own, so the generator ends (rather than spinning
+    forever on a run with permanently failed cells).  ``max_polls`` bounds the
+    number of snapshots (None = until settled), so callers can preview a
+    stalled run without blocking.  This is the engine behind
+    ``repro-flow figures --watch``: artifacts re-render live off each
+    incremental snapshot as grid workers stream results.
+    """
+    total = len(run.spec.expand())
+    polls = 0
+    while True:
+        campaign = merge_run(run, cache_dir=cache_dir, allow_partial=True)
+        done = len(campaign.cells)
+        if done >= total:
+            failed = 0
+        else:
+            # Cells under a live lease are still being retried, and a cell the
+            # merge recovered (e.g. from the cache) is done regardless of old
+            # failure records; only count failures nobody is working on.
+            merged = {cell.job.fingerprint() for cell in campaign.cells}
+            scan = run.scan()
+            leases = LeaseQueue(run.leases_dir, worker_id="watch-scan").active()
+            failed = sum(
+                1 for fingerprint in scan.failed
+                if fingerprint not in leases and fingerprint not in merged
+            )
+        yield campaign, done, failed, total
+        polls += 1
+        if done + failed >= total or (max_polls is not None and polls >= max_polls):
+            return
+        time.sleep(interval_s)
+
+
 @dataclass(frozen=True)
 class ShardStatus:
     """Progress of one shard of a grid run."""

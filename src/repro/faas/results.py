@@ -12,7 +12,7 @@ import json
 import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 from ..core.critical_path import FunctionMeasurement, WorkflowMeasurement
 from ..sim.billing import CostBreakdown
@@ -288,6 +288,41 @@ class ResultLog:
 
     def __len__(self) -> int:
         return sum(1 for _ in self)
+
+
+def iter_campaign_cell_results(
+    document: Dict[str, object],
+) -> Iterator[Tuple[Dict[str, object], ExperimentResult, bool]]:
+    """Per-cell ``(job_document, ExperimentResult, from_cache)`` triples of a
+    campaign document.
+
+    Understands the documents written by ``repro-flow campaign --output`` /
+    ``campaign-merge --output`` when they embed full results
+    (``CampaignResult.to_dict(include_results=True)``): each cell's ``result``
+    entry is parsed with :func:`result_from_dict` and yielded with its job
+    coordinates.  Summary-only cells (no ``result`` entry) are skipped, so the
+    iterator degrades gracefully over partial or legacy documents.
+    """
+    for entry in document.get("cells", []):  # type: ignore[union-attr]
+        if not isinstance(entry, dict):
+            continue
+        result_document = entry.get("result")
+        job_document = entry.get("job")
+        if not isinstance(result_document, dict) or not isinstance(job_document, dict):
+            continue
+        yield (
+            job_document,
+            result_from_dict(result_document),
+            bool(entry.get("from_cache", False)),
+        )
+
+
+def load_campaign_document(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a campaign JSON document (``--output`` / ``--save-campaign`` files)."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or "spec" not in document:
+        raise ValueError(f"{path} is not a campaign result document")
+    return document
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> None:

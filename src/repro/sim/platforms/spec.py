@@ -355,6 +355,21 @@ class PlatformSpec:
         """Copy of this spec pinned to ``era``."""
         return replace(self, era=era)
 
+    def with_default_era(self, era: Optional[str] = None) -> "PlatformSpec":
+        """Era-resolve this spec: keep a pinned era, apply ``era`` otherwise.
+
+        The sanctioned replacement for the deprecated ``era=`` keyword pair:
+        an era both pinned in the spec and passed as ``era`` must agree
+        (matching :class:`~repro.faas.experiment.ExperimentConfig`'s conflict
+        check); an era-less spec falls back to ``era`` or ``DEFAULT_ERA``.
+        """
+        if era is not None and self.era is not None and str(era) != self.era:
+            raise ValueError(
+                f"platform spec pins era {self.era!r} but era={era!r} was "
+                f"also given; drop one of them"
+            )
+        return self.with_era(self.era or (str(era) if era is not None else DEFAULT_ERA))
+
     # ------------------------------------------------------------- identity
     @property
     def is_plain(self) -> bool:

@@ -27,11 +27,34 @@ class TestRegistry:
         assert len(MICRO_BENCHMARKS) == 4
 
     def test_benchmark_names_categories(self):
+        from repro.benchmarks import VARIANT_BENCHMARKS
+
         assert set(benchmark_names("application")) == set(APPLICATION_BENCHMARKS)
         assert set(benchmark_names("micro")) == set(MICRO_BENCHMARKS)
-        assert set(benchmark_names("all")) == set(APPLICATION_BENCHMARKS) | set(MICRO_BENCHMARKS)
+        # "all" additionally exposes the parameterised variants (the Figure 14b
+        # strong-scaling genome workflow), which stay out of the E1 sweep.
+        assert set(benchmark_names("all")) == (
+            set(APPLICATION_BENCHMARKS) | set(MICRO_BENCHMARKS) | set(VARIANT_BENCHMARKS)
+        )
+        assert "genome_individuals" not in benchmark_names("application")
         with pytest.raises(KeyError):
             benchmark_names("bogus")
+
+    def test_parameterised_benchmark_spec_strings(self):
+        from repro.benchmarks import canonical_benchmark_spec, parse_benchmark_spec
+
+        name, params = parse_benchmark_spec("storage_io:num_functions=4,download_bytes=1024")
+        assert name == "storage_io"
+        assert params == {"num_functions": 4, "download_bytes": 1024}
+        # Canonicalisation sorts parameters, so equivalent spellings collapse.
+        assert canonical_benchmark_spec("storage_io:download_bytes=1024,num_functions=4") == \
+            canonical_benchmark_spec("storage_io", num_functions=4, download_bytes=1024)
+        benchmark = get_benchmark("genome_individuals:individuals_jobs=5")
+        assert benchmark.name == "genome_individuals_5"
+        with pytest.raises(ValueError):
+            parse_benchmark_spec("storage_io:oops")
+        with pytest.raises(KeyError):
+            parse_benchmark_spec("nope:num_functions=4")
 
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(KeyError):

@@ -481,3 +481,47 @@ class TestMergeProperties:
             handle.write("garbage line\n")
         assert json.dumps(merge_run(clone).to_dict(), sort_keys=True) == \
             json.dumps(merge_run(executed_run).to_dict(), sort_keys=True)
+
+
+class TestPartialMergeStream:
+    def test_stream_ends_when_the_run_settles(self, tmp_path):
+        from repro.faas import iter_partial_merges
+
+        spec = tiny_spec()
+        run = GridRun.create(spec, tmp_path / "run")
+        run_grid_worker(run, workers=1)
+        snapshots = list(iter_partial_merges(run, interval_s=0.01))
+        campaign, done, failed, total = snapshots[-1]
+        assert done == total == 4
+        assert failed == 0
+        assert len(campaign.cells) == 4
+
+    def test_stream_ends_despite_permanently_failed_cells(self, tmp_path):
+        """--watch must not spin forever on a run with dead cells: once every
+        cell is merged or permanently failed, the stream stops."""
+        from repro.faas import CampaignJob, WorkloadSpec, iter_partial_merges
+
+        spec = tiny_spec()
+        bad = CampaignJob(
+            benchmark="does_not_exist", platform=spec.platforms[0].with_era("2024"),
+            memory_mb=None, seed_index=0, seed=0,
+            workload=WorkloadSpec.burst(2), repetitions=1,
+        )
+        broken = CampaignSpec.from_dict({**spec.to_dict(), "cells": [bad.to_dict()]})
+        run = GridRun.create(broken, tmp_path / "run")
+        report = run_grid_worker(run, workers=1, max_retries=0)
+        assert report.failed == 1
+        snapshots = list(iter_partial_merges(run, interval_s=0.01))
+        campaign, done, failed, total = snapshots[-1]
+        assert total == 5
+        assert done == 4
+        assert failed == 1
+        assert len(campaign.cells) == 4
+
+    def test_max_polls_bounds_an_unfinished_run(self, tmp_path):
+        from repro.faas import iter_partial_merges
+
+        run = GridRun.create(tiny_spec(), tmp_path / "run")  # nothing executed
+        snapshots = list(iter_partial_merges(run, interval_s=0.01, max_polls=3))
+        assert len(snapshots) == 3
+        assert all(done == 0 for _, done, _, _ in snapshots)

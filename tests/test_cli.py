@@ -160,16 +160,16 @@ class TestCommands:
         import repro.cli as cli
 
         target = tmp_path / "partial.json"
-        original = cli.benchmark_names
+        original = cli.parse_benchmark_spec
         try:
-            cli.benchmark_names = lambda kind: list(original(kind)) + ["does_not_exist"]
+            cli.parse_benchmark_spec = lambda name: (name, {})
             code = main([
                 "campaign", "--benchmarks", "mapreduce", "does_not_exist",
                 "--platforms", "aws", "--seeds", "1", "--burst-size", "2",
                 "--workers", "1", "--max-retries", "0", "--output", str(target),
             ])
         finally:
-            cli.benchmark_names = original
+            cli.parse_benchmark_spec = original
         assert code == 3
         document = json.loads(target.read_text())
         assert len(document["cells"]) == 1
@@ -180,9 +180,9 @@ class TestCommands:
         # fault isolation: a cell that keeps failing names its job and exits 3.
         import repro.cli as cli
 
-        original = cli.benchmark_names
+        original = cli.parse_benchmark_spec
         try:
-            cli.benchmark_names = lambda kind: list(original(kind)) + ["does_not_exist"]
+            cli.parse_benchmark_spec = lambda name: (name, {})
             code = main([
                 "campaign", "--benchmarks", "mapreduce", "does_not_exist",
                 "--platforms", "aws", "--seeds", "1", "--burst-size", "2",
@@ -190,7 +190,7 @@ class TestCommands:
                 "--cache-dir", str(tmp_path / "cache"),
             ])
         finally:
-            cli.benchmark_names = original
+            cli.parse_benchmark_spec = original
         assert code == 3
         captured = capsys.readouterr()
         assert "1 campaign cell(s) failed" in captured.err
@@ -473,3 +473,181 @@ class TestGridCli:
     def test_status_on_missing_run_dir_fails(self, tmp_path, capsys):
         assert main(["campaign-status", str(tmp_path / "nope")]) == 2
         assert "not a grid run directory" in capsys.readouterr().err
+
+
+class TestFiguresCli:
+    QUICK_9A = [
+        "figures", "--artifacts", "figure9a", "--quick", "--platforms", "aws",
+    ]
+
+    def test_parser_figures_flags(self):
+        args = build_parser().parse_args([
+            "figures", "--artifacts", "figure7,table5", "--quick",
+            "--run-dir", "/shared/run", "--watch", "--output", "out",
+        ])
+        assert args.artifacts == ["figure7,table5"]
+        assert args.quick and args.watch
+        assert args.run_dir == "/shared/run"
+        assert args.cache_dir == ".repro-flow-cache"
+        args = build_parser().parse_args(["report", "--quick"])
+        assert args.command == "report"
+
+    def test_list_artifacts(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure7", "figure16", "table5"):
+            assert name in out
+
+    def test_unknown_artifact_fails(self, capsys):
+        assert main(["figures", "--artifacts", "figure99", "--no-cache"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_static_table_renders_without_cells(self, capsys):
+        assert main(["figures", "--artifacts", "table2,table3", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        assert "0 campaign cell(s)" in out
+
+    def test_figures_execute_render_export_and_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out_dir = tmp_path / "artifacts"
+        code = main(self.QUICK_9A + [
+            "--cache-dir", str(cache), "--output", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 campaign cell(s)" in out
+        assert "Figure 9a" in out
+        assert (out_dir / "figure9a.json").exists()
+        assert (out_dir / "figure9a.txt").exists()
+        # Re-render: every cell must be served from the cache (zero sims).
+        assert main(self.QUICK_9A + ["--cache-dir", str(cache)]) == 0
+        assert "cache: 2/2 cells served" in capsys.readouterr().out
+
+    def test_figures_grid_run_dir_roundtrip(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        args = self.QUICK_9A + ["--run-dir", str(run_dir), "--no-cache"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+        assert "rendered" in out
+        # Second invocation: everything already in the shard logs.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "2 already done" in out
+
+    def test_plan_only_initialises_run_dir_without_executing(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self.QUICK_9A + [
+            "--run-dir", str(run_dir), "--no-cache", "--plan-only",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "artifact campaign plan" in out
+        assert (run_dir / "grid.json").exists()
+        assert main(["campaign-status", str(run_dir)]) == 0
+        assert "2 pending" in capsys.readouterr().out
+
+    def test_render_only_partial_run_reports_pending(self, tmp_path, capsys):
+        """A partially populated run dir renders the available artifacts and
+        marks the rest pending -- the --watch building block."""
+        run_dir = tmp_path / "run"
+        both = [
+            "figures", "--artifacts", "figure9a,figure16", "--quick",
+            "--platforms", "aws", "--no-cache", "--run-dir", str(run_dir),
+        ]
+        assert main(both + ["--plan-only"]) == 0
+        capsys.readouterr()
+        # Execute only figure9a's cells into the shared cache, then merge
+        # partially: figure9a renders, figure16 stays pending.
+        cache = tmp_path / "cache"
+        assert main(self.QUICK_9A + ["--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        rest = [
+            "figures", "--artifacts", "figure9a,figure16", "--quick",
+            "--platforms", "aws", "--cache-dir", str(cache),
+            "--run-dir", str(run_dir), "--render-only",
+        ]
+        assert main(rest) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9a" in out
+        assert "pending (4 cell(s) missing)" in out
+
+    def test_render_only_serves_from_warm_cache_without_executing(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(self.QUICK_9A + ["--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        # No run dir, no execution: the warm cell cache alone must render.
+        assert main(self.QUICK_9A + [
+            "--cache-dir", str(cache), "--render-only",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9a" in out
+        assert "rendered" in out and "pending" not in out
+
+    def test_watch_on_complete_run_renders_and_exits(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(self.QUICK_9A + ["--run-dir", str(run_dir), "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(self.QUICK_9A + [
+            "--run-dir", str(run_dir), "--no-cache", "--watch",
+            "--watch-interval", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[watch] 2/2 cells merged" in out
+        assert "Figure 9a" in out
+
+    def test_save_and_from_campaign_round_trip(self, tmp_path, capsys):
+        saved = tmp_path / "campaign.json"
+        assert main(self.QUICK_9A + [
+            "--no-cache", "--save-campaign", str(saved),
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main(self.QUICK_9A + ["--from-campaign", str(saved)]) == 0
+        second = capsys.readouterr().out
+        assert "Figure 9a" in second
+        # The rendered series must be identical to the executing invocation.
+        assert first.split("artifacts")[0].split("Figure 9a")[1] == \
+            second.split("artifacts")[0].split("Figure 9a")[1]
+
+    def test_bare_figures_requires_a_selection(self, capsys):
+        assert main(["figures"]) == 2
+        assert "--artifacts" in capsys.readouterr().err
+
+    def test_figures_exit_3_when_cells_fail_permanently(self, tmp_path, capsys):
+        from repro.analysis import artifacts
+
+        artifacts._ensure_builders()
+        snapshot = dict(artifacts._ARTIFACTS)
+        try:
+            artifacts.register_artifact(artifacts.ArtifactSpec(
+                name="doomed", title="doomed", kind="figure",
+                # Valid base name, bogus factory parameter: planning accepts
+                # it, execution fails every attempt.
+                cells=lambda config: (artifacts.CellRequest(
+                    benchmark="storage_io:bogus_param=1", platform="aws",
+                    workload=artifacts.WorkloadSpec.burst(2), seed=0,
+                ),),
+                build=lambda campaign, config: [],
+            ))
+            code = main([
+                "figures", "--artifacts", "doomed", "--no-cache",
+                "--run-dir", str(tmp_path / "run"), "--max-retries", "0",
+            ])
+        finally:
+            artifacts._ARTIFACTS.clear()
+            artifacts._ARTIFACTS.update(snapshot)
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "1 campaign cell(s) failed permanently" in captured.err
+        assert "pending" in captured.out
+
+    def test_report_renders_every_artifact(self, tmp_path, capsys):
+        code = main([
+            "report", "--quick", "--benchmarks", "mapreduce",
+            "--platforms", "aws", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for title in ("Figure 7", "Figure 14", "Table 5"):
+            assert title in out
+        assert "pending" not in out
