@@ -89,8 +89,8 @@ def test_ablation_cold_start_initialisation(benchmark):
         baseline = summarize("ml", "aws", [deployment.measurement(i) for i in ids])
 
         stripped = get_benchmark("ml")
-        for spec in stripped.functions.values():
-            spec.cold_init_s = 0.0
+        for name, spec in stripped.functions.items():
+            stripped.functions[name] = replace(spec, cold_init_s=0.0)
         platform2 = Platform(get_profile("aws"), seed=SEED)
         deployment2 = Deployment.deploy(stripped, platform2)
         ids2 = BurstTrigger(TriggerConfig(burst_size=BURST_SIZE)).fire(deployment2)

@@ -24,6 +24,7 @@ from ..core.definition import WorkflowDefinition
 from ..core.wfdnet import ResourceAnnotation
 from ..faas.benchmark import WorkflowBenchmark
 from ..sim.invocation import FunctionSpec, InvocationContext
+from ..sim.rng import named_stream
 
 #: Size of the dataset actually materialised in memory during simulation.
 _REPLICA_SAMPLES = 120
@@ -40,7 +41,7 @@ def _dataset_bytes(samples: int, features: int) -> int:
 
 
 def _make_dataset(seed: int) -> Tuple[np.ndarray, np.ndarray]:
-    rng = np.random.default_rng(seed)
+    rng = named_stream(seed, "ml.dataset")
     features = rng.normal(size=(_REPLICA_SAMPLES, _REPLICA_FEATURES))
     true_weights = rng.normal(size=_REPLICA_FEATURES)
     labels = np.sign(features @ true_weights + 0.1 * rng.normal(size=_REPLICA_SAMPLES))
@@ -89,7 +90,7 @@ def _train_forest(
     features: np.ndarray, labels: np.ndarray, trees: int = 5, depth: int = 3, seed: int = 0
 ) -> List[Dict[str, object]]:
     """A small random forest of decision stumps grown on bootstrap samples."""
-    rng = np.random.default_rng(seed)
+    rng = named_stream(seed, "ml.forest")
     forest: List[Dict[str, object]] = []
     for _ in range(trees):
         indices = rng.integers(0, len(features), size=len(features))

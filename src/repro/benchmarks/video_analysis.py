@@ -29,6 +29,7 @@ from ..core.definition import WorkflowDefinition
 from ..core.wfdnet import ResourceAnnotation
 from ..faas.benchmark import WorkflowBenchmark
 from ..sim.invocation import FunctionSpec, InvocationContext
+from ..sim.rng import named_stream
 
 #: Size of the input video staged in object storage (paper Table 4: 238.83 MB).
 VIDEO_BYTES = 232_000_000
@@ -45,7 +46,7 @@ _CLASSES = ("person", "car", "bicycle", "dog", "traffic light")
 
 
 def _synthesize_frame(seed: int, size: int = 24) -> np.ndarray:
-    rng = np.random.default_rng(seed)
+    rng = named_stream(seed, "video.frame")
     return rng.random((size, size))
 
 

@@ -41,12 +41,12 @@ class DataItem:
     size_bytes: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class FunctionDataSpec:
     """Declared data behaviour of one serverless function."""
 
-    reads: List[DataItem] = field(default_factory=list)
-    writes: List[DataItem] = field(default_factory=list)
+    reads: Sequence[DataItem] = ()
+    writes: Sequence[DataItem] = ()
 
 
 @dataclass

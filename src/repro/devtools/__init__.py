@@ -1,0 +1,14 @@
+"""Developer tooling for the repro platform.
+
+Currently one subsystem: :mod:`repro.devtools.lint`, the AST-based invariant
+linter behind ``repro-flow lint``.  It mechanically enforces the platform's
+load-bearing conventions -- determinism (all randomness through named RNG
+streams), fingerprint stability (``CACHE_VERSION`` bumps whenever a
+fingerprinted field set changes), and worker-safety (picklable pool payloads,
+frozen spec dataclasses) -- so they are CI-failing rules instead of review
+folklore.
+"""
+
+from .lint import Finding, LintConfig, Severity, run_lint  # noqa: F401
+
+__all__ = ["Finding", "LintConfig", "Severity", "run_lint"]

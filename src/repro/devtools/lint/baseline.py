@@ -1,0 +1,98 @@
+"""Baseline ratchet: checked-in debt that is suppressed but never grows.
+
+The baseline file records the *accepted* findings as ``key -> {count,
+reason}`` where the key is :attr:`Finding.key` (path + rule + message, no
+line number, so unrelated edits don't resurrect entries).  At lint time each
+key suppresses up to ``count`` matching findings; anything beyond that -- a
+new violation, or a baselined one that multiplied -- fails.  Entries whose
+violations were fixed become *stale* and are reported so the file can be
+ratcheted down (``--update-baseline`` rewrites it from the current findings).
+
+The repo aims to keep this file empty: real seams use inline
+``# lint: allow[...]`` pragmas with in-place justifications instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .framework import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, next to the manifest (checked into the repo).
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent.parent / "lint_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """Accepted occurrences of one finding key."""
+
+    count: int
+    reason: str = ""
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, BaselineEntry]:
+    """The baseline as ``finding key -> entry`` (missing file = empty)."""
+    source = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    if not source.exists():
+        return {}
+    document = json.loads(source.read_text(encoding="utf-8"))
+    entries: Dict[str, BaselineEntry] = {}
+    for key, value in dict(document.get("findings", {})).items():
+        if isinstance(value, int):
+            entries[key] = BaselineEntry(count=value)
+        elif isinstance(value, dict):
+            entries[key] = BaselineEntry(
+                count=int(value.get("count", 1)), reason=str(value.get("reason", ""))
+            )
+    return entries
+
+
+def write_baseline(
+    findings: Sequence[Finding],
+    path: Optional[Path] = None,
+    reasons: Optional[Mapping[str, str]] = None,
+) -> Path:
+    """Record the given findings as the new accepted baseline."""
+    target = Path(path) if path is not None else DEFAULT_BASELINE_PATH
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.key] = counts.get(finding.key, 0) + 1
+    document = {
+        "baseline_version": BASELINE_VERSION,
+        "findings": {
+            key: {"count": count, "reason": (reasons or {}).get(key, "")}
+            for key, count in sorted(counts.items())
+        },
+    }
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Mapping[str, BaselineEntry]
+) -> Tuple[List[Finding], int, List[str]]:
+    """Split findings into (still-failing, suppressed count, stale keys).
+
+    A key suppresses at most ``entry.count`` findings; the ratchet only ever
+    tightens -- excess occurrences of a baselined key fail like any new
+    finding.  ``stale`` lists baseline keys with *fewer* live findings than
+    recorded, i.e. debt that was paid down and should be removed from the
+    file.
+    """
+    remaining = {key: entry.count for key, entry in baseline.items()}
+    failing: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if remaining.get(finding.key, 0) > 0:
+            remaining[finding.key] -= 1
+            suppressed += 1
+        else:
+            failing.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return failing, suppressed, stale

@@ -1,0 +1,253 @@
+"""Core machinery of the invariant linter: rules, findings, and the runner.
+
+The linter is deliberately small and dependency-free: each rule is a class
+with a ``check(module)`` method that walks one file's AST and yields
+:class:`Finding` records.  The runner parses every file exactly once, hands
+the shared :class:`LintModule` to each selected rule, and collects findings.
+
+Suppression happens at two layers:
+
+* **inline pragmas** -- a ``# lint: allow[R001] -- reason`` comment on the
+  flagged line suppresses the named rule(s) there.  This is the mechanism for
+  *sanctioned* seams (e.g. the single wall-clock call behind the grid's lease
+  TTLs); the reason is part of the comment, so every allow is justified in
+  place.
+* **the baseline** (:mod:`repro.devtools.lint.baseline`) -- pre-existing debt
+  recorded in a checked-in file so new violations fail CI while old ones are
+  ratcheted down over time.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; both fail the lint, warnings are advisory-styled."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+
+    @property
+    def key(self) -> str:
+        """Line-insensitive identity used by the baseline.
+
+        Keyed on (path, rule, message) rather than the line number, so
+        unrelated edits that shift a baselined finding up or down the file do
+        not resurrect it.
+        """
+        return f"{self.path}::{self.rule_id}::{self.message}"
+
+    def format_text(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}"
+        text = f"{location}: {self.rule_id} [{self.severity.value}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+#: ``# lint: allow[R001]`` or ``# lint: allow[R001,R004] -- why it is fine``.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_,\s*]+)\]")
+
+
+@dataclass
+class LintModule:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule ids allowed on that line ("*" = every rule).
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, rel_path: str) -> "LintModule":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        pragmas: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+                pragmas[lineno] = rules
+        return cls(path=path, rel_path=rel_path, source=source, tree=tree, pragmas=pragmas)
+
+    def allowed(self, rule_id: str, line: int) -> bool:
+        rules = self.pragmas.get(line)
+        return rules is not None and (rule_id in rules or "*" in rules)
+
+
+class Rule:
+    """Base class of every lint rule.
+
+    Subclasses set ``rule_id``/``name``/``description`` (the rule table of
+    ``repro-flow lint --list-rules`` and the README is generated from these)
+    and implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, module: LintModule) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+        yield  # makes every override a generator even when it finds nothing
+
+    def finding(
+        self,
+        module: LintModule,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=module.rel_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            severity=severity or self.severity,
+            hint=hint,
+        )
+
+
+def path_matches(rel_path: str, patterns: Iterable[str]) -> bool:
+    """True when a file path matches one of the allowlist patterns.
+
+    Patterns are posix path suffixes (``"sim/rng.py"``, ``"cli.py"``) or
+    directory prefixes ending in ``/`` (``"devtools/"``), matched anywhere in
+    the path -- so the same allowlist works whatever root the linter was
+    pointed at.
+    """
+    normalized = "/" + rel_path.replace("\\", "/").lstrip("/")
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if f"/{pattern}" in normalized + "/":
+                return True
+        elif normalized == f"/{pattern}" or normalized.endswith(f"/{pattern}"):
+            return True
+    return False
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: Set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def select_rules(
+    rules: Sequence[Rule],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Apply ``--select``/``--ignore`` rule-id filters (unknown ids are errors)."""
+    known = {rule.rule_id for rule in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise ValueError(
+                f"unknown rule id {requested!r}; known rules: {', '.join(sorted(known))}"
+            )
+    chosen = list(rules)
+    if select:
+        chosen = [rule for rule in chosen if rule.rule_id in set(select)]
+    if ignore:
+        chosen = [rule for rule in chosen if rule.rule_id not in set(ignore)]
+    return chosen
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint every file under ``paths`` with the selected rules.
+
+    Returns all findings sorted by (path, line, rule).  Files that fail to
+    parse are reported as ``PARSE`` findings rather than aborting the run --
+    a broken file must fail the lint, not crash it.
+    """
+    chosen = select_rules(rules, select=select, ignore=ignore)
+    root = Path(root) if root is not None else Path.cwd()
+    findings: List[Finding] = []
+    for path in collect_files(paths):
+        rel_path = _relativize(path, root)
+        try:
+            module = LintModule.parse(path, rel_path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule_id="PARSE",
+                    message=f"file does not parse: {exc.msg}",
+                    path=rel_path,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                )
+            )
+            continue
+        for rule in chosen:
+            for finding in rule.check(module):
+                if not module.allowed(finding.rule_id, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+#: Re-exported for convenience: a (rule_id, count) summary of a finding list.
+def summarize(findings: Sequence[Finding]) -> List[Tuple[str, int]]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return sorted(counts.items())

@@ -1,0 +1,209 @@
+"""Static extraction of the fingerprinted surface: fields that feed cache keys.
+
+A campaign cell's on-disk cache key is a SHA-256 over the cell's serialised
+job -- which means the *field sets* of the spec dataclasses behind it
+(:class:`~repro.faas.campaign.CampaignJob`, ``CampaignSpec``,
+``WorkloadSpec``, ``PlatformSpec``, the artifact pipeline's ``CellRequest``)
+and the parameter names of the benchmark factories (``storage_io:…`` spec
+strings) are part of the cache format.  Changing any of them without bumping
+``CACHE_VERSION`` silently serves stale cached results.
+
+This module extracts that surface **statically** (pure AST, no imports, so a
+broken tree still lints) into a JSON manifest checked in at
+``src/repro/devtools/fingerprint_manifest.json``.  Rule R002 fails when the
+extracted surface disagrees with the manifest; ``repro-flow lint
+--update-manifest`` regenerates it after a legitimate change + version bump.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+MANIFEST_VERSION = 1
+
+#: Default manifest location, next to this module (checked into the repo).
+DEFAULT_MANIFEST_PATH = Path(__file__).resolve().parent.parent / "fingerprint_manifest.json"
+
+#: Root of the ``repro`` package the default class list refers to.
+DEFAULT_PACKAGE_ROOT = Path(__file__).resolve().parents[2]
+
+#: ``(package-relative module path, class name)`` of every dataclass whose
+#: field set feeds cell fingerprints / cached-document layouts.
+DEFAULT_FINGERPRINT_CLASSES: Tuple[Tuple[str, str], ...] = (
+    ("faas/campaign.py", "CampaignJob"),
+    ("faas/campaign.py", "CampaignSpec"),
+    ("faas/workload.py", "WorkloadSpec"),
+    ("sim/platforms/spec.py", "PlatformSpec"),
+    ("sim/platforms/spec.py", "Override"),
+    ("analysis/artifacts.py", "CellRequest"),
+)
+
+#: Module that owns the authoritative ``CACHE_VERSION`` constant.
+CACHE_VERSION_MODULE = "faas/campaign.py"
+
+#: Directory whose modules' ``create_benchmark`` signatures are part of the
+#: fingerprint surface (parameterised benchmark spec strings).
+BENCHMARK_FACTORY_DIR = "benchmarks"
+
+
+def _dataclass_fields(class_node: ast.ClassDef) -> List[str]:
+    """Annotated field names of a dataclass body, in declaration order."""
+    fields: List[str] = []
+    for statement in class_node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            annotation = ast.unparse(statement.annotation)
+            if annotation.startswith(("ClassVar", "typing.ClassVar")):
+                continue
+            fields.append(statement.target.id)
+    return fields
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def extract_class_fields(
+    package_root: Path, classes: Sequence[Tuple[str, str]]
+) -> Dict[str, List[str]]:
+    """``"module.py::Class" -> [field, ...]`` for every listed dataclass."""
+    extracted: Dict[str, List[str]] = {}
+    for module_path, class_name in classes:
+        source_path = Path(package_root) / module_path
+        key = f"{module_path}::{class_name}"
+        if not source_path.exists():
+            extracted[key] = []
+            continue
+        tree = ast.parse(source_path.read_text(encoding="utf-8"))
+        class_node = _find_class(tree, class_name)
+        extracted[key] = _dataclass_fields(class_node) if class_node is not None else []
+    return extracted
+
+
+def extract_cache_version(package_root: Path) -> Optional[int]:
+    """The ``CACHE_VERSION`` constant, read statically from campaign.py."""
+    source_path = Path(package_root) / CACHE_VERSION_MODULE
+    if not source_path.exists():
+        return None
+    tree = ast.parse(source_path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "CACHE_VERSION":
+                    if isinstance(node.value, ast.Constant) and isinstance(
+                        node.value.value, int
+                    ):
+                        return node.value.value
+    return None
+
+
+def cache_version_line(package_root: Path) -> int:
+    """Line of the ``CACHE_VERSION`` assignment (anchor for R002 findings)."""
+    source_path = Path(package_root) / CACHE_VERSION_MODULE
+    if not source_path.exists():
+        return 0
+    tree = ast.parse(source_path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "CACHE_VERSION":
+                    return node.lineno
+    return 0
+
+
+def extract_benchmark_factories(package_root: Path) -> Dict[str, List[str]]:
+    """``"benchmarks/x.py" -> [param, ...]`` of each ``create_benchmark``.
+
+    Benchmark spec strings (``"storage_io:num_functions=20"``) embed these
+    parameter names verbatim into cell identities, so renaming one is a
+    fingerprint-surface change exactly like renaming a dataclass field.
+    """
+    factories: Dict[str, List[str]] = {}
+    factory_dir = Path(package_root) / BENCHMARK_FACTORY_DIR
+    if not factory_dir.is_dir():
+        return factories
+    for source_path in sorted(factory_dir.rglob("*.py")):
+        if "__pycache__" in source_path.parts:
+            continue
+        tree = ast.parse(source_path.read_text(encoding="utf-8"))
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == "create_benchmark":
+                params = [arg.arg for arg in node.args.args + node.args.kwonlyargs]
+                rel = source_path.relative_to(Path(package_root)).as_posix()
+                factories[rel] = params
+    return factories
+
+
+def generate_manifest(
+    package_root: Optional[Path] = None,
+    classes: Sequence[Tuple[str, str]] = DEFAULT_FINGERPRINT_CLASSES,
+) -> Dict[str, object]:
+    root = Path(package_root) if package_root is not None else DEFAULT_PACKAGE_ROOT
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "cache_version": extract_cache_version(root),
+        "classes": extract_class_fields(root, classes),
+        "benchmark_factories": extract_benchmark_factories(root),
+    }
+
+
+def write_manifest(path: Optional[Path] = None, package_root: Optional[Path] = None,
+                   classes: Sequence[Tuple[str, str]] = DEFAULT_FINGERPRINT_CLASSES) -> Path:
+    target = Path(path) if path is not None else DEFAULT_MANIFEST_PATH
+    manifest = generate_manifest(package_root, classes=classes)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return target
+
+
+def load_manifest(path: Optional[Path] = None) -> Optional[Dict[str, object]]:
+    source = Path(path) if path is not None else DEFAULT_MANIFEST_PATH
+    if not source.exists():
+        return None
+    try:
+        document = json.loads(source.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def describe_changes(
+    recorded: Dict[str, object], current: Dict[str, object]
+) -> List[str]:
+    """Human-readable field-set differences between two manifests.
+
+    Only *structural* drift is reported here; the cache-version comparison is
+    rule R002's job (a version change alone is not drift, it is the fix).
+    """
+    changes: List[str] = []
+    recorded_classes: Dict[str, List[str]] = dict(recorded.get("classes", {}))  # type: ignore[arg-type]
+    current_classes: Dict[str, List[str]] = dict(current.get("classes", {}))  # type: ignore[arg-type]
+    for key in sorted(set(recorded_classes) | set(current_classes)):
+        before = list(recorded_classes.get(key, []))
+        after = list(current_classes.get(key, []))
+        if before == after:
+            continue
+        added = [name for name in after if name not in before]
+        removed = [name for name in before if name not in after]
+        detail = ", ".join(
+            ([f"+{name}" for name in added] + [f"-{name}" for name in removed])
+        ) or "field order changed"
+        changes.append(f"{key}: {detail}")
+    recorded_factories: Dict[str, List[str]] = dict(recorded.get("benchmark_factories", {}))  # type: ignore[arg-type]
+    current_factories: Dict[str, List[str]] = dict(current.get("benchmark_factories", {}))  # type: ignore[arg-type]
+    for key in sorted(set(recorded_factories) | set(current_factories)):
+        before = list(recorded_factories.get(key, []))
+        after = list(current_factories.get(key, []))
+        if before == after:
+            continue
+        added = [name for name in after if name not in before]
+        removed = [name for name in before if name not in after]
+        detail = ", ".join(
+            ([f"+{name}" for name in added] + [f"-{name}" for name in removed])
+        ) or "parameter order changed"
+        changes.append(f"{key}::create_benchmark: {detail}")
+    return changes

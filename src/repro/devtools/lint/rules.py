@@ -1,0 +1,547 @@
+"""The repo-specific invariant rules behind ``repro-flow lint``.
+
+==== ======================= =====================================================
+id   name                    enforces
+==== ======================= =====================================================
+R001 determinism             every random draw / clock read goes through a
+                             sanctioned seam (named RNG streams, injectable clock)
+R002 fingerprint-drift       fingerprinted field sets match the checked-in
+                             manifest; changes require a ``CACHE_VERSION`` bump
+R003 frozen-spec             ``*Spec`` dataclasses are ``frozen=True`` with no
+                             mutable default fields
+R004 worker-pickle-safety    callables submitted to process pools are picklable
+                             module-level functions with picklable arguments
+R005 mutable-default-arg     no mutable default argument values anywhere
+R006 deprecated-kwarg        no internal call sites of the deprecated
+                             ``mode=``/``burst_size=``/``era=`` trigger kwargs
+==== ======================= =====================================================
+
+Each rule is pure AST analysis over one file; cross-file state (R002's
+manifest) is read from disk, never imported, so a module that cannot even
+import still lints.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from . import manifest as manifest_mod
+from .framework import Finding, LintModule, Rule, Severity, path_matches
+
+# --------------------------------------------------------------------- helpers
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """``local name -> dotted origin`` for every import in the module."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".", 1)[0]
+                aliases[local] = item.name if item.asname else item.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def _resolve_call_path(func: ast.expr, aliases: Mapping[str, str]) -> Optional[str]:
+    """Dotted origin of a call target (``np.random.seed`` -> ``numpy.random.seed``)."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = aliases.get(node.id)
+    if origin is None:
+        return None
+    return ".".join([origin, *reversed(parts)]) if parts else origin
+
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+            node.func.id if isinstance(node.func, ast.Name) else None
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+# ------------------------------------------------------------------------ R001
+class DeterminismRule(Rule):
+    """Ban ambient nondeterminism: global RNGs, wall clocks, random tokens.
+
+    Bit-identical replay rests on every stochastic draw flowing through
+    :class:`repro.sim.rng.RandomStreams` named streams and every timestamp
+    being simulation time or an injected clock.  Allowlisted paths are the
+    sanctioned seams themselves (``sim/rng.py``, the devtools, the CLI edge);
+    single-call seams elsewhere (the grid's lease wall clock) carry an inline
+    ``# lint: allow[R001]`` pragma with their justification.
+    """
+
+    rule_id = "R001"
+    name = "determinism"
+    description = (
+        "no module-level RNG (random.*, np.random.*), wall clocks "
+        "(time.time, datetime.now), or random tokens (os.urandom, uuid.uuid4) "
+        "outside sanctioned seams"
+    )
+
+    #: Exact dotted call paths that read wall clocks or entropy.
+    BANNED_CALLS = {
+        "time.time": "clock",
+        "time.time_ns": "clock",
+        "datetime.datetime.now": "clock",
+        "datetime.datetime.utcnow": "clock",
+        "datetime.datetime.today": "clock",
+        "datetime.date.today": "clock",
+        "os.urandom": "token",
+        "uuid.uuid4": "token",
+        "uuid.uuid1": "token",
+    }
+
+    #: Dotted prefixes whose *every* call is a module-level RNG draw.
+    BANNED_PREFIXES = ("random.", "numpy.random.")
+
+    HINTS = {
+        "rng": (
+            "route the draw through a named stream: repro.sim.rng "
+            "(RandomStreams.stream(name) or named_stream(seed, name))"
+        ),
+        "clock": (
+            "read simulation time, or inject a clock seam like "
+            "repro.faas.grid's LeaseQueue.clock"
+        ),
+        "token": (
+            "derive identifiers from seeded streams or cell fingerprints; "
+            "if true uniqueness is required, isolate one seam and pragma it"
+        ),
+    }
+
+    def __init__(self, allowed_paths: Sequence[str] = ("sim/rng.py", "devtools/", "cli.py")):
+        self.allowed_paths = tuple(allowed_paths)
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        if path_matches(module.rel_path, self.allowed_paths):
+            return
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _resolve_call_path(node.func, aliases)
+            if path is None:
+                continue
+            kind: Optional[str] = None
+            if path in self.BANNED_CALLS:
+                kind = self.BANNED_CALLS[path]
+            elif path.startswith(self.BANNED_PREFIXES) or path in ("random", "numpy.random"):
+                kind = "rng"
+            if kind is None:
+                continue
+            noun = {
+                "rng": "module-level RNG call",
+                "clock": "wall-clock read",
+                "token": "nondeterministic token source",
+            }[kind]
+            yield self.finding(
+                module, node, f"{noun} {path}()", hint=self.HINTS[kind]
+            )
+
+
+# ------------------------------------------------------------------------ R002
+class FingerprintDriftRule(Rule):
+    """Fingerprinted field sets must match the manifest, or CACHE_VERSION moves.
+
+    Anchored on the module that owns ``CACHE_VERSION`` (``faas/campaign.py``):
+    when that file is among the linted paths, the rule statically re-extracts
+    the fingerprint surface (see :mod:`.manifest`) and compares it against the
+    checked-in manifest.  A surface change at an unchanged ``CACHE_VERSION``
+    is the bug this rule exists to catch -- cached cells from the previous
+    layout would be served as if they were current.
+    """
+
+    rule_id = "R002"
+    name = "fingerprint-drift"
+    description = (
+        "field sets of fingerprintable dataclasses (and benchmark factory "
+        "params) must match the manifest; changes require a CACHE_VERSION "
+        "bump + `lint --update-manifest`"
+    )
+
+    def __init__(
+        self,
+        manifest_path: Optional[Path] = None,
+        package_root: Optional[Path] = None,
+        classes: Sequence[Tuple[str, str]] = manifest_mod.DEFAULT_FINGERPRINT_CLASSES,
+    ):
+        self.manifest_path = Path(manifest_path) if manifest_path is not None else None
+        self.package_root = (
+            Path(package_root) if package_root is not None
+            else manifest_mod.DEFAULT_PACKAGE_ROOT
+        )
+        self.classes = tuple(classes)
+
+    def _anchor(self, module: LintModule) -> bool:
+        anchor = (self.package_root / manifest_mod.CACHE_VERSION_MODULE).resolve()
+        try:
+            return module.path.resolve() == anchor
+        except OSError:  # pragma: no cover - resolution failures are non-anchors
+            return False
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        if not self._anchor(module):
+            return
+        line = manifest_mod.cache_version_line(self.package_root)
+
+        def anchored(message: str, hint: str) -> Finding:
+            return Finding(
+                rule_id=self.rule_id, message=message, path=module.rel_path,
+                line=line, severity=self.severity, hint=hint,
+            )
+
+        recorded = manifest_mod.load_manifest(self.manifest_path)
+        current = manifest_mod.generate_manifest(self.package_root, classes=self.classes)
+        update_hint = "run `repro-flow lint --update-manifest` to record the new surface"
+        if recorded is None:
+            yield anchored("no fingerprint manifest found", update_hint)
+            return
+        changes = manifest_mod.describe_changes(recorded, current)
+        recorded_version = recorded.get("cache_version")
+        current_version = current.get("cache_version")
+        if changes:
+            if recorded_version == current_version:
+                for change in changes:
+                    yield anchored(
+                        f"fingerprinted surface changed without a CACHE_VERSION "
+                        f"bump: {change}",
+                        "bump CACHE_VERSION in src/repro/faas/campaign.py (stale "
+                        "cached cells would otherwise be served), then " + update_hint,
+                    )
+            else:
+                yield anchored(
+                    f"fingerprint manifest is stale after the CACHE_VERSION bump "
+                    f"({recorded_version} -> {current_version}); {len(changes)} "
+                    f"surface change(s) unrecorded",
+                    update_hint,
+                )
+        elif recorded_version != current_version:
+            yield anchored(
+                f"CACHE_VERSION is {current_version} but the manifest records "
+                f"{recorded_version}",
+                update_hint,
+            )
+
+
+# ------------------------------------------------------------------------ R003
+class FrozenSpecRule(Rule):
+    """``*Spec`` dataclasses are identities: frozen, hashable, no mutable defaults.
+
+    Specs are campaign sweep coordinates and fingerprint inputs -- a mutated
+    spec silently changes a cell's identity after the fact.  ``frozen=True``
+    plus immutable defaults makes that impossible by construction.
+    """
+
+    rule_id = "R003"
+    name = "frozen-spec"
+    description = "*Spec dataclasses must be @dataclass(frozen=True) with no mutable default fields"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not node.name.endswith("Spec"):
+                continue
+            decorator = self._dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not self._is_frozen(decorator):
+                yield self.finding(
+                    module, node,
+                    f"spec dataclass {node.name} is not frozen",
+                    hint="declare @dataclass(frozen=True); use object.__setattr__ "
+                         "for __post_init__ normalisation",
+                )
+            for statement in node.body:
+                if (
+                    isinstance(statement, ast.AnnAssign)
+                    and statement.value is not None
+                    and self._is_mutable_default(statement.value)
+                ):
+                    target = statement.target
+                    field_name = target.id if isinstance(target, ast.Name) else "?"
+                    yield self.finding(
+                        module, statement,
+                        f"spec dataclass {node.name} has mutable default "
+                        f"field {field_name!r}",
+                        hint="default to an immutable value (tuple, frozenset, "
+                             "None) instead",
+                    )
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = target.attr if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else None
+            )
+            if name == "dataclass":
+                return decorator
+        return None
+
+    @staticmethod
+    def _is_frozen(decorator: ast.expr) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+        return False
+
+    @staticmethod
+    def _is_mutable_default(value: ast.expr) -> bool:
+        if _is_mutable_literal(value):
+            return True
+        # field(default_factory=list) -- a per-instance mutable default.
+        if isinstance(value, ast.Call):
+            name = value.func.attr if isinstance(value.func, ast.Attribute) else (
+                value.func.id if isinstance(value.func, ast.Name) else None
+            )
+            if name == "field":
+                for keyword in value.keywords:
+                    if keyword.arg == "default_factory":
+                        factory = keyword.value
+                        factory_name = (
+                            factory.id if isinstance(factory, ast.Name) else None
+                        )
+                        return factory_name in _MUTABLE_FACTORIES
+        return False
+
+
+# ------------------------------------------------------------------------ R004
+class WorkerPickleSafetyRule(Rule):
+    """Payloads submitted to process pools must survive pickling under spawn.
+
+    ``run_cells`` (and through it the grid's ``run_grid_worker``) ships work
+    to ``ProcessPoolExecutor`` workers; a lambda, closure, open file, or lock
+    in the submitted callable/arguments dies at pickle time -- but only on
+    spawn platforms, so the bug hides on Linux CI and bites on macOS hosts.
+    Module-level functions that *read* module-level mutable state are flagged
+    as warnings: each spawned worker sees its own copy, so mutations diverge
+    silently between parent and workers.
+    """
+
+    rule_id = "R004"
+    name = "worker-pickle-safety"
+    description = (
+        "callables submitted to pools must be module-level functions; no "
+        "lambdas, closures, locks, or open files in submitted payloads"
+    )
+
+    SUBMIT_METHODS = ("submit", "apply_async")
+    UNPICKLABLE_CALLS = {
+        "open": "an open file handle",
+        "Lock": "a lock",
+        "RLock": "a lock",
+        "Semaphore": "a synchronisation primitive",
+        "Condition": "a synchronisation primitive",
+        "Event": "a synchronisation primitive",
+    }
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        top_level: Dict[str, ast.FunctionDef] = {}
+        nested: Set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                top_level[node.name] = node  # type: ignore[assignment]
+                for child in ast.walk(node):
+                    if (
+                        isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and child is not node
+                    ):
+                        nested.add(child.name)
+        mutable_globals = {
+            target.id
+            for node in module.tree.body
+            if isinstance(node, ast.Assign)
+            for target in node.targets
+            if isinstance(target, ast.Name) and _is_mutable_literal(node.value)
+        }
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in self.SUBMIT_METHODS
+            ):
+                continue
+            if not node.args:
+                continue
+            target, *payload = node.args
+            yield from self._check_callable(module, target, top_level, nested,
+                                            mutable_globals)
+            for arg in payload + [kw.value for kw in node.keywords]:
+                yield from self._check_payload(module, arg)
+
+    def _check_callable(
+        self,
+        module: LintModule,
+        target: ast.expr,
+        top_level: Mapping[str, ast.FunctionDef],
+        nested: Set[str],
+        mutable_globals: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                module, target,
+                "lambda submitted to a worker pool is not picklable",
+                hint="define a module-level function and submit that",
+            )
+            return
+        if not isinstance(target, ast.Name):
+            return
+        if target.id in nested and target.id not in top_level:
+            yield self.finding(
+                module, target,
+                f"nested function {target.id!r} submitted to a worker pool "
+                f"(closures are not picklable under spawn)",
+                hint="move the function to module level and pass its inputs "
+                     "as explicit picklable arguments",
+            )
+            return
+        worker = top_level.get(target.id)
+        if worker is None:
+            return
+        read = {
+            child.id
+            for child in ast.walk(worker)
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+        }
+        for name in sorted(read & mutable_globals):
+            yield self.finding(
+                module, worker,
+                f"worker function {worker.name!r} reads module-level mutable "
+                f"state {name!r}",
+                hint="spawned workers get an independent copy; pass the data "
+                     "through the submitted payload instead",
+                severity=Severity.WARNING,
+            )
+
+    def _check_payload(self, module: LintModule, arg: ast.expr) -> Iterator[Finding]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Lambda):
+                yield self.finding(
+                    module, node,
+                    "lambda in a worker-pool payload is not picklable",
+                    hint="pass data, not behaviour, across the process boundary",
+                )
+            elif isinstance(node, ast.Call):
+                name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+                    node.func.id if isinstance(node.func, ast.Name) else None
+                )
+                if name in self.UNPICKLABLE_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"{self.UNPICKLABLE_CALLS[name]} in a worker-pool "
+                        f"payload is not picklable",
+                        hint="open/construct it inside the worker instead",
+                    )
+
+
+# ------------------------------------------------------------------------ R005
+class MutableDefaultArgRule(Rule):
+    """The classic: ``def f(x=[])`` shares one list across every call."""
+
+    rule_id = "R005"
+    name = "mutable-default-arg"
+    description = "no mutable default argument values (lists, dicts, sets)"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    owner = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {owner!r}",
+                        hint="default to None (or a tuple) and build the "
+                             "mutable value inside the body",
+                    )
+
+
+# ------------------------------------------------------------------------ R006
+class DeprecatedKwargRule(Rule):
+    """No internal call feeds the deprecated trigger kwargs back into the API.
+
+    ``mode``/``burst_size``/``era`` were replaced by :class:`WorkloadSpec` and
+    era-pinned :class:`PlatformSpec` values (PRs 2-3); the shims warn external
+    callers, and this rule keeps the library itself honest.  The rule targets
+    the specific deprecated parameters per callee -- ``burst_size`` remains a
+    perfectly good parameter of ``WorkloadSpec.burst``, for example.
+    """
+
+    rule_id = "R006"
+    name = "deprecated-kwarg"
+    description = (
+        "no internal call sites passing the deprecated mode=/burst_size=/era= "
+        "kwargs to ExperimentConfig, CampaignSpec, run_benchmark, or "
+        "compare_platforms"
+    )
+
+    DEPRECATED: Mapping[str, frozenset] = {
+        "ExperimentConfig": frozenset({"mode", "burst_size", "era"}),
+        "run_benchmark": frozenset({"mode", "burst_size", "era"}),
+        "compare_platforms": frozenset({"mode", "burst_size"}),
+        "CampaignSpec": frozenset({"mode", "burst_size"}),
+    }
+
+    HINT = (
+        "pass workload=WorkloadSpec.… (or workloads=(…,)) and an era-pinned "
+        "platform spec ('aws@2022') instead"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+                node.func.id if isinstance(node.func, ast.Name) else None
+            )
+            banned = self.DEPRECATED.get(name or "")
+            if not banned:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in banned:
+                    yield self.finding(
+                        module, keyword.value,
+                        f"deprecated kwarg {keyword.arg}= passed to {name}",
+                        hint=self.HINT,
+                    )
+
+
+def default_rules(
+    manifest_path: Optional[Path] = None,
+    package_root: Optional[Path] = None,
+) -> List[Rule]:
+    """The standard rule set, in id order."""
+    return [
+        DeterminismRule(),
+        FingerprintDriftRule(manifest_path=manifest_path, package_root=package_root),
+        FrozenSpecRule(),
+        WorkerPickleSafetyRule(),
+        MutableDefaultArgRule(),
+        DeprecatedKwargRule(),
+    ]

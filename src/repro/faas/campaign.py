@@ -179,7 +179,7 @@ class CampaignJob:
         return cached
 
 
-@dataclass
+@dataclass(frozen=True)
 class CampaignSpec:
     """A declarative sweep: benchmarks x platforms x eras x memory x workloads x seeds.
 
@@ -219,19 +219,22 @@ class CampaignSpec:
     cells: Sequence[Union["CampaignJob", Dict[str, object]]] = ()
 
     def __post_init__(self) -> None:
-        self.benchmarks = tuple(self.benchmarks)
-        self.platforms = tuple(
+        # Frozen dataclass: normalisation goes through object.__setattr__
+        # (the same pattern as PlatformSpec / CampaignJob).
+        coerce = lambda name, value: object.__setattr__(self, name, value)  # noqa: E731
+        coerce("benchmarks", tuple(self.benchmarks))
+        coerce("platforms", tuple(
             PlatformSpec.coerce(entry) for entry in self.platforms
-        )
+        ))
         # Era labels are strings throughout (a programmatic eras=(2022,)
         # would otherwise crash the validation below with a TypeError).
-        self.eras = tuple(str(era) for era in self.eras)
-        self.memory_configs = tuple(self.memory_configs) or (None,)
-        self.seeds = tuple(self.seeds)
-        self.cells = tuple(
+        coerce("eras", tuple(str(era) for era in self.eras))
+        coerce("memory_configs", tuple(self.memory_configs) or (None,))
+        coerce("seeds", tuple(self.seeds))
+        coerce("cells", tuple(
             entry if isinstance(entry, CampaignJob) else CampaignJob.from_dict(entry)
             for entry in self.cells
-        )
+        ))
         if not self.benchmarks and not self.cells:
             raise ValueError("a campaign needs at least one benchmark or explicit cell")
         if not self.platforms or not self.eras or not self.seeds:
@@ -253,12 +256,12 @@ class CampaignSpec:
         if self.burst_size < 1 or self.repetitions < 1:
             raise ValueError("burst size and repetitions must be positive")
         if self.workloads:
-            self.workloads = tuple(
+            coerce("workloads", tuple(
                 WorkloadSpec.parse(entry) if isinstance(entry, str) else entry
                 for entry in self.workloads
-            )
+            ))
         else:
-            self.workloads = (WorkloadSpec.from_mode(self.mode, self.burst_size),)
+            coerce("workloads", (WorkloadSpec.from_mode(self.mode, self.burst_size),))
         if len({w.canonical() for w in self.workloads}) != len(self.workloads):
             raise ValueError("duplicate workloads in the sweep")
 

@@ -304,13 +304,15 @@ def run_benchmark(
     the equivalent workload / era-pinned spec bit-identically).
     """
     _warn_deprecated_trigger_kwargs(mode, burst_size, era)
+    # This wrapper IS the compatibility shim: it forwards the legacy trio it
+    # just warned about, so the deprecated-kwarg rule is waived here only.
     config = ExperimentConfig(
         platform=platform,
-        era=era,
+        era=era,  # lint: allow[R006] -- the run_benchmark shim forwards legacy kwargs
         seed=seed,
-        burst_size=burst_size if burst_size is not None else 30,
+        burst_size=burst_size if burst_size is not None else 30,  # lint: allow[R006]
         repetitions=repetitions,
-        mode=mode if mode is not None else "burst",
+        mode=mode if mode is not None else "burst",  # lint: allow[R006]
         memory_mb=memory_mb,
         workload=workload,
     )

@@ -73,6 +73,27 @@ GRID_VERSION = 1
 DEFAULT_LEASE_TTL_S = 300.0
 
 
+def _wall_clock() -> float:
+    """The grid's one sanctioned wall-clock read.
+
+    Lease TTLs are *real-time* contracts between unrelated hosts -- "reclaim
+    my cell if I go silent for five minutes" -- so, unlike everything else in
+    the simulator, they genuinely need the wall clock.  Every deadline
+    computation flows through :attr:`LeaseQueue.clock` (defaulting to this
+    function), giving tests a single injection point instead of sleeps.
+    """
+    return time.time()  # lint: allow[R001] -- lease TTLs are real-time contracts between hosts
+
+
+def _unique_token() -> str:
+    """Collision-proof token for scratch-file names (claims, tombstones).
+
+    Pure filesystem plumbing: tokens keep racing writers from colliding on
+    temp paths and never reach results, fingerprints, or logs.
+    """
+    return uuid.uuid4().hex  # lint: allow[R001] -- scratch-path uniqueness only, never in results
+
+
 # ------------------------------------------------------------- shard planner
 def shard_of(fingerprint: str, shard_count: int) -> int:
     """The shard owning a cell: the fingerprint's leading 64 bits mod N.
@@ -145,6 +166,8 @@ class LeaseQueue:
     directory: Union[str, Path]
     worker_id: str
     ttl_s: float = DEFAULT_LEASE_TTL_S
+    #: Injectable time source; every deadline read/write goes through this.
+    clock: Callable[[], float] = _wall_clock
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
@@ -155,12 +178,12 @@ class LeaseQueue:
 
     def _write_claim(self, fingerprint: str) -> Path:
         temp = Path(self.directory) / (
-            f".{fingerprint}.{self.worker_id}.{uuid.uuid4().hex}.tmp"
+            f".{fingerprint}.{self.worker_id}.{_unique_token()}.tmp"
         )
         temp.write_text(json.dumps({
             "fingerprint": fingerprint,
             "worker": self.worker_id,
-            "deadline": time.time() + self.ttl_s,
+            "deadline": self.clock() + self.ttl_s,
         }))
         return temp
 
@@ -177,11 +200,11 @@ class LeaseQueue:
             holder = self.read(fingerprint)
             if holder is not None and holder.get("done"):
                 return False  # the cell is finished and logged; never re-claim
-            if holder is not None and float(holder.get("deadline", 0)) >= time.time():
+            if holder is not None and float(holder.get("deadline", 0)) >= self.clock():
                 return False  # live lease held by someone else
             # Expired or unreadable: tombstone-rename it out of the way.
             # Exactly one contender's rename succeeds.
-            tombstone = Path(self.directory) / f".{fingerprint}.expired.{uuid.uuid4().hex}"
+            tombstone = Path(self.directory) / f".{fingerprint}.expired.{_unique_token()}"
             try:
                 os.rename(path, tombstone)
             except FileNotFoundError:
@@ -197,7 +220,7 @@ class LeaseQueue:
                     snatched = None
                 if isinstance(snatched, dict) and (
                     snatched.get("done")
-                    or float(snatched.get("deadline", 0)) >= time.time()
+                    or float(snatched.get("deadline", 0)) >= self.clock()
                 ):
                     try:
                         os.link(tombstone, path)
@@ -249,7 +272,7 @@ class LeaseQueue:
         reclaimed from us mid-cell, the cell *is* done.
         """
         temp = Path(self.directory) / (
-            f".{fingerprint}.{self.worker_id}.{uuid.uuid4().hex}.tmp"
+            f".{fingerprint}.{self.worker_id}.{_unique_token()}.tmp"
         )
         temp.write_text(json.dumps({
             "fingerprint": fingerprint,
@@ -273,7 +296,7 @@ class LeaseQueue:
 
     def active(self) -> Dict[str, Dict[str, object]]:
         """All unexpired leases, keyed by fingerprint."""
-        now = time.time()
+        now = self.clock()
         leases: Dict[str, Dict[str, object]] = {}
         for path in sorted(Path(self.directory).glob("*.lease")):
             try:
@@ -352,7 +375,7 @@ class GridRun:
             "shard_count": int(shard_count) if shard_count is not None else 1,
             "spec": spec_document,
         }
-        temp = run_path / f".{cls.MANIFEST}.{uuid.uuid4().hex}.tmp"
+        temp = run_path / f".{cls.MANIFEST}.{_unique_token()}.tmp"
         temp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
         try:
             # Exclusive link, like a lease claim: when two hosts race to

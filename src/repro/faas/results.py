@@ -173,15 +173,16 @@ def result_from_dict(document: Dict[str, object]) -> ExperimentResult:
         )
     spec_doc = config_doc.get("platform_spec")
     if spec_doc is not None:
-        platform: object = PlatformSpec.from_dict(spec_doc)  # type: ignore[arg-type]
-        era = None  # the spec pins the era
+        platform = PlatformSpec.from_dict(spec_doc)  # type: ignore[arg-type]
     else:
-        # Legacy documents identify the platform by a (name, era) string pair.
-        platform = str(config_doc["platform"])
-        era = str(config_doc["era"])
+        # Legacy documents identify the platform by a (name, era) string
+        # pair; fold the era into an era-pinned spec instead of the
+        # deprecated era= kwarg -- same normalisation, same results.
+        platform = PlatformSpec(
+            base=str(config_doc["platform"]), era=str(config_doc["era"])
+        )
     config = ExperimentConfig(
-        platform=platform,  # type: ignore[arg-type]
-        era=era,
+        platform=platform,
         seed=int(config_doc["seed"]),
         repetitions=int(config_doc["repetitions"]),
         memory_mb=int(memory_mb) if memory_mb is not None else None,

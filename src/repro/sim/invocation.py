@@ -37,7 +37,7 @@ Payload = Dict[str, object]
 Handler = Callable[["InvocationContext", object], object]
 
 
-@dataclass
+@dataclass(frozen=True)
 class FunctionSpec:
     """Static description of one serverless function of a benchmark."""
 

@@ -14,6 +14,27 @@ from typing import Dict
 import numpy as np
 
 
+def derive_stream_seed(seed: int, name: str) -> int:
+    """The substream seed for ``name`` under master ``seed``.
+
+    Hash-derived so that streams are independent and adding a new named
+    stream never perturbs the draws of existing ones.
+    """
+    digest = hashlib.sha256(f"{int(seed)}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def named_stream(seed: int, name: str) -> np.random.Generator:
+    """A fresh, deterministically seeded generator for one named stream.
+
+    The free-function twin of :meth:`RandomStreams.stream` for code that
+    holds a seed but no stream family -- benchmark dataset synthesis, for
+    example.  Same derivation, so ``named_stream(s, n)`` and
+    ``RandomStreams(s).stream(n)`` produce identical draws.
+    """
+    return np.random.default_rng(derive_stream_seed(seed, name))
+
+
 class RandomStreams:
     """A family of independent, deterministically seeded numpy generators."""
 
@@ -28,9 +49,7 @@ class RandomStreams:
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the generator for ``name``."""
         if name not in self._streams:
-            digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
-            substream_seed = int.from_bytes(digest[:8], "little")
-            self._streams[name] = np.random.default_rng(substream_seed)
+            self._streams[name] = named_stream(self._seed, name)
         return self._streams[name]
 
     # Convenience wrappers used throughout the simulator -----------------------

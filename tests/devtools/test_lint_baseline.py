@@ -1,0 +1,83 @@
+"""Baseline ratchet tests: old debt suppressed, new findings fail, stale shrinks."""
+
+from repro.devtools.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.lint.framework import Finding
+
+
+def finding(message, line=1, path="mod.py", rule_id="R005"):
+    return Finding(rule_id=rule_id, message=message, path=path, line=line)
+
+
+class TestApplyBaseline:
+    def test_baselined_finding_is_suppressed(self):
+        old = finding("mutable default argument in 'f'")
+        baseline = {old.key: BaselineEntry(count=1)}
+        failing, suppressed, stale = apply_baseline([old], baseline)
+        assert failing == []
+        assert suppressed == 1
+        assert stale == []
+
+    def test_new_finding_fails_alongside_suppressed_old_one(self):
+        old = finding("mutable default argument in 'f'")
+        new = finding("mutable default argument in 'g'", line=9)
+        baseline = {old.key: BaselineEntry(count=1)}
+        failing, suppressed, _ = apply_baseline([old, new], baseline)
+        assert failing == [new]
+        assert suppressed == 1
+
+    def test_line_moves_do_not_resurrect_baselined_findings(self):
+        old = finding("mutable default argument in 'f'", line=10)
+        moved = finding("mutable default argument in 'f'", line=50)
+        baseline = {old.key: BaselineEntry(count=1)}
+        failing, suppressed, _ = apply_baseline([moved], baseline)
+        assert failing == [] and suppressed == 1
+
+    def test_ratchet_only_tightens_excess_occurrences_fail(self):
+        first = finding("mutable default argument in 'f'", line=1)
+        second = finding("mutable default argument in 'f'", line=2)
+        baseline = {first.key: BaselineEntry(count=1)}
+        failing, suppressed, _ = apply_baseline([first, second], baseline)
+        assert len(failing) == 1 and suppressed == 1
+
+    def test_fixed_findings_surface_as_stale_keys(self):
+        gone = finding("mutable default argument in 'f'")
+        baseline = {gone.key: BaselineEntry(count=1)}
+        failing, suppressed, stale = apply_baseline([], baseline)
+        assert failing == [] and suppressed == 0
+        assert stale == [gone.key]
+
+
+class TestBaselineFile:
+    def test_write_then_load_round_trips_counts(self, tmp_path):
+        findings = [
+            finding("m1"), finding("m1", line=2), finding("m2", line=3),
+        ]
+        path = write_baseline(findings, tmp_path / "baseline.json")
+        loaded = load_baseline(path)
+        assert loaded[findings[0].key].count == 2
+        assert loaded[findings[2].key].count == 1
+
+    def test_reasons_are_preserved(self, tmp_path):
+        entry = finding("m1")
+        path = write_baseline([entry], tmp_path / "baseline.json",
+                              reasons={entry.key: "legacy shim"})
+        assert load_baseline(path)[entry.key].reason == "legacy shim"
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_bare_count_entries_are_accepted(self, tmp_path):
+        (tmp_path / "baseline.json").write_text(
+            '{"baseline_version": 1, "findings": {"p::R1::m": 2}}'
+        )
+        loaded = load_baseline(tmp_path / "baseline.json")
+        assert loaded["p::R1::m"] == BaselineEntry(count=2)
+
+    def test_checked_in_baseline_is_empty(self):
+        """The repo carries no accepted debt: sanctioned seams use pragmas."""
+        assert load_baseline() == {}

@@ -1,0 +1,125 @@
+"""CLI tests: exit codes, formats, update flows, and the repo self-check."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_flow_main
+from repro.devtools.lint.cli import EXIT_FINDINGS, EXIT_USAGE, main as lint_main
+
+FIXTURES = Path(__file__).resolve().parent.parent / "lint_fixtures"
+BAD = str(FIXTURES / "r005_bad.py")
+GOOD = str(FIXTURES / "r005_good.py")
+
+
+class TestExitCodes:
+    def test_findings_exit_4(self, tmp_path):
+        code = lint_main([BAD, "--no-baseline", "--select", "R005",
+                          "--root", str(FIXTURES)])
+        assert code == EXIT_FINDINGS == 4
+
+    def test_clean_exit_0(self):
+        assert lint_main([GOOD, "--no-baseline", "--select", "R005",
+                          "--root", str(FIXTURES)]) == 0
+
+    def test_unknown_rule_id_exits_2(self, capsys):
+        assert lint_main([GOOD, "--select", "R999"]) == EXIT_USAGE == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope.txt")]) == 2
+
+    def test_ignore_silences_a_rule(self):
+        assert lint_main([BAD, "--no-baseline", "--ignore", "R005", "--root",
+                          str(FIXTURES)]) == 0
+
+
+class TestOutputFormats:
+    def test_text_output_has_location_and_summary(self, capsys):
+        lint_main([BAD, "--no-baseline", "--select", "R005",
+                   "--root", str(FIXTURES)])
+        out = capsys.readouterr().out
+        assert "r005_bad.py:" in out
+        assert "R005" in out
+        assert "finding(s)" in out
+        assert "hint:" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        lint_main([BAD, "--no-baseline", "--select", "R005", "--format", "json",
+                   "--root", str(FIXTURES)])
+        document = json.loads(capsys.readouterr().out)
+        assert document["total"] == len(document["findings"]) > 0
+        assert document["counts"] == {"R005": document["total"]}
+        first = document["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message", "hint"} <= set(first)
+
+    def test_list_rules_prints_all_six(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rule_id in out
+
+
+class TestBaselineFlow:
+    def test_update_baseline_then_clean_then_ratchet(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = [BAD, "--select", "R005", "--root", str(FIXTURES),
+                "--baseline", str(baseline)]
+        # 1. Debt exists and fails.
+        assert lint_main(args) == 4
+        # 2. Accept it as the baseline.
+        assert lint_main(args + ["--update-baseline"]) == 0
+        assert baseline.exists()
+        # 3. Subsequent runs are clean...
+        assert lint_main(args) == 0
+        # 4. ...but a NEW violation still fails against the same baseline.
+        extra = tmp_path / "new_code.py"
+        extra.write_text("def fresh(values=[]):\n    return values\n")
+        capsys.readouterr()
+        assert lint_main(args[:1] + [str(extra)] + args[1:]) == 4
+        out = capsys.readouterr().out
+        assert "new_code.py" in out
+        assert "suppressed by baseline" in out
+
+    def test_stale_baseline_entries_are_reported(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        args = ["--select", "R005", "--root", str(FIXTURES),
+                "--baseline", str(baseline)]
+        assert lint_main([BAD] + args + ["--update-baseline"]) == 0
+        capsys.readouterr()
+        # Lint only the clean fixture: every baselined key is now stale.
+        assert lint_main([GOOD] + args) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestManifestFlow:
+    def test_update_manifest_writes_and_reports(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        code = lint_main([GOOD, "--select", "R005", "--root", str(FIXTURES),
+                          "--manifest", str(manifest), "--update-manifest",
+                          "--no-baseline"])
+        assert code == 0
+        assert manifest.exists()
+        assert "fingerprint manifest updated" in capsys.readouterr().out
+        # The written manifest matches the live extraction of the real package.
+        from repro.devtools.lint import manifest as manifest_mod
+        assert json.loads(manifest.read_text()) == manifest_mod.generate_manifest()
+
+
+class TestSelfCheck:
+    def test_repo_source_lints_clean(self, capsys):
+        """Acceptance: the linter runs clean on the repo's own src/repro with
+        the checked-in manifest and (empty) baseline."""
+        assert lint_main([]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_repro_flow_lint_subcommand(self, capsys):
+        assert repro_flow_main(["lint"]) == 0
+        capsys.readouterr()
+        assert repro_flow_main(["lint", "--list-rules"]) == 0
+        assert "R002" in capsys.readouterr().out
+
+    def test_repro_flow_lint_fails_on_fixture(self):
+        assert repro_flow_main(
+            ["lint", BAD, "--no-baseline", "--select", "R005",
+             "--root", str(FIXTURES)]
+        ) == 4

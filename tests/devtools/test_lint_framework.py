@@ -1,0 +1,146 @@
+"""Tests for the lint framework: modules, pragmas, selection, the runner."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.framework import (
+    Finding,
+    LintModule,
+    Rule,
+    Severity,
+    collect_files,
+    path_matches,
+    run_lint,
+    select_rules,
+    summarize,
+)
+
+
+class AlwaysFire(Rule):
+    """Flags every function definition: a minimal rule for runner tests."""
+
+    rule_id = "T900"
+    name = "always-fire"
+    description = "test rule"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield self.finding(module, node, f"function {node.name}")
+
+
+class TestFinding:
+    def test_key_is_line_insensitive(self):
+        a = Finding(rule_id="R001", message="m", path="p.py", line=10)
+        b = Finding(rule_id="R001", message="m", path="p.py", line=99)
+        assert a.key == b.key
+        assert "R001" in a.key and "p.py" in a.key
+
+    def test_format_text_includes_location_rule_and_hint(self):
+        finding = Finding(rule_id="R003", message="not frozen", path="spec.py",
+                          line=4, col=2, hint="freeze it")
+        text = finding.format_text()
+        assert "spec.py:4:2" in text
+        assert "R003" in text and "not frozen" in text
+        assert "freeze it" in text
+
+    def test_as_dict_round_trips_fields(self):
+        finding = Finding(rule_id="R005", message="m", path="p.py", line=1,
+                          severity=Severity.WARNING)
+        document = finding.as_dict()
+        assert document["rule"] == "R005"
+        assert document["severity"] == "warning"
+        assert document["line"] == 1
+
+
+class TestPragmas:
+    def test_pragma_suppresses_named_rule_on_its_line(self, tmp_path):
+        source = "def f():\n    pass\n\ndef g():  # lint: allow[T900] -- why\n    pass\n"
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        findings = run_lint([path], [AlwaysFire()], root=tmp_path)
+        assert [f.message for f in findings] == ["function f"]
+
+    def test_pragma_does_not_suppress_other_rules(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f():  # lint: allow[R001]\n    pass\n")
+        findings = run_lint([path], [AlwaysFire()], root=tmp_path)
+        assert len(findings) == 1
+
+    def test_star_pragma_suppresses_everything(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f():  # lint: allow[*]\n    pass\n")
+        assert run_lint([path], [AlwaysFire()], root=tmp_path) == []
+
+    def test_multi_rule_pragma(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1  # lint: allow[R001, T900]\n")
+        parsed = LintModule.parse(path, "mod.py")
+        assert parsed.allowed("R001", 1) and parsed.allowed("T900", 1)
+        assert not parsed.allowed("R002", 1)
+
+
+class TestRunner:
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        findings = run_lint([path], [AlwaysFire()], root=tmp_path)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "PARSE"
+        assert "does not parse" in findings[0].message
+
+    def test_findings_sorted_by_path_then_line(self, tmp_path):
+        (tmp_path / "b.py").write_text("def z():\n    pass\ndef a():\n    pass\n")
+        (tmp_path / "a.py").write_text("def q():\n    pass\n")
+        findings = run_lint([tmp_path], [AlwaysFire()], root=tmp_path)
+        assert [(f.path, f.line) for f in findings] == [
+            ("a.py", 1), ("b.py", 1), ("b.py", 3),
+        ]
+
+    def test_collect_files_recurses_and_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "mod.cpython-312.py").write_text("x = 1\n")
+        (tmp_path / "top.py").write_text("y = 2\n")
+        files = collect_files([tmp_path])
+        names = [f.name for f in files]
+        assert names == ["mod.py", "top.py"]
+
+    def test_collect_files_rejects_non_python_path(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hi")
+        with pytest.raises(FileNotFoundError):
+            collect_files([target])
+
+    def test_summarize_counts_by_rule(self):
+        findings = [
+            Finding(rule_id="R001", message="a", path="p", line=1),
+            Finding(rule_id="R001", message="b", path="p", line=2),
+            Finding(rule_id="R005", message="c", path="p", line=3),
+        ]
+        assert summarize(findings) == [("R001", 2), ("R005", 1)]
+
+
+class TestSelection:
+    def test_select_keeps_only_requested(self):
+        rules = [AlwaysFire()]
+        assert select_rules(rules, select=["T900"]) == rules
+        assert select_rules(rules, ignore=["T900"]) == []
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            select_rules([AlwaysFire()], select=["R999"])
+
+
+class TestPathMatches:
+    def test_suffix_and_directory_patterns(self):
+        assert path_matches("src/repro/sim/rng.py", ("sim/rng.py",))
+        assert path_matches("sim/rng.py", ("sim/rng.py",))
+        assert not path_matches("sim/other.py", ("sim/rng.py",))
+        assert path_matches("src/repro/devtools/lint/cli.py", ("devtools/",))
+        assert not path_matches("src/repro/faas/grid.py", ("devtools/",))
+        assert path_matches("src/repro/cli.py", ("cli.py",))
+        # cli.py must match only the file itself, not any *cli.py suffix.
+        assert not path_matches("src/repro/grid_cli.py", ("cli.py",))

@@ -1,0 +1,152 @@
+"""R002 fingerprint-drift tests: manifest extraction and the bump protocol."""
+
+from pathlib import Path
+
+from repro.devtools.lint import manifest as manifest_mod
+from repro.devtools.lint.framework import run_lint
+from repro.devtools.lint.rules import FingerprintDriftRule
+
+CLASSES = (("faas/campaign.py", "CampaignJob"),)
+
+
+def write_package(root: Path, version: int = 1, extra_field: bool = False,
+                  factory_param: str = "samples") -> Path:
+    """A miniature repro-package layout with the R002 anchor module."""
+    (root / "faas").mkdir(parents=True, exist_ok=True)
+    (root / "benchmarks").mkdir(parents=True, exist_ok=True)
+    fields = "    benchmark: str\n    seed: int\n"
+    if extra_field:
+        fields += "    region: str = 'eu'\n"
+    (root / "faas" / "campaign.py").write_text(
+        "from dataclasses import dataclass\n\n"
+        f"CACHE_VERSION = {version}\n\n\n"
+        "@dataclass(frozen=True)\n"
+        "class CampaignJob:\n" + fields
+    )
+    (root / "benchmarks" / "ml.py").write_text(
+        f"def create_benchmark({factory_param}=500, *, memory_mb=None):\n"
+        "    return None\n"
+    )
+    return root / "faas" / "campaign.py"
+
+
+def drift_rule(tmp_path: Path) -> FingerprintDriftRule:
+    return FingerprintDriftRule(
+        manifest_path=tmp_path / "manifest.json",
+        package_root=tmp_path / "pkg",
+        classes=CLASSES,
+    )
+
+
+def lint_anchor(tmp_path: Path, rule: FingerprintDriftRule):
+    anchor = tmp_path / "pkg" / "faas" / "campaign.py"
+    return run_lint([anchor], [rule], root=tmp_path / "pkg")
+
+
+class TestManifestExtraction:
+    def test_extracts_fields_version_and_factories(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        manifest = manifest_mod.generate_manifest(tmp_path / "pkg", classes=CLASSES)
+        assert manifest["cache_version"] == 1
+        assert manifest["classes"]["faas/campaign.py::CampaignJob"] == [
+            "benchmark", "seed",
+        ]
+        assert manifest["benchmark_factories"]["benchmarks/ml.py"] == [
+            "samples", "memory_mb",
+        ]
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        path = manifest_mod.write_manifest(tmp_path / "manifest.json",
+                                           tmp_path / "pkg", classes=CLASSES)
+        assert manifest_mod.load_manifest(path) == manifest_mod.generate_manifest(
+            tmp_path / "pkg", classes=CLASSES
+        )
+
+    def test_describe_changes_names_added_and_removed_fields(self):
+        recorded = {"classes": {"m.py::C": ["a", "b"]}, "benchmark_factories": {}}
+        current = {"classes": {"m.py::C": ["a", "c"]}, "benchmark_factories": {}}
+        changes = manifest_mod.describe_changes(recorded, current)
+        assert changes == ["m.py::C: +c, -b"]
+
+    def test_checked_in_manifest_matches_the_real_source(self):
+        """The repo's own manifest must always be regenerable bit-identically."""
+        recorded = manifest_mod.load_manifest()
+        assert recorded is not None, "fingerprint manifest is not checked in"
+        assert recorded == manifest_mod.generate_manifest()
+
+
+class TestR002Protocol:
+    def test_missing_manifest_is_a_finding(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        findings = lint_anchor(tmp_path, drift_rule(tmp_path))
+        assert len(findings) == 1
+        assert "no fingerprint manifest" in findings[0].message
+
+    def test_clean_when_manifest_matches(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        manifest_mod.write_manifest(tmp_path / "manifest.json", tmp_path / "pkg",
+                                    classes=CLASSES)
+        assert lint_anchor(tmp_path, drift_rule(tmp_path)) == []
+
+    def test_field_change_without_bump_fails(self, tmp_path):
+        """Acceptance: a simulated fingerprint-field change at an unchanged
+        CACHE_VERSION must fail the lint."""
+        write_package(tmp_path / "pkg")
+        manifest_mod.write_manifest(tmp_path / "manifest.json", tmp_path / "pkg",
+                                    classes=CLASSES)
+        anchor = write_package(tmp_path / "pkg", version=1, extra_field=True)
+        findings = lint_anchor(tmp_path, drift_rule(tmp_path))
+        assert len(findings) == 1
+        assert "without a CACHE_VERSION bump" in findings[0].message
+        assert "+region" in findings[0].message
+        assert "bump CACHE_VERSION" in findings[0].hint
+        # The finding anchors on the CACHE_VERSION line of the real module.
+        assert findings[0].line == manifest_mod.cache_version_line(tmp_path / "pkg")
+        assert findings[0].path.endswith("faas/campaign.py")
+        assert anchor.exists()
+
+    def test_factory_param_rename_without_bump_fails(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        manifest_mod.write_manifest(tmp_path / "manifest.json", tmp_path / "pkg",
+                                    classes=CLASSES)
+        write_package(tmp_path / "pkg", factory_param="num_samples")
+        findings = lint_anchor(tmp_path, drift_rule(tmp_path))
+        assert len(findings) == 1
+        assert "create_benchmark" in findings[0].message
+        assert "+num_samples" in findings[0].message
+
+    def test_field_change_with_bump_asks_for_manifest_update(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        manifest_mod.write_manifest(tmp_path / "manifest.json", tmp_path / "pkg",
+                                    classes=CLASSES)
+        write_package(tmp_path / "pkg", version=2, extra_field=True)
+        findings = lint_anchor(tmp_path, drift_rule(tmp_path))
+        assert len(findings) == 1
+        assert "stale after the CACHE_VERSION bump" in findings[0].message
+        assert "--update-manifest" in findings[0].hint
+
+    def test_update_manifest_then_clean(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        manifest_mod.write_manifest(tmp_path / "manifest.json", tmp_path / "pkg",
+                                    classes=CLASSES)
+        write_package(tmp_path / "pkg", version=2, extra_field=True)
+        manifest_mod.write_manifest(tmp_path / "manifest.json", tmp_path / "pkg",
+                                    classes=CLASSES)
+        assert lint_anchor(tmp_path, drift_rule(tmp_path)) == []
+
+    def test_version_only_change_is_flagged_as_unrecorded(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        manifest_mod.write_manifest(tmp_path / "manifest.json", tmp_path / "pkg",
+                                    classes=CLASSES)
+        write_package(tmp_path / "pkg", version=5)
+        findings = lint_anchor(tmp_path, drift_rule(tmp_path))
+        assert len(findings) == 1
+        assert "manifest records" in findings[0].message
+
+    def test_rule_only_fires_on_the_anchor_module(self, tmp_path):
+        write_package(tmp_path / "pkg")
+        other = tmp_path / "pkg" / "faas" / "other.py"
+        other.write_text("x = 1\n")
+        findings = run_lint([other], [drift_rule(tmp_path)], root=tmp_path / "pkg")
+        assert findings == []

@@ -1,0 +1,129 @@
+"""Per-rule tests: each rule against its positive and negative fixture."""
+
+from pathlib import Path
+
+from repro.devtools.lint.framework import Severity, run_lint
+from repro.devtools.lint.rules import (
+    DeterminismRule,
+    DeprecatedKwargRule,
+    FrozenSpecRule,
+    MutableDefaultArgRule,
+    WorkerPickleSafetyRule,
+)
+
+FIXTURES = Path(__file__).resolve().parent.parent / "lint_fixtures"
+
+
+def lint_fixture(name, rule):
+    return run_lint([FIXTURES / name], [rule], root=FIXTURES)
+
+
+class TestR001Determinism:
+    def test_flags_every_banned_source(self):
+        findings = lint_fixture("r001_bad.py", DeterminismRule())
+        messages = [f.message for f in findings]
+        assert len(findings) == 10
+        assert all(f.rule_id == "R001" for f in findings)
+        # RNG draws through both the stdlib and numpy (incl. aliased imports).
+        assert sum("random.random()" in m for m in messages) == 1
+        assert any("numpy.random.default_rng" in m for m in messages)
+        assert any("numpy.random.uniform" in m for m in messages)  # npr alias
+        # Wall clocks and tokens.
+        assert any("time.time()" in m for m in messages)
+        assert any("datetime.datetime.now" in m for m in messages)
+        assert any("os.urandom" in m for m in messages)
+        assert any("uuid.uuid4" in m for m in messages)
+
+    def test_hints_point_at_named_streams(self):
+        findings = lint_fixture("r001_bad.py", DeterminismRule())
+        rng_hits = [f for f in findings if "RNG" in f.message]
+        assert rng_hits and all("repro.sim.rng" in f.hint for f in rng_hits)
+
+    def test_clean_on_sanctioned_and_lookalike_code(self):
+        assert lint_fixture("r001_good.py", DeterminismRule()) == []
+
+    def test_allowlisted_paths_are_skipped_entirely(self, tmp_path):
+        nested = tmp_path / "sim"
+        nested.mkdir()
+        bad = nested / "rng.py"
+        bad.write_text("import random\nvalue = random.random()\n")
+        rule = DeterminismRule()
+        assert run_lint([bad], [rule], root=tmp_path) == []
+        # The same content outside the allowlist is flagged.
+        other = nested / "engine.py"
+        other.write_text(bad.read_text())
+        assert len(run_lint([other], [rule], root=tmp_path)) == 1
+
+
+class TestR003FrozenSpec:
+    def test_flags_unfrozen_and_mutable_default_specs(self):
+        findings = lint_fixture("r003_bad.py", FrozenSpecRule())
+        assert len(findings) == 5
+        by_message = "\n".join(f.message for f in findings)
+        assert "UnfrozenSpec is not frozen" in by_message
+        assert "ExplicitlyUnfrozenSpec is not frozen" in by_message
+        assert "MutableDefaultSpec has mutable default field 'entries'" in by_message
+        assert "MutableDefaultSpec has mutable default field 'table'" in by_message
+        assert "LiteralDefaultSpec has mutable default field 'raw'" in by_message
+
+    def test_clean_on_compliant_specs_and_non_specs(self):
+        assert lint_fixture("r003_good.py", FrozenSpecRule()) == []
+
+
+class TestR004WorkerPickleSafety:
+    def test_flags_unpicklable_submissions(self):
+        findings = lint_fixture("r004_bad.py", WorkerPickleSafetyRule())
+        messages = [f.message for f in findings]
+        assert len(findings) == 6
+        assert sum("lambda submitted" in m for m in messages) == 1
+        assert sum("nested function 'scaled'" in m for m in messages) == 1
+        assert sum("reads module-level mutable state 'PENDING'" in m
+                   for m in messages) == 1
+        assert sum("lambda in a worker-pool payload" in m for m in messages) == 1
+        assert sum("open file handle" in m for m in messages) == 1
+        assert sum("a lock in a worker-pool payload" in m for m in messages) == 1
+
+    def test_mutable_global_read_is_a_warning(self):
+        findings = lint_fixture("r004_bad.py", WorkerPickleSafetyRule())
+        global_reads = [f for f in findings if "mutable state" in f.message]
+        assert all(f.severity is Severity.WARNING for f in global_reads)
+        rest = [f for f in findings if "mutable state" not in f.message]
+        assert all(f.severity is Severity.ERROR for f in rest)
+
+    def test_clean_on_module_level_workers(self):
+        assert lint_fixture("r004_good.py", WorkerPickleSafetyRule()) == []
+
+
+class TestR005MutableDefaultArg:
+    def test_flags_every_mutable_default(self):
+        findings = lint_fixture("r005_bad.py", MutableDefaultArgRule())
+        assert len(findings) == 6
+        owners = "\n".join(f.message for f in findings)
+        assert "'list_default'" in owners
+        assert "'dict_default'" in owners
+        assert owners.count("'set_and_call_defaults'") == 2
+        assert "'keyword_only'" in owners
+        assert "'<lambda>'" in owners
+
+    def test_clean_on_none_idiom_and_immutables(self):
+        assert lint_fixture("r005_good.py", MutableDefaultArgRule()) == []
+
+
+class TestR006DeprecatedKwarg:
+    def test_flags_each_deprecated_callee_kwarg_pair(self):
+        findings = lint_fixture("r006_bad.py", DeprecatedKwargRule())
+        pairs = sorted(
+            (f.message.split(" passed to ")[1], f.message.split()[2])
+            for f in findings
+        )
+        assert len(findings) == 9
+        assert ("CampaignSpec", "burst_size=") in pairs
+        assert ("CampaignSpec", "mode=") in pairs
+        assert ("ExperimentConfig", "era=") in pairs
+        assert ("compare_platforms", "mode=") in pairs
+        assert ("run_benchmark", "burst_size=") in pairs
+
+    def test_clean_on_modern_call_style(self):
+        # Includes compare_platforms(era=...) and WorkloadSpec.burst(burst_size=...),
+        # which are legal: the rule is per-callee, not per-kwarg-name.
+        assert lint_fixture("r006_good.py", DeprecatedKwargRule()) == []

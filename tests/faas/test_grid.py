@@ -4,7 +4,6 @@ import json
 import os
 import subprocess
 import sys
-import time
 
 import pytest
 from hypothesis import given, settings
@@ -113,6 +112,19 @@ class TestShardPlanner:
         assert json.loads(completed.stdout) == local
 
 
+class FakeClock:
+    """Injectable LeaseQueue.clock: expiry by advancing time, not sleeping."""
+
+    def __init__(self, now: float = 1_000_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
 class TestLeaseQueue:
     FP = "f" * 64
 
@@ -127,20 +139,22 @@ class TestLeaseQueue:
 
     def test_expired_lease_is_reclaimed(self, tmp_path):
         """Acceptance: a crashed worker's cells come back after the TTL."""
-        crashed = LeaseQueue(tmp_path, worker_id="crashed", ttl_s=0.05)
-        rescuer = LeaseQueue(tmp_path, worker_id="rescuer", ttl_s=60.0)
+        clock = FakeClock()
+        crashed = LeaseQueue(tmp_path, worker_id="crashed", ttl_s=30.0, clock=clock)
+        rescuer = LeaseQueue(tmp_path, worker_id="rescuer", ttl_s=60.0, clock=clock)
         assert crashed.claim(self.FP)
         assert not rescuer.claim(self.FP)
-        time.sleep(0.1)
+        clock.advance(31.0)
         assert rescuer.active() == {}
         assert rescuer.claim(self.FP)
         assert rescuer.read(self.FP)["worker"] == "rescuer"
 
     def test_renew_extends_the_deadline(self, tmp_path):
-        queue = LeaseQueue(tmp_path, worker_id="a", ttl_s=0.2)
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, worker_id="a", ttl_s=30.0, clock=clock)
         assert queue.claim(self.FP)
         first = queue.read(self.FP)["deadline"]
-        time.sleep(0.05)
+        clock.advance(5.0)
         queue.renew(self.FP)
         assert queue.read(self.FP)["deadline"] > first
 
@@ -152,10 +166,11 @@ class TestLeaseQueue:
     def test_stale_worker_cannot_renew_or_release_a_reclaimed_lease(self, tmp_path):
         """A worker that stalled past its TTL must not clobber (or delete)
         the claim of the rival that legitimately reclaimed its cell."""
-        stale = LeaseQueue(tmp_path, worker_id="stale", ttl_s=0.05)
-        rival = LeaseQueue(tmp_path, worker_id="rival", ttl_s=60.0)
+        clock = FakeClock()
+        stale = LeaseQueue(tmp_path, worker_id="stale", ttl_s=30.0, clock=clock)
+        rival = LeaseQueue(tmp_path, worker_id="rival", ttl_s=600.0, clock=clock)
         assert stale.claim(self.FP)
-        time.sleep(0.1)
+        clock.advance(31.0)
         assert rival.claim(self.FP)
         assert stale.renew(self.FP) is False
         assert rival.read(self.FP)["worker"] == "rival"
@@ -166,10 +181,11 @@ class TestLeaseQueue:
     def test_done_marker_is_never_reclaimable(self, tmp_path):
         """A finished cell's done marker blocks claims forever -- it has no
         deadline, so it must not fall through to the expired-reclaim path."""
-        finisher = LeaseQueue(tmp_path, worker_id="finisher", ttl_s=0.01)
+        clock = FakeClock()
+        finisher = LeaseQueue(tmp_path, worker_id="finisher", ttl_s=1.0, clock=clock)
         finisher.mark_done(self.FP)
-        time.sleep(0.05)  # long past any TTL
-        late = LeaseQueue(tmp_path, worker_id="late", ttl_s=60.0)
+        clock.advance(3600.0)  # long past any TTL
+        late = LeaseQueue(tmp_path, worker_id="late", ttl_s=60.0, clock=clock)
         assert late.claim(self.FP) is False
         assert late.active() == {}  # not a live lease either
 
@@ -289,11 +305,14 @@ class TestGridExecution:
         spec = tiny_spec()
         run = GridRun.create(spec, tmp_path / "run", shard_count=2)
         run_grid_worker(run, shard=0, workers=1)
-        # The "crashed" worker died holding a lease on a shard-1 cell.
+        # The "crashed" worker died holding a lease on a shard-1 cell.  Its
+        # queue ran on an epoch-zero clock, so the deadline it wrote is far
+        # in the past for the resuming worker's real wall clock -- an
+        # already-expired lease without any sleeping.
         victim = plan_shards(spec, 2)[1][0]
-        crashed = LeaseQueue(run.leases_dir, worker_id="crashed", ttl_s=0.05)
+        crashed = LeaseQueue(run.leases_dir, worker_id="crashed", ttl_s=30.0,
+                             clock=FakeClock(0.0))
         assert crashed.claim(victim.fingerprint())
-        time.sleep(0.1)
         resumed = run_grid_worker(run, workers=1, lease_ttl_s=30.0)
         assert resumed.already_done == 3  # shard 0's cells were not redone
         assert resumed.executed == 1      # the reclaimed cell ran here

@@ -1,0 +1,32 @@
+"""R001 positive fixture: every banned nondeterminism source, one per line."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+from numpy import random as npr
+
+
+def draws():
+    a = random.random()
+    b = random.randint(0, 10)
+    c = np.random.default_rng(7)
+    d = np.random.normal()
+    e = npr.uniform()
+    return a, b, c, d, e
+
+
+def clocks():
+    started = time.time()
+    nanos = time.time_ns()
+    stamp = datetime.now()
+    return started, nanos, stamp
+
+
+def tokens():
+    noise = os.urandom(8)
+    ident = uuid.uuid4()
+    return noise, ident

@@ -1,0 +1,29 @@
+"""R001 negative fixture: sanctioned randomness and near-miss lookalikes."""
+
+import time
+import uuid
+
+from repro.sim.rng import RandomStreams, named_stream
+
+
+def sanctioned_draws(seed):
+    streams = RandomStreams(seed)
+    a = streams.uniform("fixture.jitter", 0.0, 1.0)
+    b = named_stream(seed, "fixture.dataset").normal()
+    return a, b
+
+
+def pragma_seam():
+    return time.time()  # lint: allow[R001] -- fixture's sanctioned clock seam
+
+
+def near_misses(record):
+    # Attribute chains not rooted in a banned import are not flagged.
+    value = record.random.sample()
+    ident = record.uuid.uuid4()
+    # Deterministic uuid construction (uuid5/UUID) is allowed.
+    stable = uuid.uuid5(uuid.NAMESPACE_DNS, "cell")
+    # time.* beyond the wall clock (monotonic deltas formatting etc.) is
+    # not a determinism hazard per se and stays out of scope.
+    label = time.strftime("%Y", time.gmtime(0))
+    return value, ident, stable, label

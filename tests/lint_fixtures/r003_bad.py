@@ -1,0 +1,25 @@
+"""R003 positive fixture: spec dataclasses violating frozen-spec discipline."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class UnfrozenSpec:
+    name: str = "x"
+
+
+@dataclass(frozen=False)
+class ExplicitlyUnfrozenSpec:
+    name: str = "x"
+
+
+@dataclass(frozen=True)
+class MutableDefaultSpec:
+    entries: List[str] = field(default_factory=list)
+    table: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LiteralDefaultSpec:
+    raw: list = []  # noqa: RUF008 -- deliberately wrong, the rule must see it

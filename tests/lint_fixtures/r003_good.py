@@ -1,0 +1,25 @@
+"""R003 negative fixture: compliant specs and non-spec classes."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CompliantSpec:
+    name: str = "x"
+    coordinates: Tuple[int, ...] = ()
+    memory_mb: Optional[int] = None
+    tags: Sequence[str] = ()
+
+
+@dataclass
+class NotASpecTracker:
+    # Mutable defaults are R005/R003-spec business; an ordinary mutable
+    # dataclass that is not a *Spec is allowed here.
+    events: List[str] = field(default_factory=list)
+
+
+class PlainSpec:
+    # Not a dataclass: out of R003's scope (nothing to freeze).
+    def __init__(self) -> None:
+        self.name = "x"

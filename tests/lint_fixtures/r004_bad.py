@@ -1,0 +1,37 @@
+"""R004 positive fixture: unpicklable payloads handed to worker pools."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+PENDING = []
+
+
+def job(payload):
+    return payload
+
+
+def tracked_job(payload):
+    PENDING.append(payload)
+    return payload
+
+
+def submit_lambda(pool: ProcessPoolExecutor):
+    return pool.submit(lambda: 42)
+
+
+def submit_closure(pool: ProcessPoolExecutor, factor):
+    def scaled(value):
+        return value * factor
+
+    return pool.submit(scaled, 2)
+
+
+def submit_mutable_global_reader(pool: ProcessPoolExecutor):
+    return pool.submit(tracked_job, {"cell": 1})
+
+
+def submit_bad_arguments(pool: ProcessPoolExecutor):
+    first = pool.submit(job, lambda value: value)
+    second = pool.submit(job, open("results.json"))
+    third = pool.submit(job, threading.Lock())
+    return first, second, third

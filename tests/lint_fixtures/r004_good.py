@@ -1,0 +1,19 @@
+"""R004 negative fixture: picklable module-level workers and plain payloads."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+LIMIT = 4  # immutable module state is fine to read from a worker
+
+
+def execute_cell(document):
+    return {"cells": min(len(document), LIMIT)}
+
+
+def submit_cells(pool: ProcessPoolExecutor, jobs):
+    futures = [pool.submit(execute_cell, job) for job in jobs]
+    return [future.result() for future in futures]
+
+
+def unrelated_submit_lookalike(form):
+    # .submit on a non-pool object with no positional callable: not flagged.
+    return form.submit()

@@ -1,0 +1,21 @@
+"""R005 positive fixture: mutable default argument values."""
+
+
+def list_default(values=[]):
+    values.append(1)
+    return values
+
+
+def dict_default(mapping={}):
+    return mapping
+
+
+def set_and_call_defaults(seen=set(), table=dict(a=1)):
+    return seen, table
+
+
+def keyword_only(*, sink=[]):
+    return sink
+
+
+handler = lambda acc=[]: acc  # noqa: E731

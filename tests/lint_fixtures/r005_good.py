@@ -1,0 +1,11 @@
+"""R005 negative fixture: immutable defaults and the None idiom."""
+
+
+def none_idiom(values=None):
+    if values is None:
+        values = []
+    return values
+
+
+def immutable_defaults(coordinates=(), label="x", limit=4, choices=frozenset()):
+    return coordinates, label, limit, choices

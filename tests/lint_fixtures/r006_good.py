@@ -1,0 +1,27 @@
+"""R006 negative fixture: the modern workload/platform-spec call style."""
+
+from repro.faas import CampaignSpec, WorkloadSpec, compare_platforms, run_benchmark
+from repro.faas.experiment import ExperimentConfig
+
+
+def modern_config():
+    return ExperimentConfig(platform="aws@2022", workload=WorkloadSpec.burst(10))
+
+
+def modern_run(benchmark):
+    return run_benchmark(benchmark, "aws@2022", workload="burst:burst_size=30")
+
+
+def modern_compare(benchmark):
+    # era= is NOT deprecated on compare_platforms: it pins one era across
+    # every compared platform, which no single platform spec can express.
+    return compare_platforms(benchmark, era="2022", workload=WorkloadSpec.burst(5))
+
+
+def modern_campaign():
+    return CampaignSpec(benchmarks=("ml",), workloads=("burst:burst_size=30",))
+
+
+def unrelated_burst_size():
+    # burst_size= on non-deprecated callees is a perfectly good parameter.
+    return WorkloadSpec.burst(burst_size=30)
