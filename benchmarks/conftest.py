@@ -8,9 +8,12 @@ process-pool executor.  Each benchmark module then renders its artifacts from
 the shared :class:`~repro.faas.campaign.CampaignResult` -- pure builders, no
 private re-runs.
 
-``REPRO_BURST`` can be set in the environment to raise the burst size towards
-the paper's 30 (default 12 keeps a full run fast); ``REPRO_WORKERS`` pins the
-campaign worker count (default: one per CPU).
+Campaign sizing comes from the same profile table ``repro-flow bench`` uses
+(:data:`repro.devtools.bench.PROFILES`): ``--bench-profile quick`` (the
+default) keeps a full run fast at burst 12, ``--bench-profile full`` runs the
+paper's burst 30.  ``REPRO_BURST`` in the environment overrides either
+profile (the historical knob, still honoured by CI); ``REPRO_WORKERS`` pins
+the campaign worker count (default: one per CPU).
 """
 
 from __future__ import annotations
@@ -20,41 +23,68 @@ import os
 import pytest
 
 from repro.analysis import artifacts, figures
+from repro.devtools.bench import PROFILES
 
-BURST_SIZE = int(os.environ.get("REPRO_BURST", "12"))
 SEED = int(os.environ.get("REPRO_SEED", "0"))
 WORKERS = int(os.environ["REPRO_WORKERS"]) if "REPRO_WORKERS" in os.environ else None
 
-#: One config for the whole harness; the per-artifact overrides reproduce the
-#: sweep points the figure benches have always exercised.
-ARTIFACT_CONFIG = artifacts.ArtifactConfig(
-    burst_size=BURST_SIZE,
-    seed=SEED,
-    overrides={
-        "figure9a": {
-            "download_sizes": (1 << 12, 1 << 17, 1 << 22, 1 << 27),
-            "num_functions": 20,
-            "burst_size": max(4, BURST_SIZE // 2),
+
+def _resolve_burst(profile_name: str) -> int:
+    """The harness burst size: REPRO_BURST wins, else the shared profile."""
+    if "REPRO_BURST" in os.environ:
+        return int(os.environ["REPRO_BURST"])
+    return PROFILES[profile_name].figure_burst
+
+
+def _artifact_config(burst_size: int, seed: int) -> artifacts.ArtifactConfig:
+    """One config for the whole harness; the per-artifact overrides reproduce
+    the sweep points the figure benches have always exercised."""
+    return artifacts.ArtifactConfig(
+        burst_size=burst_size,
+        seed=seed,
+        overrides={
+            "figure9a": {
+                "download_sizes": (1 << 12, 1 << 17, 1 << 22, 1 << 27),
+                "num_functions": 20,
+                "burst_size": max(4, burst_size // 2),
+            },
+            "figure9b": {
+                "payload_sizes": (1 << 6, 1 << 10, 1 << 14, 1 << 17),
+                "chain_length": 10,
+                "burst_size": max(4, burst_size // 2),
+            },
+            "figure10": {
+                "parallelism": (2, 8, 16),
+                "durations_s": (1.0, 5.0, 20.0),
+                "burst_size": max(4, burst_size // 2),
+            },
+            "figure12": {"burst_size": burst_size},
+            "figure13": {
+                "memory_configurations": (128, 256, 512, 1024, 2048),
+                "events": 5000,
+            },
+            "figure14": {"job_counts": (5, 10, 20),
+                         "burst_size": max(3, burst_size // 4)},
+            "figure16": {"burst_size": burst_size},
         },
-        "figure9b": {
-            "payload_sizes": (1 << 6, 1 << 10, 1 << 14, 1 << 17),
-            "chain_length": 10,
-            "burst_size": max(4, BURST_SIZE // 2),
-        },
-        "figure10": {
-            "parallelism": (2, 8, 16),
-            "durations_s": (1.0, 5.0, 20.0),
-            "burst_size": max(4, BURST_SIZE // 2),
-        },
-        "figure12": {"burst_size": BURST_SIZE},
-        "figure13": {
-            "memory_configurations": (128, 256, 512, 1024, 2048),
-            "events": 5000,
-        },
-        "figure14": {"job_counts": (5, 10, 20), "burst_size": max(3, BURST_SIZE // 4)},
-        "figure16": {"burst_size": BURST_SIZE},
-    },
-)
+    )
+
+
+BURST_SIZE = _resolve_burst("quick")
+ARTIFACT_CONFIG = _artifact_config(BURST_SIZE, SEED)
+
+
+def pytest_configure(config):
+    """Re-size the harness for the selected ``--bench-profile``.
+
+    Runs before collection, so benchmark modules that import ``BURST_SIZE``
+    or ``ARTIFACT_CONFIG`` from this conftest see the profile-resolved
+    values.
+    """
+    global BURST_SIZE, ARTIFACT_CONFIG
+    profile_name = config.getoption("--bench-profile", default="quick")
+    BURST_SIZE = _resolve_burst(profile_name)
+    ARTIFACT_CONFIG = _artifact_config(BURST_SIZE, SEED)
 
 #: Paper values used for the side-by-side "paper vs measured" output.
 PAPER_MEDIAN_RUNTIME_S = {

@@ -1,0 +1,19 @@
+"""Root conftest: options shared by the test suite and the figure harness.
+
+``pytest_addoption`` must live in an initial (rootdir) conftest, so the
+``--bench-profile`` knob is registered here; ``benchmarks/conftest.py``
+consumes it to size the figure campaigns from the same profile table
+(:data:`repro.devtools.bench.PROFILES`) that ``repro-flow bench`` uses.
+The choices are spelled out literally so collecting any subset of the suite
+never requires importing the package first.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-profile",
+        choices=("quick", "full"),
+        default="quick",
+        help="cell sizing profile shared with `repro-flow bench`: quick "
+             "(default, CI-sized campaigns) or full (the paper's burst 30)",
+    )

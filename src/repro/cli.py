@@ -67,6 +67,8 @@ from .faas import (
     shard_of,
 )
 from .core.transcription import AWSTranscriber, AzureTranscriber, GCPTranscriber
+from .devtools.bench.cli import add_bench_arguments
+from .devtools.bench.cli import run_from_args as bench_run_from_args
 from .devtools.lint.cli import add_lint_arguments
 from .devtools.lint.cli import run_from_args as lint_run_from_args
 from .faas.grid import DEFAULT_LEASE_TTL_S
@@ -300,6 +302,13 @@ def build_parser() -> argparse.ArgumentParser:
              "worker-safety (exit 4 on findings)",
     )
     add_lint_arguments(lint)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="performance harness: engine events/sec, campaign cells/sec, "
+             "grid merge throughput (exit 5 on regression vs --compare)",
+    )
+    add_bench_arguments(bench)
 
     return parser
 
@@ -943,6 +952,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "lint":
             return lint_run_from_args(args)
+        if args.command == "bench":
+            return bench_run_from_args(args)
     except CampaignError as exc:
         # Name the failures, then surface the salvaged cells: without a
         # --cache-dir the partial result on the exception is the only copy

@@ -1,12 +1,19 @@
 """Developer tooling for the repro platform.
 
-Currently one subsystem: :mod:`repro.devtools.lint`, the AST-based invariant
-linter behind ``repro-flow lint``.  It mechanically enforces the platform's
-load-bearing conventions -- determinism (all randomness through named RNG
-streams), fingerprint stability (``CACHE_VERSION`` bumps whenever a
-fingerprinted field set changes), and worker-safety (picklable pool payloads,
-frozen spec dataclasses) -- so they are CI-failing rules instead of review
-folklore.
+Two subsystems:
+
+* :mod:`repro.devtools.lint` -- the AST-based invariant linter behind
+  ``repro-flow lint``.  It mechanically enforces the platform's load-bearing
+  conventions -- determinism (all randomness through named RNG streams),
+  fingerprint stability (``CACHE_VERSION`` bumps whenever a fingerprinted
+  field set changes), worker-safety (picklable pool payloads, frozen spec
+  dataclasses), and event-handler purity -- so they are CI-failing rules
+  instead of review folklore.
+* :mod:`repro.devtools.bench` -- the performance harness behind
+  ``repro-flow bench``.  It times representative cells (engine events/sec,
+  campaign cells/sec, grid merge throughput) into schema-versioned
+  ``BENCH_<n>.json`` documents and gates CI on regressions against the
+  checked-in trajectory point.
 """
 
 from .lint import Finding, LintConfig, Severity, run_lint  # noqa: F401

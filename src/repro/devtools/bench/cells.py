@@ -1,0 +1,367 @@
+"""The bench cell catalog: what ``repro-flow bench`` actually times.
+
+Three families of cells, one per layer of the stack the paper's campaigns
+exercise:
+
+* ``engine.*`` -- raw event-engine throughput (events per second) on the
+  dispatch shapes that dominate real campaigns: an open-loop arrival storm,
+  a long yield/timeout process chain, and FIFO resource contention.
+* ``campaign.*`` -- whole cells per second through the real worker entry
+  (:func:`repro.faas.campaign.execute_job_inline`): parse the job, build the
+  platform, run the workload, serialise the result.
+* ``grid.*`` -- merge throughput of :func:`repro.faas.grid.merge_run` over a
+  synthetic run directory whose shard logs replicate one genuine result
+  document across every cell of an expanded sweep.
+
+Every cell is deterministic (fixed seeds, fixed arrival lattices); only the
+wall-clock measurements vary between hosts.  The ``quick`` profile sizes
+cells for a CI smoke lane, ``full`` for the checked-in ``BENCH_*.json``
+numbers.
+
+The catalog is shared: ``benchmarks/conftest.py`` reads the same
+:data:`PROFILES` table (``--bench-profile``) so the figure harness and the
+bench verb agree on cell sizing instead of duplicating magic numbers.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...sim.engine import Environment, Resource
+
+#: Number of processes contending in the resource cell; capacity stays far
+#: below it so the FIFO handoff path (release straight to a waiter) dominates.
+CONTENTION_WORKERS = 64
+CONTENTION_CAPACITY = 8
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Cell sizing for one bench profile (shared with ``benchmarks/``)."""
+
+    name: str
+    #: Arrivals in the timeout storm / links in the process chain.
+    engine_events: int
+    #: Total acquire/release cycles across all contending processes.
+    resource_ops: int
+    #: Burst size of the campaign bench cells (kept small: the cells time the
+    #: whole worker round trip, not a paper-sized sweep).
+    campaign_burst: int
+    #: Expanded cells in the synthetic grid-merge run.
+    merge_cells: int
+    #: Timed repetitions per cell (the reported number is their median).
+    repetitions: int
+    #: Untimed warmup runs per cell.
+    warmup: int
+    #: Burst size the figure harness (``benchmarks/conftest.py``) runs the
+    #: paper campaigns at under this profile.
+    figure_burst: int
+
+
+PROFILES: Dict[str, BenchProfile] = {
+    "quick": BenchProfile(
+        name="quick", engine_events=20_000, resource_ops=10_000,
+        campaign_burst=4, merge_cells=16, repetitions=3, warmup=1,
+        figure_burst=12,
+    ),
+    "full": BenchProfile(
+        name="full", engine_events=200_000, resource_ops=60_000,
+        campaign_burst=6, merge_cells=48, repetitions=5, warmup=1,
+        figure_burst=30,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class BenchSample:
+    """One timed run of a cell: how much work in how many seconds."""
+
+    units: int
+    seconds: float
+
+    @property
+    def rate(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.units / self.seconds
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """A named, self-timing cell of the catalog.
+
+    ``measure`` runs the timed section once and returns a
+    :class:`BenchSample`; ``setup`` (optional) builds shared state exactly
+    once per cell so expensive preparation -- executing a real campaign cell
+    to seed the merge bench, for example -- is excluded from every timed run.
+    """
+
+    name: str
+    unit: str
+    measure: Callable[[BenchProfile, object], BenchSample]
+    setup: Optional[Callable[[BenchProfile], object]] = None
+    cleanup: Optional[Callable[[object], None]] = None
+    description: str = ""
+
+    def params(self, profile: BenchProfile) -> Dict[str, object]:
+        """The sizing knobs recorded next to this cell's numbers."""
+        return _CELL_PARAMS[self.name](profile)
+
+
+def schedule_arrivals(env: Environment, delays: Sequence[float],
+                      fn: Callable[[], None]) -> int:
+    """Schedule ``fn`` at each delay, portably across engine generations.
+
+    Uses the bulk :meth:`~repro.sim.engine.Environment.schedule_batch` lane
+    when the engine has one; otherwise falls back to a wrapper process plus a
+    ``Timeout`` per arrival -- exactly the dispatch shape ``OpenLoopTrigger``
+    used before the bulk lane existed.  The fallback is what makes baseline
+    numbers honest: pointed at the seed engine, the storm cell measures the
+    code path campaigns actually ran.
+    """
+    batch = getattr(env, "schedule_batch", None)
+    if batch is not None:
+        return batch(delays, fn)
+
+    def arrival(delay: float):
+        yield env.timeout(delay)
+        fn()
+
+    for delay in delays:
+        env.process(arrival(delay))
+    return len(delays)
+
+
+# -- engine cells -----------------------------------------------------------
+
+def _measure_timeout_storm(profile: BenchProfile, state: object) -> BenchSample:
+    env = Environment()
+    n = profile.engine_events
+    fired = [0]
+
+    def hit() -> None:
+        fired[0] += 1
+
+    delays = [index * 1e-4 for index in range(n)]
+    start = perf_counter()
+    schedule_arrivals(env, delays, hit)
+    env.run()
+    elapsed = perf_counter() - start
+    if fired[0] != n:
+        raise RuntimeError(f"storm dropped arrivals: {fired[0]}/{n}")
+    return BenchSample(units=n, seconds=elapsed)
+
+
+def _measure_process_chain(profile: BenchProfile, state: object) -> BenchSample:
+    env = Environment()
+    n = profile.engine_events
+
+    def chain():
+        for _ in range(n):
+            yield env.timeout(0.001)
+
+    env.process(chain())
+    start = perf_counter()
+    env.run()
+    elapsed = perf_counter() - start
+    return BenchSample(units=n, seconds=elapsed)
+
+
+def _measure_resource_contention(profile: BenchProfile,
+                                 state: object) -> BenchSample:
+    env = Environment()
+    resource = Resource(env, capacity=CONTENTION_CAPACITY)
+    cycles_per_worker = max(1, profile.resource_ops // CONTENTION_WORKERS)
+    done = [0]
+
+    def worker():
+        for _ in range(cycles_per_worker):
+            yield resource.acquire()
+            yield env.timeout(0.001)
+            resource.release()
+        done[0] += 1
+
+    for _ in range(CONTENTION_WORKERS):
+        env.process(worker())
+    start = perf_counter()
+    env.run()
+    elapsed = perf_counter() - start
+    if done[0] != CONTENTION_WORKERS:
+        raise RuntimeError(f"contention lost workers: {done[0]}")
+    return BenchSample(units=CONTENTION_WORKERS * cycles_per_worker,
+                       seconds=elapsed)
+
+
+# -- campaign cells ---------------------------------------------------------
+
+def _execute_cell(job: object) -> object:
+    """Run one campaign cell in-process, portably across repo generations.
+
+    Prefers the public :func:`~repro.faas.campaign.execute_job_inline`;
+    older checkouts (the baseline the harness is pointed at when measuring
+    pre-optimisation numbers) only have the worker entry, which takes and
+    returns plain dictionaries.
+    """
+    from ...faas import campaign
+
+    runner = getattr(campaign, "execute_job_inline", None)
+    if runner is not None:
+        return runner(job)
+    return campaign._execute_job(job.to_dict())  # type: ignore[attr-defined]
+
+def campaign_jobs(profile: BenchProfile) -> List[object]:
+    """The real benchmark x platform x workload cells the campaign bench runs.
+
+    Three cells spanning both workload families (closed-loop burst and
+    open-loop poisson) and three platforms, each sized by the profile's
+    ``campaign_burst``.  Import is local so ``repro.devtools.bench`` stays
+    importable without the faas layer loaded.
+    """
+    from ...faas.campaign import CampaignSpec
+
+    burst = profile.campaign_burst
+    jobs: List[object] = []
+    jobs.extend(CampaignSpec(
+        benchmarks=("function_chain",), platforms=("aws",), seeds=(0,),
+        workloads=(f"burst:burst_size={burst}",),
+    ).expand())
+    jobs.extend(CampaignSpec(
+        benchmarks=("storage_io",), platforms=("gcp",), seeds=(0,),
+        workloads=(f"burst:burst_size={burst}",),
+    ).expand())
+    jobs.extend(CampaignSpec(
+        benchmarks=("function_chain",), platforms=("azure",), seeds=(0,),
+        workloads=(f"poisson:rate=2,duration={2 * burst}",),
+    ).expand())
+    return jobs
+
+
+def _setup_campaign(profile: BenchProfile) -> object:
+    return campaign_jobs(profile)
+
+
+def _measure_campaign(profile: BenchProfile, state: object) -> BenchSample:
+    jobs = state
+    start = perf_counter()
+    for job in jobs:
+        _execute_cell(job)
+    elapsed = perf_counter() - start
+    return BenchSample(units=len(jobs), seconds=elapsed)
+
+
+# -- grid merge cell --------------------------------------------------------
+
+def _setup_merge(profile: BenchProfile) -> object:
+    """Build a complete synthetic run directory, outside the timed section.
+
+    One genuine cell is executed once; its result document is replicated
+    across every fingerprint of a ``merge_cells``-seed sweep, so the merge
+    parses ``merge_cells`` full result documents exactly as it would after a
+    real grid run -- without paying for ``merge_cells`` real executions.
+    """
+    from ...faas.campaign import CampaignSpec
+    from ...faas.grid import GridRun
+
+    spec = CampaignSpec(
+        benchmarks=("function_chain",), platforms=("aws",),
+        seeds=tuple(range(profile.merge_cells)),
+        workloads=("burst:burst_size=2",),
+    )
+    jobs = spec.expand()
+    document = _execute_cell(jobs[0])
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-merge-")
+    run = GridRun.create(spec, tmp.name, shard_count=1)
+    log = run.shard_log(0, "bench")
+    for job in jobs:
+        log.append({
+            "fingerprint": job.fingerprint(),
+            "shard": 0,
+            "worker": "bench",
+            "from_cache": False,
+            "job": job.to_dict(),
+            "result": document,
+        })
+    return (tmp, run, len(jobs))
+
+
+def _measure_merge(profile: BenchProfile, state: object) -> BenchSample:
+    from ...faas.grid import merge_run
+
+    _tmp, run, cell_count = state
+    start = perf_counter()
+    result = merge_run(run)
+    elapsed = perf_counter() - start
+    if len(result.cells) != cell_count:
+        raise RuntimeError(
+            f"merge bench lost cells: {len(result.cells)}/{cell_count}")
+    return BenchSample(units=cell_count, seconds=elapsed)
+
+
+def _cleanup_merge(state: object) -> None:
+    tmp, _run, _count = state
+    tmp.cleanup()
+
+
+# -- the catalog ------------------------------------------------------------
+
+_CELL_PARAMS: Dict[str, Callable[[BenchProfile], Dict[str, object]]] = {
+    "engine.timeout_storm": lambda p: {"arrivals": p.engine_events},
+    "engine.process_chain": lambda p: {"links": p.engine_events},
+    "engine.resource_contention": lambda p: {
+        "cycles": max(1, p.resource_ops // CONTENTION_WORKERS)
+        * CONTENTION_WORKERS,
+        "workers": CONTENTION_WORKERS,
+        "capacity": CONTENTION_CAPACITY,
+    },
+    "campaign.cells": lambda p: {"cells": 3, "burst_size": p.campaign_burst},
+    "grid.merge": lambda p: {"cells": p.merge_cells},
+}
+
+ALL_CELLS: Tuple[BenchCell, ...] = (
+    BenchCell(
+        name="engine.timeout_storm", unit="events/s",
+        measure=_measure_timeout_storm,
+        description="open-loop arrival storm through the bulk scheduling lane "
+                    "(falls back to one wrapper process per arrival on "
+                    "engines without schedule_batch)",
+    ),
+    BenchCell(
+        name="engine.process_chain", unit="events/s",
+        measure=_measure_process_chain,
+        description="one generator process yielding a long timeout chain",
+    ),
+    BenchCell(
+        name="engine.resource_contention", unit="ops/s",
+        measure=_measure_resource_contention,
+        description=f"{CONTENTION_WORKERS} processes cycling acquire/release "
+                    f"on a capacity-{CONTENTION_CAPACITY} Resource",
+    ),
+    BenchCell(
+        name="campaign.cells", unit="cells/s",
+        measure=_measure_campaign, setup=_setup_campaign,
+        description="three real benchmark x platform x workload cells through "
+                    "the worker entry (parse, build platform, run, serialise)",
+    ),
+    BenchCell(
+        name="grid.merge", unit="cells/s",
+        measure=_measure_merge, setup=_setup_merge, cleanup=_cleanup_merge,
+        description="streaming merge_run over a synthetic run directory with "
+                    "one full result document per cell",
+    ),
+)
+
+
+def cells_by_name(names: Optional[Sequence[str]] = None) -> Tuple[BenchCell, ...]:
+    """Resolve a ``--cells`` selection against the catalog (all by default)."""
+    if not names:
+        return ALL_CELLS
+    catalog = {cell.name: cell for cell in ALL_CELLS}
+    unknown = [name for name in names if name not in catalog]
+    if unknown:
+        known = ", ".join(sorted(catalog))
+        raise ValueError(f"unknown bench cell(s) {', '.join(unknown)}; "
+                         f"known: {known}")
+    return tuple(catalog[name] for name in names)

@@ -1,0 +1,223 @@
+"""Timing harness and document model for ``repro-flow bench``.
+
+A bench *document* (``BENCH_<n>.json``) is schema-versioned and carries
+everything needed to interpret its numbers later: machine metadata, the
+profile and per-cell sizing parameters, every timed repetition (not just the
+median), and an optional ``baseline`` block recording the same cells measured
+on the pre-optimisation engine so speedups are auditable from the file alone.
+
+:func:`compare_documents` is the regression gate: it compares a fresh run
+against a reference document cell by cell and reports any whose median rate
+fell more than ``threshold`` below the reference.  Rates compare as
+higher-is-better throughput; a new cell absent from the reference is
+reported as informational, never a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as platform_mod
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .cells import BenchCell, BenchProfile, PROFILES, cells_by_name
+
+#: Version of the BENCH_*.json document layout.
+BENCH_SCHEMA = 1
+
+
+@dataclass
+class CellOutcome:
+    """All timed repetitions of one cell, plus the reported median rate."""
+
+    name: str
+    unit: str
+    median: float
+    runs: List[float] = field(default_factory=list)
+    units_per_run: int = 0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "unit": self.unit,
+            "median": self.median,
+            "runs": self.runs,
+            "units_per_run": self.units_per_run,
+            "params": self.params,
+        }
+
+
+def machine_metadata() -> Dict[str, object]:
+    """Host facts recorded alongside the numbers (numbers travel, hosts vary)."""
+    import numpy
+
+    return {
+        "python": platform_mod.python_version(),
+        "implementation": platform_mod.python_implementation(),
+        "system": platform_mod.system(),
+        "machine": platform_mod.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+    }
+
+
+def run_cell(cell: BenchCell, profile: BenchProfile,
+             repetitions: Optional[int] = None) -> CellOutcome:
+    """Warm up, then time ``repetitions`` runs of one cell; report the median.
+
+    Expensive preparation (``cell.setup``) happens once, outside every timed
+    run; the median of per-run rates is robust to the odd descheduling blip
+    without hiding a genuine slowdown the way a best-of-k would.
+    """
+    reps = repetitions if repetitions is not None else profile.repetitions
+    if reps < 1:
+        raise ValueError("repetitions must be >= 1")
+    state: object = cell.setup(profile) if cell.setup is not None else None
+    try:
+        for _ in range(profile.warmup):
+            cell.measure(profile, state)
+        samples = [cell.measure(profile, state) for _ in range(reps)]
+    finally:
+        if cell.cleanup is not None:
+            cell.cleanup(state)
+    rates = [sample.rate for sample in samples]
+    return CellOutcome(
+        name=cell.name,
+        unit=cell.unit,
+        median=statistics.median(rates),
+        runs=rates,
+        units_per_run=samples[0].units,
+        params=cell.params(profile),
+    )
+
+
+def run_bench(
+    profile_name: str,
+    cell_names: Optional[Sequence[str]] = None,
+    repetitions: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, CellOutcome]:
+    """Run the selected cells under a profile, in catalog order."""
+    if profile_name not in PROFILES:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown profile {profile_name!r}; known: {known}")
+    profile = PROFILES[profile_name]
+    outcomes: Dict[str, CellOutcome] = {}
+    for cell in cells_by_name(cell_names):
+        if progress is not None:
+            progress(f"timing {cell.name} ...")
+        outcome = run_cell(cell, profile, repetitions=repetitions)
+        if progress is not None:
+            progress(f"  {cell.name}: {outcome.median:,.0f} {outcome.unit} "
+                     f"(median of {len(outcome.runs)})")
+        outcomes[cell.name] = outcome
+    return outcomes
+
+
+def build_document(
+    outcomes: Dict[str, CellOutcome],
+    profile_name: str,
+    bench_id: int,
+    baseline: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the schema-versioned BENCH document for one harness run."""
+    document: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "bench_id": bench_id,
+        "profile": profile_name,
+        "machine": machine_metadata(),
+        "results": {name: outcome.as_dict()
+                    for name, outcome in outcomes.items()},
+    }
+    if baseline is not None:
+        document["baseline"] = baseline
+    return document
+
+
+def baseline_block(reference: Dict[str, object], note: str) -> Dict[str, object]:
+    """Condense a full bench document into an embeddable ``baseline`` block.
+
+    Keeps one median per cell plus a note saying what the baseline *is*
+    (typically: the same cells on the seed engine, same host) -- enough for
+    the checked-in document to prove its own speedup claims.
+    """
+    results = reference.get("results", {})
+    if not isinstance(results, dict):
+        raise ValueError("baseline document has no results block")
+    medians = {
+        name: {"unit": entry.get("unit"), "median": entry.get("median")}
+        for name, entry in results.items()
+        if isinstance(entry, dict)
+    }
+    return {"note": note, "machine": reference.get("machine", {}),
+            "results": medians}
+
+
+def load_document(path: Path) -> Dict[str, object]:
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or "results" not in document:
+        raise ValueError(f"{path} is not a bench document")
+    schema = document.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path} has bench schema {schema!r}; this harness reads "
+            f"schema {BENCH_SCHEMA}")
+    return document
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """One cell's current-vs-reference verdict."""
+
+    name: str
+    unit: str
+    current: float
+    reference: Optional[float]
+    #: current / reference; ``None`` when the reference lacks the cell.
+    ratio: Optional[float]
+    regressed: bool
+
+    def format_line(self) -> str:
+        if self.reference is None or self.ratio is None:
+            return (f"{self.name}: {self.current:,.0f} {self.unit} "
+                    f"(no reference)")
+        verdict = "REGRESSION" if self.regressed else "ok"
+        return (f"{self.name}: {self.current:,.0f} vs {self.reference:,.0f} "
+                f"{self.unit} ({self.ratio:.2f}x) {verdict}")
+
+
+def compare_documents(
+    current: Dict[str, object],
+    reference: Dict[str, object],
+    threshold: float,
+) -> List[CellComparison]:
+    """Cell-by-cell throughput comparison; ``regressed`` marks drops beyond
+    ``threshold`` (0.25 == fail when a cell runs >25% slower than reference).
+    """
+    if not 0 <= threshold < 1:
+        raise ValueError("threshold must be in [0, 1)")
+    current_results = current.get("results", {})
+    reference_results = reference.get("results", {})
+    comparisons: List[CellComparison] = []
+    for name, entry in current_results.items():
+        if not isinstance(entry, dict):
+            continue
+        current_median = float(entry.get("median", 0.0))
+        unit = str(entry.get("unit", ""))
+        reference_entry = reference_results.get(name)
+        if not isinstance(reference_entry, dict):
+            comparisons.append(CellComparison(
+                name=name, unit=unit, current=current_median,
+                reference=None, ratio=None, regressed=False))
+            continue
+        reference_median = float(reference_entry.get("median", 0.0))
+        ratio = (current_median / reference_median
+                 if reference_median > 0 else float("inf"))
+        comparisons.append(CellComparison(
+            name=name, unit=unit, current=current_median,
+            reference=reference_median, ratio=ratio,
+            regressed=ratio < (1.0 - threshold)))
+    return comparisons

@@ -24,6 +24,7 @@ from .manifest import generate_manifest, load_manifest, write_manifest  # noqa: 
 from .rules import (  # noqa: F401
     DeterminismRule,
     DeprecatedKwargRule,
+    EventHandlerPurityRule,
     FingerprintDriftRule,
     FrozenSpecRule,
     MutableDefaultArgRule,
@@ -50,6 +51,7 @@ __all__ = [
     "write_manifest",
     "DeterminismRule",
     "DeprecatedKwargRule",
+    "EventHandlerPurityRule",
     "FingerprintDriftRule",
     "FrozenSpecRule",
     "MutableDefaultArgRule",

@@ -14,6 +14,10 @@ R004 worker-pickle-safety    callables submitted to process pools are picklable
 R005 mutable-default-arg     no mutable default argument values anywhere
 R006 deprecated-kwarg        no internal call sites of the deprecated
                              ``mode=``/``burst_size=``/``era=`` trigger kwargs
+R007 event-handler-purity    callbacks registered on engine events (and the
+                             ``schedule_call``/``schedule_batch`` fast lanes)
+                             stay pure: no ambient RNG/clock draws, no module
+                             globals
 ==== ======================= =====================================================
 
 Each rule is pure AST analysis over one file; cross-file state (R002's
@@ -532,6 +536,129 @@ class DeprecatedKwargRule(Rule):
                     )
 
 
+# ------------------------------------------------------------------------ R007
+class EventHandlerPurityRule(Rule):
+    """Callbacks registered on engine events must be pure simulation code.
+
+    The event engine dispatches callbacks in ``(time, seq)`` order; replay is
+    bit-identical only if every handler's effect is a function of simulation
+    state.  A handler that draws from a module-level RNG, reads a wall clock,
+    or writes module globals smuggles host state into the event schedule --
+    and unlike an ordinary call site, a handler runs at a point chosen by the
+    queue, so the damage is impossible to localise after the fact.
+
+    Registration sites recognised: ``add_callback(event, fn)``,
+    ``<event>.callbacks.append(fn)``, and the fast-lane schedulers
+    ``schedule_call(delay, fn)`` / ``schedule_batch(delays, fn)``.  The
+    handler body is resolved when ``fn`` is a lambda, a function defined in
+    the module (at any nesting level), or a method of a module class; opaque
+    targets (imported callables, bound attributes of other objects) are out
+    of reach for single-file AST analysis and are left to R001 at their
+    definition site.
+    """
+
+    rule_id = "R007"
+    name = "event-handler-purity"
+    description = (
+        "event callbacks and schedule_call/schedule_batch handlers must not "
+        "draw ambient randomness, read wall clocks, or touch module globals"
+    )
+
+    #: Registration call names whose SECOND positional argument is the handler.
+    REGISTER_SECOND_ARG = ("add_callback", "schedule_call", "schedule_batch")
+
+    HANDLER_HINT = (
+        "handlers must depend only on simulation state: draw through the "
+        "platform's named RNG streams before scheduling, and carry state in "
+        "closure cells or explicit objects, not module globals"
+    )
+
+    def __init__(self, allowed_paths: Sequence[str] = ("devtools/",)):
+        self.allowed_paths = tuple(allowed_paths)
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        if path_matches(module.rel_path, self.allowed_paths):
+            return
+        aliases = _import_aliases(module.tree)
+        functions: Dict[str, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        seen: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            handler = self._registered_handler(node)
+            if handler is None:
+                continue
+            body = self._resolve_handler(handler, functions)
+            if body is None or id(body) in seen:
+                continue
+            seen.add(id(body))
+            yield from self._check_handler(module, body, aliases)
+
+    def _registered_handler(self, call: ast.Call) -> Optional[ast.expr]:
+        """The handler expression of a registration call, if this is one."""
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in self.REGISTER_SECOND_ARG and len(call.args) >= 2:
+            return call.args[1]
+        # <event>.callbacks.append(fn): the pre-add_callback idiom.
+        if (
+            name == "append"
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "callbacks"
+            and call.args
+        ):
+            return call.args[0]
+        return None
+
+    @staticmethod
+    def _resolve_handler(
+        handler: ast.expr, functions: Mapping[str, ast.AST]
+    ) -> Optional[ast.AST]:
+        if isinstance(handler, ast.Lambda):
+            return handler
+        if isinstance(handler, ast.Name):
+            return functions.get(handler.id)
+        if isinstance(handler, ast.Attribute):
+            # self._on_child / obj.handle -- resolvable when the method is
+            # defined in this module.
+            return functions.get(handler.attr)
+        return None
+
+    def _check_handler(
+        self, module: LintModule, body: ast.AST, aliases: Mapping[str, str]
+    ) -> Iterator[Finding]:
+        owner = getattr(body, "name", "<lambda>")
+        for node in ast.walk(body):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    module, node,
+                    f"event handler {owner!r} declares global "
+                    f"{', '.join(node.names)}",
+                    hint=self.HANDLER_HINT,
+                )
+            elif isinstance(node, ast.Call):
+                path = _resolve_call_path(node.func, aliases)
+                if path is None:
+                    continue
+                banned = (
+                    path in DeterminismRule.BANNED_CALLS
+                    or path.startswith(DeterminismRule.BANNED_PREFIXES)
+                    or path in ("random", "numpy.random")
+                )
+                if banned:
+                    yield self.finding(
+                        module, node,
+                        f"event handler {owner!r} calls {path}()",
+                        hint=self.HANDLER_HINT,
+                    )
+
+
 def default_rules(
     manifest_path: Optional[Path] = None,
     package_root: Optional[Path] = None,
@@ -544,4 +671,5 @@ def default_rules(
         WorkerPickleSafetyRule(),
         MutableDefaultArgRule(),
         DeprecatedKwargRule(),
+        EventHandlerPurityRule(),
     ]

@@ -380,6 +380,17 @@ def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
     return result_to_dict(result)
 
 
+def execute_job_inline(job: "CampaignJob") -> Dict[str, object]:
+    """Run one cell in the calling process and return its result document.
+
+    The public twin of the pool worker entry: same serialise -> run ->
+    serialise round trip a worker performs, without a pool, cache, or grid
+    around it.  Used by the bench harness (``repro-flow bench``) to time
+    campaign cells, and handy for profiling a single cell under a debugger.
+    """
+    return _execute_job(job.to_dict())
+
+
 @dataclass
 class CampaignCell:
     """One finished cell: the job, its result, and where the result came from."""

@@ -27,7 +27,7 @@ from .engine import Environment, Event
 from .rng import RandomStreams
 
 
-@dataclass
+@dataclass(slots=True)
 class ScalingPolicy:
     """Parameters governing sandbox allocation on one platform."""
 
@@ -56,7 +56,7 @@ class ScalingPolicy:
     concurrency_per_container: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Container:
     """One sandbox: identity, reuse statistics, and concurrency state."""
 
@@ -72,7 +72,7 @@ class Container:
         return self.invocations == 0 and self.active <= 1
 
 
-@dataclass
+@dataclass(slots=True)
 class AcquireResult:
     """Outcome of requesting a sandbox for an invocation."""
 

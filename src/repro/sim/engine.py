@@ -7,14 +7,31 @@ the style of SimPy: *processes* are Python generators that ``yield`` events
 environment when those events fire.  Virtual time only advances through
 scheduled events, so simulating a 4000-second workflow takes milliseconds of
 wall-clock time and results are fully deterministic for a given seed.
+
+The engine is the hot path of every campaign cell (see ``repro-flow bench``),
+so its data layout is tuned:
+
+* the heap holds plain ``(time, seq)`` keys -- never event objects, so heap
+  sift can never fall into comparing two :class:`Event` instances -- and a
+  dense ``seq -> entry`` table maps keys back to their payloads;
+* every event class uses ``__slots__``;
+* ``Event.callbacks`` is a compact union (``None`` | one callable | list), so
+  the common yield-timeout-resume cycle allocates no callback list;
+* :meth:`Environment.schedule_call` / :meth:`Environment.schedule_batch`
+  schedule bare callables without allocating any event object at all --
+  the bulk lane behind open-loop arrival dispatch
+  (:class:`repro.faas.trigger.OpenLoopTrigger`).
+
+None of this changes observable scheduling order: entries fire in
+``(time, seq)`` order exactly as before, so seeded results are bit-identical
+to the pre-optimization engine.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 
 class SimulationError(Exception):
@@ -27,11 +44,17 @@ class Event:
     An event is *triggered* with a value via :meth:`succeed` (or with an
     exception via :meth:`fail`); all registered callbacks then run at the
     current simulation time.
+
+    ``callbacks`` is ``None`` until the first callback is registered, then a
+    single callable, then a list -- register through :func:`add_callback`
+    instead of touching the attribute, so the no-list fast path stays intact.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "triggered", "processed")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self.callbacks: Any = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self.triggered = False
@@ -62,39 +85,86 @@ class Event:
         return self
 
 
+def add_callback(event: Event, fn: Callable[[Event], None]) -> None:
+    """Register ``fn(event)`` to run when ``event`` is processed.
+
+    The supported way to attach a callback from outside the engine: it keeps
+    the compact ``None | callable | list`` representation of
+    ``Event.callbacks`` intact.  Callbacks registered on an already-processed
+    event never run (callers check ``event.processed`` first, exactly as the
+    engine's internal wait sites do).
+    """
+    cbs = event.callbacks
+    if cbs is None:
+        event.callbacks = fn
+    elif type(cbs) is list:
+        cbs.append(fn)
+    else:
+        event.callbacks = [cbs, fn]
+
+
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self.triggered = True
+        self.env = env
+        self.callbacks = None
         self._value = value
-        env._schedule(self, delay=delay)
+        self._exception = None
+        self.triggered = True
+        self.processed = False
+        self.delay = delay
+        env._schedule(self, delay)
+
+
+class _Bootstrap:
+    """Shared do-nothing event look-alike that seeds a process's first resume."""
+
+    __slots__ = ()
+    _value = None
+    _exception = None
+    value = None
+    exception = None
+
+
+_BOOTSTRAP = _Bootstrap()
 
 
 class Process(Event):
     """Wraps a generator; the process event fires when the generator returns."""
 
+    __slots__ = ("_generator", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
-        super().__init__(env)
         if not hasattr(generator, "send"):
             raise SimulationError("a process must wrap a generator")
+        self.env = env
+        self.callbacks = None
+        self._value = None
+        self._exception = None
+        self.triggered = False
+        self.processed = False
         self._generator = generator
+        # One bound method for every wait registration of this process.
+        self._resume_cb = self._resume
         # Bootstrap: resume the process at the current time.
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        env._schedule_fn(self._bootstrap)
 
-    def _resume(self, event: Event) -> None:
+    def _bootstrap(self) -> None:
+        self._resume(_BOOTSTRAP)
+
+    def _resume(self, event: Any) -> None:
+        generator = self._generator
         while True:
             try:
-                if event.exception is not None:
-                    target = self._generator.throw(event.exception)
+                if event._exception is not None:
+                    target = generator.throw(event._exception)
                 else:
-                    target = self._generator.send(event.value)
+                    target = generator.send(event._value)
             except StopIteration as stop:
                 if not self.triggered:
                     self.succeed(stop.value)
@@ -112,15 +182,28 @@ class Process(Event):
                 # Event already fired; continue immediately with its value.
                 event = target
                 continue
-            target.callbacks.append(self._resume)
+            cbs = target.callbacks
+            if cbs is None:
+                target.callbacks = self._resume_cb
+            elif type(cbs) is list:
+                cbs.append(self._resume_cb)
+            else:
+                target.callbacks = [cbs, self._resume_cb]
             return
 
 
 class AllOf(Event):
     """Fires once every child event has fired; value is the list of child values."""
 
+    __slots__ = ("_children", "_pending")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = None
+        self._value = None
+        self._exception = None
+        self.triggered = False
+        self.processed = False
         self._children = list(events)
         self._pending = len(self._children)
         if self._pending == 0:
@@ -130,13 +213,13 @@ class AllOf(Event):
             if child.processed:
                 self._on_child(child)
             else:
-                child.callbacks.append(self._on_child)
+                add_callback(child, self._on_child)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
-        if event.exception is not None:
-            self.fail(event.exception)
+        if event._exception is not None:
+            self.fail(event._exception)
             return
         self._pending -= 1
         if self._pending == 0:
@@ -146,8 +229,15 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires as soon as one child fires; value is that child's value."""
 
+    __slots__ = ("_children",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = None
+        self._value = None
+        self._exception = None
+        self.triggered = False
+        self.processed = False
         self._children = list(events)
         if not self._children:
             self.succeed(None)
@@ -156,24 +246,45 @@ class AnyOf(Event):
             if child.processed:
                 self._on_child(child)
                 break
-            child.callbacks.append(self._on_child)
+            add_callback(child, self._on_child)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
-        if event.exception is not None:
-            self.fail(event.exception)
+        if event._exception is not None:
+            self.fail(event._exception)
             return
         self.succeed(event.value)
 
 
 class Environment:
-    """The simulation environment: virtual clock plus the event queue."""
+    """The simulation environment: virtual clock plus the event queue.
+
+    The queue holds bare ``(time, seq)`` keys; ``_pending`` maps each live
+    ``seq`` to its payload -- an :class:`Event`, or a 0-argument callable
+    scheduled through the :meth:`schedule_call`/:meth:`schedule_batch` fast
+    lane.  A popped key whose ``seq`` is absent from the table is stale and is
+    skipped, so even a hand-constructed duplicate ``(time, seq)`` collision
+    (the shape that used to make ``heapq`` compare ``Event`` objects) drains
+    harmlessly.
+
+    Keys live in two lanes: ``_queue`` is an ordinary heap for incremental
+    scheduling, and ``_run``/``_run_head`` is an already-sorted key vector
+    produced by :meth:`schedule_batch` and consumed by index -- popping a
+    presorted arrival costs an array read instead of a full heap sift-down.
+    Each pop takes whichever lane holds the smaller ``(time, seq)`` key, so
+    the global firing order is exactly the single-heap order.
+    """
+
+    __slots__ = ("_now", "_queue", "_pending", "_eid", "_run", "_run_head")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = initial_time
-        self._queue: List[Any] = []
-        self._counter = itertools.count()
+        self._queue: List[Tuple[float, int]] = []
+        self._pending: Dict[int, Any] = {}
+        self._eid = 0
+        self._run: List[Tuple[float, int]] = []
+        self._run_head = 0
 
     @property
     def now(self) -> float:
@@ -181,7 +292,58 @@ class Environment:
 
     # -------------------------------------------------------------- scheduling
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        seq = self._eid
+        self._eid = seq + 1
+        self._pending[seq] = event
+        heapq.heappush(self._queue, (self._now + delay, seq))
+
+    def _schedule_fn(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        seq = self._eid
+        self._eid = seq + 1
+        self._pending[seq] = fn
+        heapq.heappush(self._queue, (self._now + delay, seq))
+
+    def schedule_call(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn()`` at ``now + delay`` without allocating an event.
+
+        The single-entry fast lane: use it when nothing needs to wait on the
+        scheduled work (the callable can itself create events or processes).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._schedule_fn(fn, delay)
+
+    def schedule_batch(self, delays: Iterable[float], fn: Callable[[], None]) -> int:
+        """Bulk-schedule ``fn()`` once per entry of ``delays`` (relative to now).
+
+        The whole vector is compiled into pre-sorted ``(time, seq)`` keys in
+        one pass and parked in the sorted-run lane, so no per-entry heap sift
+        or event object is ever created -- scheduling *and* draining an
+        arrival are both O(1) apart from the initial sort.  Entries at equal
+        times fire in their order within ``delays``.  Returns the number of
+        scheduled entries.
+        """
+        ts = sorted(delays)
+        if not ts:
+            return 0
+        if ts[0] < 0:
+            raise SimulationError(f"negative delay in batch: {ts[0]}")
+        now = self._now
+        base = self._eid
+        end = base + len(ts)
+        self._eid = end
+        self._pending.update(dict.fromkeys(range(base, end), fn))
+        entries = [(now + t, seq) for seq, t in enumerate(ts, base)]
+        run = self._run
+        head = self._run_head
+        if head >= len(run):
+            self._run = entries
+        else:
+            # A second batch while the first still has unconsumed keys: merge
+            # the sorted remainders (stable, so equal keys keep seq order).
+            self._run = list(heapq.merge(run[head:], entries))
+        self._run_head = 0
+        return len(ts)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -200,32 +362,121 @@ class Environment:
 
     # -------------------------------------------------------------- execution
     def step(self) -> None:
-        if not self._queue:
+        queue = self._queue
+        run = self._run
+        head = self._run_head
+        if head < len(run) and (not queue or run[head] <= queue[0]):
+            time, seq = run[head]
+            self._run_head = head + 1
+        elif queue:
+            time, seq = heapq.heappop(queue)
+        else:
             raise SimulationError("no more events to process")
-        time, _, event = heapq.heappop(self._queue)
+        entry = self._pending.pop(seq, None)
+        if entry is None:
+            return  # stale key (duplicate collision shape): skip harmlessly
         if time < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = time
-        event.processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
+        if isinstance(entry, Event):
+            entry.processed = True
+            callbacks = entry.callbacks
+            if callbacks is not None:
+                entry.callbacks = None
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(entry)
+                else:
+                    callbacks(entry)
+        else:
+            entry()
 
     def run(self, until: Optional[Event] = None, max_events: int = 10_000_000) -> Any:
         """Run until ``until`` fires (or the queue drains).  Returns its value.
 
         At most ``max_events`` events are processed before giving up.
         """
-        processed = 0
-        while self._queue:
-            if until is not None and until.processed:
+        # The body of step() is inlined (twice -- drain vs. awaited shape, so
+        # the drain loop pays nothing for the `until` check): this loop IS the
+        # simulator's hot path, and the per-event call/attribute overhead is
+        # measurable (see the engine cells of `repro-flow bench`).
+        queue = self._queue
+        pending_pop = self._pending.pop
+        pop = heapq.heappop
+        remaining = max_events
+        if until is None:
+            while True:
+                # _run/_run_head are re-read every iteration: a callback may
+                # park a fresh batch mid-drain (only `_queue`'s identity is
+                # stable enough to cache).
+                run = self._run
+                head = self._run_head
+                if head < len(run) and (not queue or run[head] <= queue[0]):
+                    time, seq = run[head]
+                    self._run_head = head + 1
+                elif queue:
+                    time, seq = pop(queue)
+                else:
+                    break
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"simulation did not settle within {max_events} events"
+                    )
+                remaining -= 1
+                entry = pending_pop(seq, None)
+                if entry is None:
+                    continue
+                if time < self._now:
+                    raise SimulationError("event scheduled in the past")
+                self._now = time
+                if isinstance(entry, Event):
+                    entry.processed = True
+                    callbacks = entry.callbacks
+                    if callbacks is not None:
+                        entry.callbacks = None
+                        if type(callbacks) is list:
+                            for callback in callbacks:
+                                callback(entry)
+                        else:
+                            callbacks(entry)
+                else:
+                    entry()
+            return None
+        while True:
+            if until.processed:
                 break
-            if processed >= max_events:
+            run = self._run
+            head = self._run_head
+            if head < len(run) and (not queue or run[head] <= queue[0]):
+                time, seq = run[head]
+                self._run_head = head + 1
+            elif queue:
+                time, seq = pop(queue)
+            else:
+                break
+            if remaining <= 0:
                 raise SimulationError(
                     f"simulation did not settle within {max_events} events"
                 )
-            self.step()
-            processed += 1
+            remaining -= 1
+            entry = pending_pop(seq, None)
+            if entry is None:
+                continue
+            if time < self._now:
+                raise SimulationError("event scheduled in the past")
+            self._now = time
+            if isinstance(entry, Event):
+                entry.processed = True
+                callbacks = entry.callbacks
+                if callbacks is not None:
+                    entry.callbacks = None
+                    if type(callbacks) is list:
+                        for callback in callbacks:
+                            callback(entry)
+                    else:
+                        callbacks(entry)
+            else:
+                entry()
         if until is not None:
             if not until.processed:
                 raise SimulationError("simulation ended before the awaited event fired")
@@ -237,6 +488,8 @@ class Environment:
 
 class Resource:
     """A counted resource with FIFO queuing (e.g. container slots on a platform)."""
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiters")
 
     def __init__(self, env: Environment, capacity: int) -> None:
         if capacity < 1:
@@ -268,6 +521,8 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError("release without matching acquire")
         if self._waiters:
+            # Fast-path handoff: the slot moves straight to the next waiter
+            # without ever decrementing `_in_use`.
             waiter = self._waiters.popleft()
             waiter.succeed()
         else:

@@ -37,7 +37,7 @@ Payload = Dict[str, object]
 Handler = Callable[["InvocationContext", object], object]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionSpec:
     """Static description of one serverless function of a benchmark."""
 
@@ -51,7 +51,7 @@ class FunctionSpec:
     description: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class InvocationContext:
     """Runtime services available to a function during one (simulated) invocation."""
 

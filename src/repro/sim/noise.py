@@ -24,7 +24,7 @@ from .resources import CPUModel
 from .rng import RandomStreams
 
 
-@dataclass
+@dataclass(slots=True)
 class DetourEvent:
     """One loop iteration that took noticeably longer than expected."""
 
@@ -69,6 +69,11 @@ class NoiseModel:
         self._platform = platform
         self._cpu_model = cpu_model
         self._streams = streams
+        # The CPU share for a memory configuration is a pure function of the
+        # model, but it sits on the per-compute-call hot path; memoizing it
+        # (and its reciprocal) reuses the deterministic part of the slowdown
+        # across invocations without touching the per-invocation jitter draw.
+        self._inverse_share: Dict[int, float] = {}
 
     def execution_slowdown(self, memory_mb: int, invocation: str = "") -> float:
         """Multiplier applied to compute time due to the limited CPU share.
@@ -76,11 +81,14 @@ class NoiseModel:
         A function with CPU share ``s`` needs ``1 / s`` wall-clock seconds per
         second of compute; sampling noise adds a small run-to-run variation.
         """
-        share = self._cpu_model.share(memory_mb)
+        inverse_share = self._inverse_share.get(memory_mb)
+        if inverse_share is None:
+            inverse_share = 1.0 / self._cpu_model.share(memory_mb)
+            self._inverse_share[memory_mb] = inverse_share
         jitter = self._streams.lognormal_around(
             f"noise:{self._platform}:{memory_mb}:{invocation}", 1.0, sigma=0.03
         )
-        return max(1.0, (1.0 / share) * jitter)
+        return max(1.0, inverse_share * jitter)
 
     def sample_detour_trace(
         self,

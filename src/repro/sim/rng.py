@@ -9,19 +9,28 @@ experiments are exactly reproducible for a given master seed.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Dict
 
 import numpy as np
+
+
+@lru_cache(maxsize=65536)
+def _derived_seed(seed: int, name: str) -> int:
+    digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
 
 
 def derive_stream_seed(seed: int, name: str) -> int:
     """The substream seed for ``name`` under master ``seed``.
 
     Hash-derived so that streams are independent and adding a new named
-    stream never perturbs the draws of existing ones.
+    stream never perturbs the draws of existing ones.  The SHA-256 digests
+    are memoized: recurring stream names (cold starts, storage keys, arrival
+    streams) are re-derived on every platform construction, and the digest
+    is a pure function of ``(seed, name)``.
     """
-    digest = hashlib.sha256(f"{int(seed)}:{name}".encode()).digest()
-    return int.from_bytes(digest[:8], "little")
+    return _derived_seed(int(seed), name)
 
 
 def named_stream(seed: int, name: str) -> np.random.Generator:

@@ -1,0 +1,262 @@
+"""Tests for the bench harness (`repro-flow bench`) and the checked-in
+BENCH document."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.bench import cli as bench_cli
+from repro.devtools.bench.cells import (
+    ALL_CELLS,
+    BenchProfile,
+    PROFILES,
+    cells_by_name,
+    schedule_arrivals,
+)
+from repro.devtools.bench.harness import (
+    BENCH_SCHEMA,
+    baseline_block,
+    build_document,
+    compare_documents,
+    load_document,
+    machine_metadata,
+    run_cell,
+)
+from repro.sim.engine import Environment
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Small enough for unit tests, large enough to exercise every code path.
+TINY = BenchProfile(
+    name="tiny", engine_events=500, resource_ops=256, campaign_burst=2,
+    merge_cells=3, repetitions=2, warmup=0, figure_burst=3,
+)
+
+CELLS = {cell.name: cell for cell in ALL_CELLS}
+
+
+class TestProfilesAndCatalog:
+    def test_profiles_cover_quick_and_full(self):
+        assert set(PROFILES) == {"quick", "full"}
+        # The figure harness sizing the bench verb shares: CI default 12,
+        # the paper's 30.
+        assert PROFILES["quick"].figure_burst == 12
+        assert PROFILES["full"].figure_burst == 30
+        assert PROFILES["full"].engine_events > PROFILES["quick"].engine_events
+
+    def test_catalog_spans_engine_campaign_and_grid(self):
+        families = {name.split(".", 1)[0] for name in CELLS}
+        assert families == {"engine", "campaign", "grid"}
+
+    def test_cells_by_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown bench cell"):
+            cells_by_name(["engine.typo"])
+
+    def test_cells_by_name_preserves_selection_order(self):
+        names = ["engine.process_chain", "engine.timeout_storm"]
+        assert [c.name for c in cells_by_name(names)] == names
+
+
+class _WithoutBatchLane:
+    """An Environment proxy hiding schedule_batch: the seed-engine shape."""
+
+    def __init__(self, env):
+        self._env = env
+
+    def __getattr__(self, name):
+        if name == "schedule_batch":
+            raise AttributeError(name)
+        return getattr(self._env, name)
+
+
+class TestScheduleArrivalsPortability:
+    def test_bulk_lane_and_fallback_fire_identically(self):
+        delays = [0.3, 0.1, 0.1, 0.2]
+        firings = {}
+        for shape in ("bulk", "fallback"):
+            env = Environment()
+            target = env if shape == "bulk" else _WithoutBatchLane(env)
+            times = []
+            count = schedule_arrivals(target, delays, lambda: times.append(env.now))
+            env.run()
+            assert count == len(delays)
+            firings[shape] = times
+        assert firings["bulk"] == firings["fallback"] == [0.1, 0.1, 0.2, 0.3]
+
+
+class TestRunCell:
+    def test_timeout_storm_outcome(self):
+        outcome = run_cell(CELLS["engine.timeout_storm"], TINY)
+        assert outcome.unit == "events/s"
+        assert outcome.median > 0
+        assert len(outcome.runs) == TINY.repetitions
+        assert outcome.units_per_run == TINY.engine_events
+        assert outcome.params == {"arrivals": TINY.engine_events}
+
+    def test_repetitions_override(self):
+        outcome = run_cell(CELLS["engine.process_chain"], TINY, repetitions=1)
+        assert len(outcome.runs) == 1
+
+    def test_campaign_cell_runs_real_cells(self):
+        outcome = run_cell(CELLS["campaign.cells"], TINY, repetitions=1)
+        assert outcome.unit == "cells/s"
+        assert outcome.units_per_run == 3
+        assert outcome.median > 0
+
+    def test_grid_merge_cell_round_trips_documents(self):
+        outcome = run_cell(CELLS["grid.merge"], TINY, repetitions=1)
+        assert outcome.unit == "cells/s"
+        assert outcome.units_per_run == TINY.merge_cells
+        assert outcome.median > 0
+
+
+class TestDocumentModel:
+    def _document(self):
+        outcome = run_cell(CELLS["engine.process_chain"], TINY, repetitions=1)
+        return build_document({outcome.name: outcome}, "quick", bench_id=99)
+
+    def test_document_shape(self, tmp_path):
+        document = self._document()
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["bench_id"] == 99
+        assert document["profile"] == "quick"
+        assert "cpu_count" in document["machine"]
+        entry = document["results"]["engine.process_chain"]
+        assert set(entry) == {"unit", "median", "runs", "units_per_run", "params"}
+        path = tmp_path / "BENCH_99.json"
+        path.write_text(json.dumps(document))
+        assert load_document(path)["bench_id"] == 99
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "results": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_document(path)
+
+    def test_baseline_block_keeps_medians_and_note(self):
+        document = self._document()
+        block = baseline_block(document, "measured on the seed engine")
+        assert block["note"] == "measured on the seed engine"
+        entry = block["results"]["engine.process_chain"]
+        assert entry["median"] == document["results"]["engine.process_chain"]["median"]
+
+    def test_machine_metadata_is_json_safe(self):
+        json.dumps(machine_metadata())
+
+
+def _doc(medians):
+    return {
+        "schema": BENCH_SCHEMA,
+        "results": {name: {"unit": "events/s", "median": median}
+                    for name, median in medians.items()},
+    }
+
+
+class TestCompare:
+    def test_detects_regression_beyond_threshold(self):
+        comparisons = compare_documents(
+            _doc({"a": 70.0, "b": 100.0}), _doc({"a": 100.0, "b": 100.0}),
+            threshold=0.25,
+        )
+        verdicts = {c.name: c.regressed for c in comparisons}
+        assert verdicts == {"a": True, "b": False}
+
+    def test_within_threshold_passes(self):
+        comparisons = compare_documents(
+            _doc({"a": 80.0}), _doc({"a": 100.0}), threshold=0.25)
+        assert not comparisons[0].regressed
+        assert comparisons[0].ratio == pytest.approx(0.8)
+
+    def test_new_cell_without_reference_is_informational(self):
+        comparisons = compare_documents(
+            _doc({"new": 50.0}), _doc({}), threshold=0.25)
+        assert comparisons[0].reference is None
+        assert not comparisons[0].regressed
+        assert "no reference" in comparisons[0].format_line()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            compare_documents(_doc({}), _doc({}), threshold=1.5)
+
+
+class TestCli:
+    def test_list_cells_exits_zero(self, capsys):
+        assert bench_cli.main(["--list-cells"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.timeout_storm" in out and "grid.merge" in out
+
+    def test_unknown_cell_is_a_usage_error(self, capsys):
+        assert bench_cli.main(["--cells", "engine.typo"]) == bench_cli.EXIT_USAGE
+
+    def test_run_writes_document_and_compares_clean(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_0.json"
+        code = bench_cli.main([
+            "--quick", "--cells", "engine.process_chain", "--repetitions", "1",
+            "--bench-id", "0", "--output", str(output),
+        ])
+        assert code == 0
+        document = load_document(output)
+        assert "engine.process_chain" in document["results"]
+        # Comparing against itself can never regress.
+        code = bench_cli.main([
+            "--quick", "--cells", "engine.process_chain", "--repetitions", "1",
+            "--compare", str(output),
+        ])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_five(self, tmp_path, capsys):
+        inflated = _doc({"engine.process_chain": 1e12})
+        reference = tmp_path / "reference.json"
+        reference.write_text(json.dumps(inflated))
+        code = bench_cli.main([
+            "--quick", "--cells", "engine.process_chain", "--repetitions", "1",
+            "--compare", str(reference),
+        ])
+        assert code == bench_cli.EXIT_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_baseline_from_embeds_block(self, tmp_path):
+        reference = tmp_path / "seed.json"
+        reference.write_text(json.dumps(_doc({"engine.process_chain": 123.0})))
+        output = tmp_path / "BENCH_1.json"
+        code = bench_cli.main([
+            "--quick", "--cells", "engine.process_chain", "--repetitions", "1",
+            "--bench-id", "1", "--output", str(output),
+            "--baseline-from", str(reference),
+            "--baseline-note", "seed engine, same host",
+        ])
+        assert code == 0
+        document = load_document(output)
+        assert document["baseline"]["note"] == "seed engine, same host"
+        assert document["baseline"]["results"]["engine.process_chain"]["median"] == 123.0
+
+
+class TestCheckedInDocument:
+    """The repo-root BENCH_7.json backs the PR's performance claims."""
+
+    def _load(self):
+        path = REPO_ROOT / "BENCH_7.json"
+        assert path.exists(), "BENCH_7.json must be checked in at the repo root"
+        return load_document(path)
+
+    def test_document_is_complete(self):
+        document = self._load()
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["bench_id"] == 7
+        required = {"engine.timeout_storm", "engine.process_chain",
+                    "engine.resource_contention", "campaign.cells",
+                    "grid.merge"}
+        assert required <= set(document["results"])
+        assert required <= set(document["baseline"]["results"])
+        assert document["baseline"]["note"]
+
+    def test_engine_events_per_sec_at_least_10x_baseline(self):
+        document = self._load()
+        optimized = document["results"]["engine.timeout_storm"]["median"]
+        baseline = document["baseline"]["results"]["engine.timeout_storm"]["median"]
+        assert baseline > 0
+        assert optimized >= 10 * baseline, (
+            f"engine.timeout_storm {optimized:,.0f}/s is below 10x the "
+            f"recorded pre-optimization baseline {baseline:,.0f}/s")

@@ -127,3 +127,52 @@ class TestR006DeprecatedKwarg:
         # Includes compare_platforms(era=...) and WorkloadSpec.burst(burst_size=...),
         # which are legal: the rule is per-callee, not per-kwarg-name.
         assert lint_fixture("r006_good.py", DeprecatedKwargRule()) == []
+
+
+class TestR007EventHandlerPurity:
+    def test_flags_impure_handlers(self):
+        from repro.devtools.lint.rules import EventHandlerPurityRule
+
+        findings = lint_fixture("r007_bad.py", EventHandlerPurityRule())
+        messages = [f.message for f in findings]
+        assert all(f.rule_id == "R007" for f in findings)
+        # One finding per sin: RNG draw, wall clock, global mutation, and the
+        # RNG-drawing lambda on the batch lane.
+        assert any("'drawing_handler' calls random.random()" in m for m in messages)
+        assert any("'clock_handler' calls time.time()" in m for m in messages)
+        assert any("'global_handler' declares global TALLY" in m for m in messages)
+        assert any("'<lambda>' calls random.randint()" in m for m in messages)
+        assert len(findings) == 4  # each handler reported once, however registered
+
+    def test_hints_point_at_named_streams_and_closures(self):
+        from repro.devtools.lint.rules import EventHandlerPurityRule
+
+        findings = lint_fixture("r007_bad.py", EventHandlerPurityRule())
+        assert findings
+        assert all("named RNG streams" in f.hint for f in findings)
+
+    def test_clean_on_pure_handlers_and_lookalikes(self):
+        from repro.devtools.lint.rules import EventHandlerPurityRule
+
+        assert lint_fixture("r007_good.py", EventHandlerPurityRule()) == []
+
+    def test_devtools_paths_are_skipped(self, tmp_path):
+        from repro.devtools.lint.framework import run_lint
+        from repro.devtools.lint.rules import EventHandlerPurityRule
+
+        nested = tmp_path / "devtools"
+        nested.mkdir()
+        source = (
+            "import random\n"
+            "def handler():\n"
+            "    return random.random()\n"
+            "def wire(env):\n"
+            "    env.schedule_call(1.0, handler)\n"
+        )
+        allowed = nested / "bench.py"
+        allowed.write_text(source)
+        rule = EventHandlerPurityRule()
+        assert run_lint([allowed], [rule], root=tmp_path) == []
+        flagged = tmp_path / "engine.py"
+        flagged.write_text(source)
+        assert len(run_lint([flagged], [rule], root=tmp_path)) == 1

@@ -1,0 +1,30 @@
+"""R007 positive fixture: impure event handlers, one sin per handler."""
+
+import random
+import time
+
+from repro.sim.engine import add_callback
+
+TALLY = {}
+
+
+def drawing_handler(event):
+    return random.random()  # ambient RNG inside a handler
+
+
+def clock_handler():
+    return time.time()  # wall clock inside a fast-lane handler
+
+
+def global_handler(event):
+    global TALLY  # module-global mutation from a handler
+    TALLY = {}
+
+
+def wire(env, event):
+    add_callback(event, drawing_handler)
+    add_callback(event, global_handler)
+    env.schedule_call(1.0, clock_handler)
+    env.schedule_batch([1.0, 2.0], lambda: random.randint(0, 10))
+    # The pre-add_callback registration idiom is recognised too.
+    event.callbacks.append(drawing_handler)

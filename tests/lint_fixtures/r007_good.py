@@ -1,0 +1,38 @@
+"""R007 negative fixture: pure handlers and out-of-scope lookalikes."""
+
+import random
+
+from repro.sim.engine import add_callback
+
+
+def wire(env, event, platform):
+    state = [0]
+    completions = []
+
+    def on_complete(child):
+        # Closure-cell state and simulation reads are the sanctioned pattern.
+        state[0] += 1
+        completions.append(env.now)
+        if child.exception is None and state[0] == 3:
+            event.succeed(completions)
+
+    def launch():
+        # Draws routed through the platform's named streams are deterministic.
+        jitter = platform.streams.uniform("fixture.jitter", 0.0, 1.0)
+        completions.append(jitter)
+
+    add_callback(event, on_complete)
+    env.schedule_call(1.0, launch)
+    env.schedule_batch([1.0, 2.0], launch)
+
+
+def not_a_handler():
+    # RNG outside any handler is R001's business, not R007's.
+    return random.random()
+
+
+def lookalikes(queue, record):
+    # append on something that is not <event>.callbacks is out of scope ...
+    queue.pending.append(not_a_handler)
+    # ... and so is an opaque imported/bound registration target.
+    add_callback(record.event, record.on_done)

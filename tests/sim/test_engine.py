@@ -321,3 +321,175 @@ class TestResource:
         env = Environment()
         with pytest.raises(SimulationError):
             env.step()
+
+
+class TestHeapKeys:
+    """S1 regression: scheduler heap entries must never compare Event objects.
+
+    Events define no ordering, so any heap entry shape that can fall through
+    to comparing them -- e.g. ``(time, event)`` tuples tying on ``time`` --
+    explodes with a ``TypeError`` the moment two entries collide.  The queue
+    therefore stores bare ``(time, seq)`` keys with the payload in a side
+    table, and a stale or duplicated key drains harmlessly.
+    """
+
+    def test_events_are_unorderable(self):
+        # The old failure shape: identical times force heapq/sort to compare
+        # the Event objects riding in the entry.
+        env = Environment()
+        with pytest.raises(TypeError):
+            sorted([(1.0, env.event()), (1.0, env.event())])
+
+    def test_heap_entries_are_bare_time_seq_keys(self):
+        env = Environment()
+        for _ in range(5):
+            env.timeout(1.0)
+        assert env._queue, "timeouts must be queued"
+        for entry in env._queue:
+            assert len(entry) == 2
+            time, seq = entry
+            assert isinstance(time, float)
+            assert isinstance(seq, int)
+
+    def test_many_same_time_events_drain_without_comparisons(self):
+        env = Environment()
+        fired = []
+        events = [env.timeout(1.0, value=index) for index in range(50)]
+        for event in events:
+            # Record completion order; with (time, event) entries this many
+            # ties would already have raised inside heappush.
+            from repro.sim.engine import add_callback
+            add_callback(event, lambda e: fired.append(e.value))
+        env.run()
+        assert fired == list(range(50))  # FIFO at equal times, via seq
+
+    def test_duplicate_heap_key_is_skipped_as_stale(self):
+        import heapq
+
+        env = Environment()
+        done = env.timeout(1.0)
+        # Hand-construct the collision: the exact same (time, seq) key twice.
+        heapq.heappush(env._queue, env._queue[0])
+        env.run()  # must neither raise nor double-fire
+        assert done.processed
+        assert not env._pending
+
+
+class TestCompositeAlreadySettled:
+    """S3: composites built from children that settled before construction."""
+
+    def test_any_of_with_already_failed_child(self):
+        env = Environment()
+        failed = env.event()
+        failed.fail(RuntimeError("pre-failed"))
+        env.step()  # process the failure before the composite exists
+        first = env.any_of([failed, env.timeout(1.0)])
+        with pytest.raises(RuntimeError, match="pre-failed"):
+            env.run(until=first)
+
+    def test_all_of_child_failing_after_partial_completion(self):
+        env = Environment()
+        completed = []
+
+        def ok(delay):
+            yield env.timeout(delay)
+            completed.append(delay)
+
+        def broken():
+            yield env.timeout(2.0)
+            raise RuntimeError("late failure")
+
+        barrier = env.all_of([
+            env.process(ok(1.0)), env.process(broken()), env.process(ok(3.0)),
+        ])
+        with pytest.raises(RuntimeError, match="late failure"):
+            env.run(until=barrier)
+        assert completed == [1.0]  # the fast child finished, the slow did not
+
+
+class TestBulkSchedulingLane:
+    """schedule_call / schedule_batch: the open-loop trigger's fast path."""
+
+    def test_schedule_call_fires_at_the_delay(self):
+        env = Environment()
+        seen = []
+        env.schedule_call(2.5, lambda: seen.append(env.now))
+        env.run()
+        assert seen == [2.5]
+
+    def test_schedule_call_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Environment().schedule_call(-0.1, lambda: None)
+
+    def test_batch_fires_in_time_order(self):
+        env = Environment()
+        seen = []
+        count = env.schedule_batch([3.0, 1.0, 2.0], lambda: seen.append(env.now))
+        env.run()
+        assert count == 3
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_empty_batch_is_a_no_op(self):
+        env = Environment()
+        assert env.schedule_batch([], lambda: None) == 0
+        with pytest.raises(SimulationError):
+            env.run(until=env.event())  # nothing was scheduled
+
+    def test_batch_rejects_negative_delays(self):
+        with pytest.raises(SimulationError):
+            Environment().schedule_batch([1.0, -2.0], lambda: None)
+
+    def test_batch_interleaves_with_heap_events(self):
+        env = Environment()
+        order = []
+
+        def proc():
+            yield env.timeout(1.5)
+            order.append(("process", env.now))
+
+        env.process(proc())
+        env.schedule_batch([1.0, 2.0], lambda: order.append(("batch", env.now)))
+        env.run()
+        assert order == [("batch", 1.0), ("process", 1.5), ("batch", 2.0)]
+
+    def test_second_batch_merges_with_unconsumed_first(self):
+        env = Environment()
+        seen = []
+        env.schedule_batch([1.0, 3.0], lambda: seen.append(("a", env.now)))
+        env.schedule_batch([2.0, 4.0], lambda: seen.append(("b", env.now)))
+        env.run()
+        assert seen == [("a", 1.0), ("b", 2.0), ("a", 3.0), ("b", 4.0)]
+
+    def test_batch_scheduled_from_inside_a_callback(self):
+        # Callbacks may re-enter schedule_batch mid-drain; the run lane is
+        # rebound, which the run loop must observe on its next iteration.
+        env = Environment()
+        seen = []
+
+        def second():
+            seen.append(("second", env.now))
+
+        def first():
+            seen.append(("first", env.now))
+            env.schedule_batch([0.5, 1.0], second)
+
+        env.schedule_batch([1.0], first)
+        env.run()
+        assert seen == [("first", 1.0), ("second", 1.5), ("second", 2.0)]
+
+    def test_batch_ties_preserve_submission_order(self):
+        env = Environment()
+        seen = []
+        env.schedule_batch([1.0, 1.0, 1.0],
+                           lambda: seen.append(len(seen)))
+        env.run()
+        assert seen == [0, 1, 2]
+
+    def test_max_events_budget_covers_batch_callables(self):
+        env = Environment()
+        fired = []
+        env.schedule_batch([float(i) for i in range(10)],
+                           lambda: fired.append(env.now))
+        with pytest.raises(SimulationError):
+            env.run(max_events=5)
+        assert len(fired) == 5
