@@ -281,6 +281,34 @@ def plan_artifacts(
     )
 
 
+def cell_priorities(
+    plan: ArtifactPlan, campaign: Optional[CampaignResult] = None
+) -> Dict[str, int]:
+    """Rank the plan's cells by how many *pending* artifacts each one blocks.
+
+    The returned mapping (cell fingerprint -> count of unfinished artifacts
+    requesting it) feeds ``run_grid_worker(priority=...)``: a cell three
+    pending figures are waiting on drains before a cell only one needs, so
+    ``--watch`` renders complete artifacts as early as possible instead of
+    finishing them all at once at the end.  With ``campaign`` (typically a
+    partial merge) given, artifacts whose cells are all present are treated
+    as finished and stop boosting their cells; without it every artifact
+    counts as pending.
+    """
+    index = campaign.index() if campaign is not None else {}
+    priorities: Dict[str, int] = {}
+    for artifact in plan.artifacts:
+        jobs = [request.job() for request in plan.requests.get(artifact.name, ())]
+        if not jobs:
+            continue
+        if campaign is not None and all(job.cell_key in index for job in jobs):
+            continue  # every cell present: this artifact can already render
+        for job in jobs:
+            fingerprint = job.fingerprint()
+            priorities[fingerprint] = priorities.get(fingerprint, 0) + 1
+    return priorities
+
+
 def execute_plan(
     plan: ArtifactPlan,
     workers: Optional[int] = None,

@@ -53,7 +53,9 @@ from .faas import (
     CampaignSpec,
     GridRun,
     WorkloadSpec,
+    autoscale_hint,
     compare_platforms,
+    create_backend,
     grid_status,
     iter_partial_merges,
     load_cached_campaign,
@@ -216,6 +218,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-dir", default=None,
         help="durable grid run directory shared between workers/hosts; progress "
              "streams into per-shard logs and the run survives interruption",
+    )
+    campaign.add_argument(
+        "--backend", default=None, metavar="BACKEND",
+        help="grid coordination backend: 'file' (the default; state lives "
+             "under --run-dir), 'memory[://NAME]' (in-process store -- the "
+             "whole run executes and merges within this invocation), or "
+             "'fake-object://BUCKET[/PREFIX]' (local object-store fake with "
+             "S3/GCS conditional-put semantics)",
     )
     campaign.add_argument(
         "--shard", default=None, metavar="I/N",
@@ -573,6 +583,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--workload", args.workloads is not None),
                 ("--scenarios", args.scenarios is not None),
                 ("--run-dir", args.run_dir is not None),
+                ("--backend", args.backend is not None),
             ) if provided
         ]
         if conflicting:
@@ -623,7 +634,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"{len(spec.memory_configs)} memory configs x "
           f"{len(spec.workloads)} workloads x {len(spec.seeds)} seeds)")
 
-    if run is None and args.run_dir:
+    if run is None and args.backend is not None and args.backend != "file":
+        # Non-file backends carry the whole run -- leases, records, manifest
+        # -- in their own medium; a --run-dir alongside would be dead weight
+        # at best and a silently ignored second copy at worst.
+        if args.run_dir:
+            raise ValueError(
+                f"--backend {args.backend} keeps run state in the backend "
+                f"itself; --run-dir applies to the file backend only"
+            )
+        if not args.dry_run:
+            run = GridRun.create(spec, backend=create_backend(args.backend),
+                                 shard_count=shard[1] if shard else None)
+    elif run is None and args.backend == "file" and not args.run_dir:
+        raise ValueError("--backend file stores run state on disk; pass --run-dir")
+    elif run is None and args.run_dir:
         if not args.dry_run:
             # No --shard joins an existing run at its own shard count (or
             # starts a fresh single-shard run).
@@ -670,6 +695,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     statuses = grid_status(run)
     print(report.format_table([s.as_row() for s in statuses],
                               f"grid run {run.run_dir}"))
+    print(autoscale_hint(run, statuses).describe())
     outstanding = sum(s.pending + s.leased + s.failed for s in statuses)
     if outstanding == 0:
         print(f"run complete: {len(jobs)}/{len(jobs)} cells done")
@@ -695,6 +721,7 @@ def _cmd_campaign_status(run_dir: str) -> int:
     pending = sum(s.pending for s in statuses)
     print(f"cells: {done}/{total} done, {failed} failed, {leased} leased, "
           f"{pending} pending")
+    print(autoscale_hint(run, statuses).describe())
     if done == total:
         print("run complete")
     return 0
@@ -886,6 +913,9 @@ def _cmd_figures(args: argparse.Namespace, render_all: bool = False) -> int:
                 worker_id=args.worker_id,
                 lease_ttl_s=args.lease_ttl,
                 max_retries=args.max_retries,
+                # Cells blocking the most pending artifacts drain first, so
+                # complete figures appear as early as possible.
+                priority=artifact_pipeline.cell_priorities(plan),
             )
             print(worker_report.describe())
             for failure in worker_report.failures:

@@ -59,18 +59,21 @@ class BenchProfile:
     #: Burst size the figure harness (``benchmarks/conftest.py``) runs the
     #: paper campaigns at under this profile.
     figure_burst: int
+    #: Lease round trips (claim/renew/append/done) in the backend-ops cells.
+    #: Defaulted so older profile literals (tests, benchmarks/) still build.
+    backend_ops: int = 100
 
 
 PROFILES: Dict[str, BenchProfile] = {
     "quick": BenchProfile(
         name="quick", engine_events=20_000, resource_ops=10_000,
         campaign_burst=4, merge_cells=16, repetitions=3, warmup=1,
-        figure_burst=12,
+        figure_burst=12, backend_ops=120,
     ),
     "full": BenchProfile(
         name="full", engine_events=200_000, resource_ops=60_000,
         campaign_burst=6, merge_cells=48, repetitions=5, warmup=1,
-        figure_burst=30,
+        figure_burst=30, backend_ops=600,
     ),
 }
 
@@ -305,6 +308,61 @@ def _cleanup_merge(state: object) -> None:
     tmp.cleanup()
 
 
+# -- grid backend-ops cells -------------------------------------------------
+
+def _drive_backend(backend: object, ops: int) -> BenchSample:
+    """Time ``ops`` full lease round trips against a fresh backend.
+
+    Each iteration is the life of one cell as a grid worker sees it:
+    claim the lease, renew it once mid-flight, append the result record,
+    mark the lease done.  Fingerprints are unique per iteration because done
+    markers are permanent by design -- a reused fingerprint would measure the
+    (cheap) already-done early-out instead of the full protocol.
+    """
+    start = perf_counter()
+    for index in range(ops):
+        fingerprint = f"{index:064x}"
+        if not backend.claim(fingerprint, "bench", 300.0):
+            raise RuntimeError(f"backend refused fresh claim {index}")
+        if not backend.renew(fingerprint, "bench", 300.0):
+            raise RuntimeError(f"backend refused renew {index}")
+        backend.append_record(0, "bench", {
+            "fingerprint": fingerprint, "shard": 0, "worker": "bench",
+            "from_cache": False, "result": {"index": index},
+        })
+        backend.mark_done(fingerprint, "bench")
+    elapsed = perf_counter() - start
+    return BenchSample(units=ops, seconds=elapsed)
+
+
+def _measure_backend_memory(profile: BenchProfile,
+                            state: object) -> BenchSample:
+    from ...faas.backends import MemoryBackend
+
+    return _drive_backend(MemoryBackend(name="bench"), profile.backend_ops)
+
+
+def _setup_backend_file(profile: BenchProfile) -> object:
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-backend-")
+    return {"tmp": tmp, "round": 0}
+
+
+def _measure_backend_file(profile: BenchProfile, state: object) -> BenchSample:
+    from pathlib import Path
+
+    from ...faas.backends import FileBackend
+
+    # A fresh subdirectory per timed run: done markers and shard logs from
+    # the previous repetition must not be visible to this one.
+    state["round"] += 1
+    root = Path(state["tmp"].name) / f"round-{state['round']:03d}"
+    return _drive_backend(FileBackend(root), profile.backend_ops)
+
+
+def _cleanup_backend_file(state: object) -> None:
+    state["tmp"].cleanup()
+
+
 # -- the catalog ------------------------------------------------------------
 
 _CELL_PARAMS: Dict[str, Callable[[BenchProfile], Dict[str, object]]] = {
@@ -318,6 +376,8 @@ _CELL_PARAMS: Dict[str, Callable[[BenchProfile], Dict[str, object]]] = {
     },
     "campaign.cells": lambda p: {"cells": 3, "burst_size": p.campaign_burst},
     "grid.merge": lambda p: {"cells": p.merge_cells},
+    "grid.backend_ops.memory": lambda p: {"ops": p.backend_ops},
+    "grid.backend_ops.file": lambda p: {"ops": p.backend_ops},
 }
 
 ALL_CELLS: Tuple[BenchCell, ...] = (
@@ -350,6 +410,20 @@ ALL_CELLS: Tuple[BenchCell, ...] = (
         measure=_measure_merge, setup=_setup_merge, cleanup=_cleanup_merge,
         description="streaming merge_run over a synthetic run directory with "
                     "one full result document per cell",
+    ),
+    BenchCell(
+        name="grid.backend_ops.memory", unit="ops/s",
+        measure=_measure_backend_memory,
+        description="claim/renew/append/mark_done round trips against an "
+                    "in-process MemoryBackend",
+    ),
+    BenchCell(
+        name="grid.backend_ops.file", unit="ops/s",
+        measure=_measure_backend_file, setup=_setup_backend_file,
+        cleanup=_cleanup_backend_file,
+        description="claim/renew/append/mark_done round trips against a "
+                    "tmpdir FileBackend (link/replace lease files + jsonl "
+                    "shard log)",
     ),
 )
 

@@ -18,6 +18,10 @@ R007 event-handler-purity    callbacks registered on engine events (and the
                              ``schedule_call``/``schedule_batch`` fast lanes)
                              stay pure: no ambient RNG/clock draws, no module
                              globals
+R008 backend-protocol        every ``GridBackend`` implementation defines the
+                             full lease/record/manifest protocol with matching
+                             signatures, and filesystem access stays inside
+                             ``FileBackend``
 ==== ======================= =====================================================
 
 Each rule is pure AST analysis over one file; cross-file state (R002's
@@ -659,6 +663,172 @@ class EventHandlerPurityRule(Rule):
                     )
 
 
+# ------------------------------------------------------------------------ R008
+class BackendProtocolRule(Rule):
+    """``GridBackend`` implementations honour the protocol, medium included.
+
+    The grid worker/merge logic is written against the nine-method backend
+    contract (:mod:`repro.faas.backends.base`); an implementation that skips
+    a method, or renames its parameters, fails at runtime in whichever
+    distributed code path happens to hit it first.  This rule catches both at
+    lint time: every class with a ``GridBackend`` base must define the full
+    protocol with the protocol's positional parameter names (extra trailing
+    or keyword-only parameters are fine -- backends may grow options).
+
+    The second half guards the abstraction itself: the whole point of the
+    backend split is that only :class:`~repro.faas.backends.file.FileBackend`
+    knows about the filesystem.  A ``Path``/``open``/``os.*`` call inside any
+    other backend class -- or anywhere in a ``faas/backends/`` module other
+    than ``file.py`` -- is the shared-filesystem assumption leaking back in,
+    so it is flagged wherever the class lives (fixtures and future backends
+    included).
+    """
+
+    rule_id = "R008"
+    name = "backend-protocol"
+    description = (
+        "GridBackend implementations define the full claim/renew/mark_done/"
+        "release/active/append_record/iter_records/read_manifest/"
+        "write_manifest protocol with matching signatures; filesystem access "
+        "stays inside FileBackend"
+    )
+
+    #: The protocol: method name -> exact positional parameter names.
+    PROTOCOL: Mapping[str, Tuple[str, ...]] = {
+        "claim": ("self", "fingerprint", "worker_id", "ttl_s"),
+        "renew": ("self", "fingerprint", "worker_id", "ttl_s"),
+        "mark_done": ("self", "fingerprint", "worker_id"),
+        "release": ("self", "fingerprint", "worker_id"),
+        "active": ("self",),
+        "append_record": ("self", "shard", "worker_id", "document"),
+        "iter_records": ("self", "shard"),
+        "read_manifest": ("self",),
+        "write_manifest": ("self", "manifest"),
+    }
+
+    BASE_NAME = "GridBackend"
+    #: The one implementation allowed to touch the filesystem.
+    FILE_IMPLEMENTATION = "FileBackend"
+    #: The backends package; its modules are filesystem-free except this one.
+    PACKAGE_PATHS = ("faas/backends/",)
+    PACKAGE_FILE_MODULE = "file.py"
+
+    #: Exact dotted call paths that touch the filesystem.
+    FILESYSTEM_CALLS = {
+        "os.link", "os.rename", "os.replace", "os.remove", "os.unlink",
+        "os.fsync", "os.mkdir", "os.makedirs", "os.listdir", "os.scandir",
+        "os.stat", "os.open", "io.open",
+    }
+    #: Dotted prefixes whose every call is filesystem access.
+    FILESYSTEM_PREFIXES = ("pathlib.", "os.path.", "shutil.", "tempfile.", "glob.")
+
+    PROTOCOL_HINT = (
+        "implement the method with the protocol's parameter names (see "
+        "repro.faas.backends.base.GridBackend); extra trailing/keyword-only "
+        "parameters are allowed"
+    )
+    FILESYSTEM_HINT = (
+        "filesystem layout is FileBackend's private concern; keep this "
+        "backend's state in its own medium (dicts, object keys, ...) so "
+        "workers without the shared mount can still coordinate"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        module_wide = self._module_banned_from_filesystem(module.rel_path)
+        if module_wide:
+            yield from self._check_filesystem(
+                module, module.tree, aliases,
+                owner=f"backends module {Path(module.rel_path).name!r}",
+            )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == self.BASE_NAME or not self._is_backend_class(node):
+                continue
+            yield from self._check_protocol(module, node)
+            if module_wide or node.name == self.FILE_IMPLEMENTATION:
+                continue  # covered above, or the sanctioned file backend
+            yield from self._check_filesystem(
+                module, node, aliases, owner=f"backend {node.name!r}"
+            )
+
+    def _module_banned_from_filesystem(self, rel_path: str) -> bool:
+        return (
+            path_matches(rel_path, self.PACKAGE_PATHS)
+            and Path(rel_path).name != self.PACKAGE_FILE_MODULE
+        )
+
+    def _is_backend_class(self, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else None
+            )
+            if name == self.BASE_NAME:
+                return True
+        return False
+
+    def _check_protocol(
+        self, module: LintModule, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = {
+            stmt.name: stmt for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for method_name, expected in self.PROTOCOL.items():
+            method = methods.get(method_name)
+            if method is None:
+                yield self.finding(
+                    module, node,
+                    f"backend {node.name!r} is missing protocol method "
+                    f"{method_name}({', '.join(expected[1:])})",
+                    hint=self.PROTOCOL_HINT,
+                )
+                continue
+            positional = tuple(
+                arg.arg for arg in (*method.args.posonlyargs, *method.args.args)
+            )
+            if positional[:len(expected)] != expected:
+                yield self.finding(
+                    module, method,
+                    f"backend {node.name!r} method {method_name} has "
+                    f"signature ({', '.join(positional)}); the protocol "
+                    f"requires ({', '.join(expected)})",
+                    hint=self.PROTOCOL_HINT,
+                )
+
+    def _check_filesystem(
+        self,
+        module: LintModule,
+        scope: ast.AST,
+        aliases: Mapping[str, str],
+        owner: str,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = self._filesystem_call(node, aliases)
+            if reason is not None:
+                yield self.finding(
+                    module, node,
+                    f"{owner} performs filesystem access: {reason}",
+                    hint=self.FILESYSTEM_HINT,
+                )
+
+    def _filesystem_call(
+        self, node: ast.Call, aliases: Mapping[str, str]
+    ) -> Optional[str]:
+        # The open() builtin, however it is spelled locally.
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            return "open()"
+        path = _resolve_call_path(node.func, aliases)
+        if path is None:
+            return None
+        if path in self.FILESYSTEM_CALLS or path.startswith(self.FILESYSTEM_PREFIXES):
+            return f"{path}()"
+        return None
+
+
 def default_rules(
     manifest_path: Optional[Path] = None,
     package_root: Optional[Path] = None,
@@ -672,4 +842,5 @@ def default_rules(
         MutableDefaultArgRule(),
         DeprecatedKwargRule(),
         EventHandlerPurityRule(),
+        BackendProtocolRule(),
     ]

@@ -1,0 +1,79 @@
+"""Pluggable grid coordination backends.
+
+The :class:`~repro.faas.backends.base.GridBackend` protocol pins down what a
+coordination medium must provide (TTL leases, append-only result streams, an
+exclusively-created manifest); three implementations ship:
+
+* :class:`~repro.faas.backends.file.FileBackend` -- the original shared
+  run-directory semantics (local disk, NFS, synced volumes);
+* :class:`~repro.faas.backends.memory.MemoryBackend` -- an in-process store
+  for tests and single-host elastic workers;
+* :class:`~repro.faas.backends.object_store.ObjectStoreBackend` -- S3/GCS
+  conditional-put semantics over any client with the
+  :class:`~repro.faas.backends.object_store.LocalObjectStore` surface.
+
+:func:`create_backend` maps the CLI's ``--backend`` strings onto instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import GridBackend, _safe_worker_id, _wall_clock
+from .file import FileBackend
+from .memory import MemoryBackend, memory_backend
+from .object_store import LocalObjectStore, ObjectStoreBackend, fake_object_store
+
+__all__ = [
+    "GridBackend",
+    "FileBackend",
+    "MemoryBackend",
+    "ObjectStoreBackend",
+    "LocalObjectStore",
+    "create_backend",
+    "memory_backend",
+    "fake_object_store",
+]
+
+
+def create_backend(spec: str, run_dir: Optional[str] = None) -> GridBackend:
+    """Resolve a ``--backend`` string into a :class:`GridBackend`.
+
+    Accepted forms::
+
+        file                       shared run directory (needs run_dir)
+        memory                     process-shared in-memory store
+        memory://NAME              a named in-memory store
+        fake-object://BUCKET[/P]   local object-store fake, optional prefix
+
+    Real ``s3://`` / ``gs://`` URLs are recognised but rejected with
+    guidance: the simulator does not bundle cloud clients, so production
+    deployments construct :class:`ObjectStoreBackend` directly with their
+    own client object.
+    """
+    if spec == "file":
+        if run_dir is None:
+            raise ValueError("the file backend stores run state on disk; pass --run-dir")
+        return FileBackend(run_dir)
+    if spec == "memory":
+        return memory_backend()
+    if spec.startswith("memory://"):
+        name = spec[len("memory://"):] or "default"
+        return memory_backend(name)
+    if spec.startswith("fake-object://"):
+        location = spec[len("fake-object://"):]
+        bucket, _, prefix = location.partition("/")
+        if not bucket:
+            raise ValueError(f"fake-object URL needs a bucket: {spec!r}")
+        return ObjectStoreBackend(fake_object_store(bucket), prefix=prefix)
+    if spec.startswith(("s3://", "gs://")):
+        raise ValueError(
+            f"{spec!r}: no object-store client is bundled; construct "
+            f"ObjectStoreBackend with your own client (see "
+            f"repro.faas.backends.object_store), or use fake-object://BUCKET "
+            f"for the local fake"
+        )
+    raise ValueError(
+        f"unknown backend {spec!r}; expected file, memory[://NAME], or "
+        f"fake-object://BUCKET[/PREFIX]"
+    )

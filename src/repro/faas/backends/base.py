@@ -1,0 +1,130 @@
+"""The :class:`GridBackend` protocol: what a grid coordination medium must do.
+
+The grid layer (:mod:`repro.faas.grid`) coordinates loosely-coupled workers
+through exactly three kinds of shared state -- TTL *leases* (who is running
+what), append-only *result records* (what is finished), and a single *run
+manifest* (what campaign this is).  This module pins that contract down as an
+abstract base class so the medium holding the state is pluggable: a shared
+filesystem (:class:`~repro.faas.backends.file.FileBackend`), an in-process
+store (:class:`~repro.faas.backends.memory.MemoryBackend`), or an object
+store with conditional puts
+(:class:`~repro.faas.backends.object_store.ObjectStoreBackend`).
+
+Every implementation must honour the same five invariants the file backend
+pioneered, because the worker/merge logic above is written against them:
+
+1. **Claim exclusivity** -- :meth:`GridBackend.claim` succeeds for exactly
+   one contender per fingerprint, however many workers race.
+2. **Expiry reclaim** -- an expired lease is claimable again, and exactly one
+   of several racing reclaimers wins.
+3. **Done permanence** -- after :meth:`GridBackend.mark_done`, no claim on
+   that fingerprint ever succeeds again.
+4. **Append durability and tolerance** -- :meth:`GridBackend.append_record`
+   never overwrites; :meth:`GridBackend.iter_records` yields every readable
+   record and silently skips torn or corrupt ones (the merge deduplicates).
+5. **Manifest exclusivity** -- :meth:`GridBackend.write_manifest` installs
+   the manifest only if none exists; losers of an initialisation race must
+   re-read and validate instead of clobbering.
+
+Time never comes from the backend's medium: every deadline read/write flows
+through the injectable :attr:`GridBackend.clock`, so tests drive lease expiry
+with a fake clock instead of sleeps.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterator, Optional
+
+
+def _wall_clock() -> float:
+    """The grid's one sanctioned wall-clock read.
+
+    Lease TTLs are *real-time* contracts between unrelated hosts -- "reclaim
+    my cell if I go silent for five minutes" -- so, unlike everything else in
+    the simulator, they genuinely need the wall clock.  Every deadline
+    computation flows through :attr:`GridBackend.clock` (defaulting to this
+    function), giving tests a single injection point instead of sleeps.
+    """
+    return time.time()  # lint: allow[R001] -- lease TTLs are real-time contracts between hosts
+
+
+def _safe_worker_id(worker_id: str) -> str:
+    """A filesystem-safe worker identity (used in lease and log file names)."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", worker_id).strip("._-")
+    return cleaned or "worker"
+
+
+class GridBackend(ABC):
+    """Abstract coordination medium for a grid run.
+
+    Leases are keyed by cell fingerprint and carry ``{fingerprint, worker,
+    deadline}`` documents (or ``{fingerprint, worker, done: True}`` once the
+    cell is finished).  Records are arbitrary JSON-serializable dicts grouped
+    by shard index.  The manifest is the run's identity document.
+
+    Implementations hold no per-worker state: ``worker_id`` and ``ttl_s``
+    arrive with each call, so one backend instance can serve any number of
+    logical workers (the :class:`~repro.faas.grid.LeaseQueue` wrapper binds
+    them for convenience).
+    """
+
+    #: Injectable time source; every deadline read/write goes through this.
+    clock: Callable[[], float] = staticmethod(_wall_clock)
+
+    # -- leases --------------------------------------------------------------
+    @abstractmethod
+    def claim(self, fingerprint: str, worker_id: str, ttl_s: float) -> bool:
+        """Try to acquire the lease; True when ``worker_id`` now holds it."""
+
+    @abstractmethod
+    def renew(self, fingerprint: str, worker_id: str, ttl_s: float) -> bool:
+        """Heartbeat: push our deadline out by another TTL; False if not ours."""
+
+    @abstractmethod
+    def mark_done(self, fingerprint: str, worker_id: str) -> None:
+        """Replace the lease with a permanent done marker (unconditionally)."""
+
+    @abstractmethod
+    def release(self, fingerprint: str, worker_id: str) -> None:
+        """Drop our lease; a rival's claim (after reclaiming us) is left alone."""
+
+    @abstractmethod
+    def active(self) -> Dict[str, Dict[str, object]]:
+        """All unexpired leases, keyed by fingerprint."""
+
+    @abstractmethod
+    def read_lease(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The raw lease document for a fingerprint, or None."""
+
+    # -- result records ------------------------------------------------------
+    @abstractmethod
+    def append_record(
+        self, shard: int, worker_id: str, document: Dict[str, object]
+    ) -> None:
+        """Durably append one result record to a shard's stream."""
+
+    @abstractmethod
+    def iter_records(self, shard: int) -> Iterator[Dict[str, object]]:
+        """Every readable record of a shard, in a stable per-backend order."""
+
+    # -- manifest ------------------------------------------------------------
+    @abstractmethod
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        """The run manifest, or None when the run is uninitialised."""
+
+    @abstractmethod
+    def write_manifest(self, manifest: Dict[str, object]) -> bool:
+        """Install the manifest if none exists; False when one already does.
+
+        A False return means the caller lost an initialisation race (or
+        joined an existing run) and must re-read and validate the winner's
+        manifest rather than overwrite it.
+        """
+
+    # -- presentation --------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable location of the run's state (for messages/status)."""
+        return type(self).__name__

@@ -1,0 +1,258 @@
+"""Shared-filesystem grid backend: the original run-directory semantics.
+
+This is the PR-4 coordination layer, verbatim, behind the
+:class:`~repro.faas.backends.base.GridBackend` protocol: atomic hard-link
+claims, tombstone-rename reclaims, per-worker JSONL result segments, and an
+exclusively-linked manifest.  Any directory workers can all reach (local
+disk, NFS, a synced volume) works; every operation is a plain file read,
+append, link, or rename, so there is no coordinator process.
+
+Layout under the backend root::
+
+    ROOT/
+      grid.json                   campaign spec + shard count + versions
+      leases/<fingerprint>.lease  live claims: {worker, deadline}
+      results/shard-0000.<worker>.jsonl   streaming per-cell result documents
+
+This module is the *only* place in the backends package allowed to touch the
+filesystem (lint rule R008 enforces that): every other backend keeps its
+state in its own medium.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..results import ResultLog
+from .base import GridBackend, _safe_worker_id, _wall_clock
+
+#: The run manifest's file name under the backend root.
+MANIFEST_NAME = "grid.json"
+
+
+def _unique_token() -> str:
+    """Collision-proof token for scratch-file names (claims, tombstones).
+
+    Pure filesystem plumbing: tokens keep racing writers from colliding on
+    temp paths and never reach results, fingerprints, or logs.
+    """
+    return uuid.uuid4().hex  # lint: allow[R001] -- scratch-path uniqueness only, never in results
+
+
+class FileBackend(GridBackend):
+    """File-based TTL leases and result logs over a shared run directory.
+
+    A claim atomically hard-links a uniquely named temp file onto
+    ``<fingerprint>.lease`` -- ``link(2)`` fails if the target exists, so
+    exactly one contender wins no matter how many workers race.  Reclaiming
+    an expired lease first renames it onto a unique tombstone; the rename
+    succeeds for exactly one contender, so two workers never both adopt the
+    same crashed worker's cell.
+
+    A worker that merely stalls past its TTL is *not* fenced: its cell may be
+    re-executed elsewhere.  That is safe here -- cells are deterministic and
+    the merge step deduplicates by fingerprint -- so the backend prefers
+    availability over exclusivity.
+
+    A finished cell's lease becomes a permanent *done marker*
+    (:meth:`mark_done`): unlike a released or expired lease it can never be
+    claimed again, so workers whose startup scan predates the completion do
+    not re-execute cells that are already in the logs.
+
+    Construction never touches the disk -- opening a missing run must fail
+    cleanly and a dry run must not create directories -- so directories are
+    made lazily on the write paths.
+    """
+
+    def __init__(self, root: Union[str, Path], clock=None) -> None:
+        self.root = Path(root)
+        self.clock = clock if clock is not None else _wall_clock
+        self.leases_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+
+    @classmethod
+    def for_lease_dir(cls, directory: Union[str, Path], clock=None) -> "FileBackend":
+        """A backend whose leases live directly in ``directory``.
+
+        The compatibility entry for :class:`~repro.faas.grid.LeaseQueue`
+        used standalone over a bare directory (no run layout): the directory
+        is created eagerly, exactly as the queue's constructor always did.
+        """
+        backend = cls(directory, clock=clock)
+        backend.leases_dir = Path(directory)
+        backend.leases_dir.mkdir(parents=True, exist_ok=True)
+        return backend
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    # -- leases --------------------------------------------------------------
+    def _lease_path(self, fingerprint: str) -> Path:
+        return self.leases_dir / f"{fingerprint}.lease"
+
+    def _write_claim(self, fingerprint: str, worker_id: str, ttl_s: float) -> Path:
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        temp = self.leases_dir / f".{fingerprint}.{worker_id}.{_unique_token()}.tmp"
+        temp.write_text(json.dumps({
+            "fingerprint": fingerprint,
+            "worker": worker_id,
+            "deadline": self.clock() + ttl_s,
+        }))
+        return temp
+
+    def claim(self, fingerprint: str, worker_id: str, ttl_s: float) -> bool:
+        path = self._lease_path(fingerprint)
+        temp = self._write_claim(fingerprint, worker_id, ttl_s)
+        try:
+            try:
+                os.link(temp, path)
+                return True
+            except FileExistsError:
+                pass
+            holder = self.read_lease(fingerprint)
+            if holder is not None and holder.get("done"):
+                return False  # the cell is finished and logged; never re-claim
+            if holder is not None and float(holder.get("deadline", 0)) >= self.clock():
+                return False  # live lease held by someone else
+            # Expired or unreadable: tombstone-rename it out of the way.
+            # Exactly one contender's rename succeeds.
+            tombstone = self.leases_dir / f".{fingerprint}.expired.{_unique_token()}"
+            try:
+                os.rename(path, tombstone)
+            except FileNotFoundError:
+                pass  # the holder released, or a rival tombstoned it first
+            else:
+                # Verify the rename swept up what we observed: a rival may
+                # have reclaimed and re-linked a *fresh* claim (or a done
+                # marker) between our read and our rename.  If so, restore
+                # it and back off instead of stealing a live lease.
+                try:
+                    snatched = json.loads(tombstone.read_text())
+                except (OSError, json.JSONDecodeError):
+                    snatched = None
+                if isinstance(snatched, dict) and (
+                    snatched.get("done")
+                    or float(snatched.get("deadline", 0)) >= self.clock()
+                ):
+                    try:
+                        os.link(tombstone, path)
+                    except FileExistsError:
+                        pass  # a third claim already took the slot
+                    tombstone.unlink(missing_ok=True)
+                    return False
+                tombstone.unlink(missing_ok=True)
+            try:
+                os.link(temp, path)
+                return True
+            except FileExistsError:
+                return False  # a rival claimed between the rename and link
+        finally:
+            temp.unlink(missing_ok=True)
+
+    def read_lease(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        try:
+            document = json.loads(self._lease_path(fingerprint).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def renew(self, fingerprint: str, worker_id: str, ttl_s: float) -> bool:
+        holder = self.read_lease(fingerprint)
+        if holder is None or holder.get("worker") != worker_id:
+            return False
+        temp = self._write_claim(fingerprint, worker_id, ttl_s)
+        os.replace(temp, self._lease_path(fingerprint))
+        return True
+
+    def mark_done(self, fingerprint: str, worker_id: str) -> None:
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        temp = self.leases_dir / f".{fingerprint}.{worker_id}.{_unique_token()}.tmp"
+        temp.write_text(json.dumps({
+            "fingerprint": fingerprint,
+            "worker": worker_id,
+            "done": True,
+        }))
+        os.replace(temp, self._lease_path(fingerprint))
+
+    def release(self, fingerprint: str, worker_id: str) -> None:
+        holder = self.read_lease(fingerprint)
+        if holder is None or holder.get("worker") != worker_id:
+            return
+        self._lease_path(fingerprint).unlink(missing_ok=True)
+
+    def active(self) -> Dict[str, Dict[str, object]]:
+        now = self.clock()
+        leases: Dict[str, Dict[str, object]] = {}
+        if not self.leases_dir.is_dir():
+            return leases
+        for path in sorted(self.leases_dir.glob("*.lease")):
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(document, dict):
+                continue
+            if float(document.get("deadline", 0)) >= now:
+                leases[str(document.get("fingerprint", path.stem))] = document
+        return leases
+
+    # -- result records ------------------------------------------------------
+    def shard_log(self, shard: int, worker_id: str) -> ResultLog:
+        """One worker's private append segment of a shard's result stream.
+
+        Each worker appends to its own file, so no two processes -- let alone
+        two hosts over NFS, where ``O_APPEND`` is not atomic -- ever write
+        the same log file.  Readers fold all of a shard's segments together
+        (:meth:`iter_records`); the merge is order-independent, so the
+        segmentation is invisible to consumers.
+        """
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        return ResultLog(
+            self.results_dir / f"shard-{shard:04d}.{_safe_worker_id(worker_id)}.jsonl"
+        )
+
+    def append_record(
+        self, shard: int, worker_id: str, document: Dict[str, object]
+    ) -> None:
+        self.shard_log(shard, worker_id).append(document)
+
+    def iter_records(self, shard: int) -> Iterator[Dict[str, object]]:
+        if not self.results_dir.is_dir():
+            return
+        for path in sorted(self.results_dir.glob(f"shard-{shard:04d}.*.jsonl")):
+            yield from ResultLog(path)
+
+    # -- manifest ------------------------------------------------------------
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            text = self.manifest_path.read_text()
+        except OSError:
+            return None
+        return json.loads(text)
+
+    def write_manifest(self, manifest: Dict[str, object]) -> bool:
+        if self.manifest_path.exists():
+            return False
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        temp = self.root / f".{MANIFEST_NAME}.{_unique_token()}.tmp"
+        temp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        try:
+            # Exclusive link, like a lease claim: when two hosts race to
+            # initialise the same fresh directory, exactly one manifest wins
+            # and the loser validates against it instead of replacing it.
+            os.link(temp, self.manifest_path)
+        except FileExistsError:
+            return False
+        finally:
+            temp.unlink(missing_ok=True)
+        return True

@@ -1,0 +1,157 @@
+"""In-process grid backend: Redis-style dict store with an injectable clock.
+
+One lock, three dicts.  Single-host elastic workers (threads sharing a
+backend instance) and tests coordinate through it with the exact lease
+semantics of the file backend -- exclusivity, expiry reclaim, done
+permanence -- but at memory speed and with zero filesystem footprint.
+
+State lives in the backend *instance*: workers must share the object (or
+fetch the same named instance from :func:`memory_backend`, which is what
+``--backend memory`` does within one CLI process).  Records round-trip
+through ``json.dumps``/``json.loads`` so anything a worker appends is
+guaranteed JSON-serializable and reads back bit-identical to what a JSONL
+log would have returned -- the merge-equality goldens hold by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from .base import GridBackend, _wall_clock
+
+
+class MemoryBackend(GridBackend):
+    """TTL leases, result streams, and a manifest in process memory."""
+
+    def __init__(self, name: str = "memory", clock=None) -> None:
+        self.name = name
+        self.clock = clock if clock is not None else _wall_clock
+        self._lock = threading.Lock()
+        self._leases: Dict[str, str] = {}
+        self._records: Dict[int, List[str]] = {}
+        self._manifest: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"memory:{self.name}"
+
+    # -- leases --------------------------------------------------------------
+    def _holder(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        raw = self._leases.get(fingerprint)
+        if raw is None:
+            return None
+        document = json.loads(raw)
+        return document if isinstance(document, dict) else None
+
+    def claim(self, fingerprint: str, worker_id: str, ttl_s: float) -> bool:
+        with self._lock:
+            holder = self._holder(fingerprint)
+            if holder is not None:
+                if holder.get("done"):
+                    return False  # finished and logged; never re-claim
+                if float(holder.get("deadline", 0)) >= self.clock():
+                    return False  # live lease held by someone else
+            # Expired, unreadable, or absent: the lock makes the
+            # read-check-write atomic, so exactly one contender wins.
+            self._leases[fingerprint] = json.dumps({
+                "fingerprint": fingerprint,
+                "worker": worker_id,
+                "deadline": self.clock() + ttl_s,
+            })
+            return True
+
+    def read_lease(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            return self._holder(fingerprint)
+
+    def renew(self, fingerprint: str, worker_id: str, ttl_s: float) -> bool:
+        with self._lock:
+            holder = self._holder(fingerprint)
+            if holder is None or holder.get("worker") != worker_id:
+                return False
+            self._leases[fingerprint] = json.dumps({
+                "fingerprint": fingerprint,
+                "worker": worker_id,
+                "deadline": self.clock() + ttl_s,
+            })
+            return True
+
+    def mark_done(self, fingerprint: str, worker_id: str) -> None:
+        with self._lock:
+            self._leases[fingerprint] = json.dumps({
+                "fingerprint": fingerprint,
+                "worker": worker_id,
+                "done": True,
+            })
+
+    def release(self, fingerprint: str, worker_id: str) -> None:
+        with self._lock:
+            holder = self._holder(fingerprint)
+            if holder is None or holder.get("worker") != worker_id:
+                return
+            self._leases.pop(fingerprint, None)
+
+    def active(self) -> Dict[str, Dict[str, object]]:
+        now = self.clock()
+        leases: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for fingerprint in sorted(self._leases):
+                document = self._holder(fingerprint)
+                if document is None:
+                    continue
+                if float(document.get("deadline", 0)) >= now:
+                    leases[str(document.get("fingerprint", fingerprint))] = document
+        return leases
+
+    # -- result records ------------------------------------------------------
+    def append_record(
+        self, shard: int, worker_id: str, document: Dict[str, object]
+    ) -> None:
+        line = json.dumps(document, sort_keys=True)
+        with self._lock:
+            self._records.setdefault(int(shard), []).append(line)
+
+    def iter_records(self, shard: int) -> Iterator[Dict[str, object]]:
+        with self._lock:
+            lines = list(self._records.get(int(shard), ()))
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn record; the merge recovers from duplicates
+            if isinstance(record, dict):
+                yield record
+
+    # -- manifest ------------------------------------------------------------
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        with self._lock:
+            raw = self._manifest
+        return json.loads(raw) if raw is not None else None
+
+    def write_manifest(self, manifest: Dict[str, object]) -> bool:
+        with self._lock:
+            if self._manifest is not None:
+                return False
+            self._manifest = json.dumps(manifest, sort_keys=True)
+            return True
+
+
+_REGISTRY_LOCK = threading.Lock()
+_NAMED_BACKENDS: Dict[str, MemoryBackend] = {}
+
+
+def memory_backend(name: str = "default") -> MemoryBackend:
+    """The process-wide shared :class:`MemoryBackend` for ``name``.
+
+    ``--backend memory`` (or ``memory://name``) resolves here, so every
+    component of one process -- worker threads, status scans, the final
+    merge -- coordinates over the same store.  State is per-process by
+    nature: a second CLI invocation starts empty.
+    """
+    with _REGISTRY_LOCK:
+        backend = _NAMED_BACKENDS.get(name)
+        if backend is None:
+            backend = MemoryBackend(name=name)
+            _NAMED_BACKENDS[name] = backend
+        return backend

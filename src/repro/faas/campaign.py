@@ -33,6 +33,7 @@ import os
 import statistics
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from time import perf_counter
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -378,6 +379,19 @@ def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
     benchmark = get_benchmark(job.benchmark)
     result = ExperimentRunner(job.experiment_config()).run(benchmark)
     return result_to_dict(result)
+
+
+def _execute_job_timed(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point with cost accounting: result document + wall time.
+
+    The grid logs each cell's observed wall cost (``elapsed_s``) next to its
+    result so :func:`repro.faas.grid.autoscale_hint` can size worker fleets
+    from real medians.  Monotonic-timer durations are measurement, not
+    simulation state -- they never reach fingerprints or result documents.
+    """
+    start = perf_counter()
+    document = _execute_job(payload)
+    return {"document": document, "elapsed_s": perf_counter() - start}
 
 
 def execute_job_inline(job: "CampaignJob") -> Dict[str, object]:
@@ -791,7 +805,7 @@ class CampaignError(RuntimeError):
 def run_cells(
     pending: Sequence[CampaignJob],
     workers: Optional[int],
-    finish: Callable[[CampaignJob, Dict[str, object]], None],
+    finish: Callable[[CampaignJob, Dict[str, object], float], None],
     fail: Callable[[CellFailure], None],
     *,
     max_retries: int = 1,
@@ -803,9 +817,12 @@ def run_cells(
     """The cell-execution core shared by :func:`run_campaign` and the grid.
 
     Runs every admitted cell, serially (``workers <= 1``) or over a
-    ``ProcessPoolExecutor``.  A raising cell is retried up to ``max_retries``
-    times and then reported through ``fail`` -- one bad cell never aborts the
-    rest of the batch.  The hooks exist for the distributed grid path:
+    ``ProcessPoolExecutor``.  ``finish`` receives ``(job, document,
+    elapsed_s)`` -- the cell's result plus its observed wall cost, measured
+    inside the worker so pool scheduling does not inflate it.  A raising cell
+    is retried up to ``max_retries`` times and then reported through ``fail``
+    -- one bad cell never aborts the rest of the batch.  The hooks exist for
+    the distributed grid path:
 
     * ``admit`` is consulted once per cell just before its first attempt
       (lease claiming); returning False routes the cell to ``skip`` instead
@@ -850,14 +867,16 @@ def run_cells(
                     # retries and becomes a CellFailure instead of taking
                     # this process -- and all undrained results -- with it.
                     with ProcessPoolExecutor(max_workers=1) as solo:
-                        document = solo.submit(_execute_job, job.to_dict()).result()
+                        envelope = solo.submit(
+                            _execute_job_timed, job.to_dict()
+                        ).result()
                 else:
-                    document = _execute_job(job.to_dict())
+                    envelope = _execute_job_timed(job.to_dict())
             except Exception as exc:  # noqa: BLE001 - isolate per-cell faults
                 last = exc
                 continue
             settle(job)
-            finish(job, document)
+            finish(job, envelope["document"], envelope["elapsed_s"])
             return
         settle(job)
         fail(CellFailure(job=job, error=f"{type(last).__name__}: {last}",
@@ -900,7 +919,7 @@ def run_cells(
                         continue
                     admitted.add(job.fingerprint())
                     attempts[job.fingerprint()] = 1
-                    live[pool.submit(_execute_job, job.to_dict())] = job
+                    live[pool.submit(_execute_job_timed, job.to_dict())] = job
 
             refill()
             while live:
@@ -910,14 +929,14 @@ def run_cells(
                 for future in done:
                     job = live.pop(future)
                     try:
-                        document = future.result()
+                        envelope = future.result()
                     except BrokenProcessPool:
                         raise  # the pool died, not the cell: drain serially below
                     except Exception as exc:  # noqa: BLE001 - isolate per-cell faults
                         count = attempts.get(job.fingerprint(), 1)
                         if count <= max_retries:
                             attempts[job.fingerprint()] = count + 1
-                            live[pool.submit(_execute_job, job.to_dict())] = job
+                            live[pool.submit(_execute_job_timed, job.to_dict())] = job
                         else:
                             settle(job)
                             fail(CellFailure(job=job,
@@ -925,7 +944,7 @@ def run_cells(
                                              attempts=count))
                     else:
                         settle(job)
-                        finish(job, document)
+                        finish(job, envelope["document"], envelope["elapsed_s"])
                 refill()
             # Local cells run in the parent *after* the pooled loop: while
             # the pool churns, the parent sits in wait() firing tick()
@@ -1007,9 +1026,11 @@ def run_campaign(
 
     failures: List[CellFailure] = []
 
-    def finish(job: CampaignJob, document: Dict[str, object]) -> None:
+    def finish(job: CampaignJob, document: Dict[str, object],
+               elapsed_s: float) -> None:
         # Cache (and report) every cell as soon as it completes, so an
-        # interrupted campaign keeps the work it already did.
+        # interrupted campaign keeps the work it already did.  The observed
+        # cost is a grid-log concern; the in-process result ignores it.
         _store_cached(cache_path, job, document)
         results[job.fingerprint()] = (result_from_dict(document), False)
         if progress is not None:

@@ -2,49 +2,52 @@
 
 :func:`~repro.faas.campaign.run_campaign` executes a campaign inside a single
 process tree.  This module scales the same campaigns across any number of
-worker processes on any number of hosts that share one *run directory* (local
-disk, NFS, or a synced volume) -- the execution fabric of the full paper
-evaluation.  Cell fingerprints already make cells location-independent, so
-the grid only has to coordinate *who runs what*:
+worker processes on any number of hosts that share one *coordination
+backend* -- the execution fabric of the full paper evaluation.  Cell
+fingerprints already make cells location-independent, so the grid only has
+to coordinate *who runs what*:
 
 * **shard planner** -- :func:`plan_shards` deterministically partitions the
   expanded cells by fingerprint, so disjoint hosts given ``--shard 0/4`` ..
   ``--shard 3/4`` never even look at each other's cells;
 * **lease queue** -- within a shard, :class:`LeaseQueue` hands out TTL leases
-  via atomic hard-link claim files, so ad-hoc workers can join or leave and a
-  crashed worker's cells are reclaimed once its lease expires;
+  through the backend, so ad-hoc workers can join or leave and a crashed
+  worker's cells are reclaimed once its lease expires;
 * **streaming result log** -- workers append finished cells to per-shard
-  JSONL logs (:class:`~repro.faas.results.ResultLog`) as they complete, so
-  progress is durable and observable while the run is live;
-* **merge and status** -- :func:`merge_run` folds the logs (plus the ordinary
-  cell cache) into a :class:`~repro.faas.campaign.CampaignResult` one record
-  at a time, idempotently and order-independently; :func:`grid_status`
-  reports done/failed/leased/pending counts per shard.
+  record streams as they complete, so progress is durable and observable
+  while the run is live;
+* **merge and status** -- :func:`merge_run` folds the records (plus the
+  ordinary cell cache) into a :class:`~repro.faas.campaign.CampaignResult`
+  one record at a time, idempotently and order-independently;
+  :func:`grid_status` reports done/failed/leased/pending counts per shard and
+  :func:`autoscale_hint` turns them into a suggested worker count.
 
-Layout of a run directory::
-
-    RUN_DIR/
-      grid.json                   campaign spec + shard count + versions
-      leases/<fingerprint>.lease  live claims: {worker, deadline}
-      results/shard-0000.jsonl    streaming per-cell result documents
-
-Every operation is a plain file read, append, link, or rename -- there is no
-coordinator process to start, and any worker (or an operator's status/merge
-invocation) can run at any time.
+Where the state lives is pluggable (:mod:`repro.faas.backends`): the default
+:class:`~repro.faas.backends.file.FileBackend` keeps the original shared
+run-directory layout (``grid.json`` + ``leases/`` + ``results/``), the
+in-process :class:`~repro.faas.backends.memory.MemoryBackend` serves tests
+and single-host elastic workers, and
+:class:`~repro.faas.backends.object_store.ObjectStoreBackend` speaks
+S3/GCS conditional-put semantics so thousands of workers can coordinate
+through a bucket.  The merge is bit-identical to the single-process run on
+every backend.
 """
 
 from __future__ import annotations
 
+import math
+import statistics
 import json
 import os
-import re
 import socket
 import time
-import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
+from .backends import FileBackend, GridBackend
+from .backends.base import _safe_worker_id, _wall_clock
+from .backends.file import _unique_token  # noqa: F401  (re-exported seam)
 from .campaign import (
     CACHE_VERSION,
     CampaignCell,
@@ -58,7 +61,7 @@ from .campaign import (
     run_cells,
 )
 from .experiment import ExperimentResult
-from .results import ResultLog, result_from_dict
+from .results import ResultLog, result_from_dict  # noqa: F401  (ResultLog re-exported)
 
 #: Bump when the run-directory layout changes incompatibly.
 GRID_VERSION = 1
@@ -71,27 +74,6 @@ GRID_VERSION = 1
 #: mid-flight (harmless for correctness, the merge deduplicates, but wasted
 #: compute).
 DEFAULT_LEASE_TTL_S = 300.0
-
-
-def _wall_clock() -> float:
-    """The grid's one sanctioned wall-clock read.
-
-    Lease TTLs are *real-time* contracts between unrelated hosts -- "reclaim
-    my cell if I go silent for five minutes" -- so, unlike everything else in
-    the simulator, they genuinely need the wall clock.  Every deadline
-    computation flows through :attr:`LeaseQueue.clock` (defaulting to this
-    function), giving tests a single injection point instead of sleeps.
-    """
-    return time.time()  # lint: allow[R001] -- lease TTLs are real-time contracts between hosts
-
-
-def _unique_token() -> str:
-    """Collision-proof token for scratch-file names (claims, tombstones).
-
-    Pure filesystem plumbing: tokens keep racing writers from colliding on
-    temp paths and never reach results, fingerprints, or logs.
-    """
-    return uuid.uuid4().hex  # lint: allow[R001] -- scratch-path uniqueness only, never in results
 
 
 # ------------------------------------------------------------- shard planner
@@ -134,133 +116,66 @@ def parse_shard(text: str) -> Tuple[int, int]:
     return index, count
 
 
-def _safe_worker_id(worker_id: str) -> str:
-    """A filesystem-safe worker identity (used in lease and log file names)."""
-    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", worker_id).strip("._-")
-    return cleaned or "worker"
-
-
 # --------------------------------------------------------------- lease queue
-@dataclass
 class LeaseQueue:
-    """File-based TTL leases over a shared directory.
+    """One worker's view of a backend's TTL leases.
 
-    A claim atomically hard-links a uniquely named temp file onto
-    ``<fingerprint>.lease`` -- ``link(2)`` fails if the target exists, so
-    exactly one contender wins no matter how many workers race.  Reclaiming
-    an expired lease first renames it onto a unique tombstone; the rename
-    succeeds for exactly one contender, so two workers never both adopt the
-    same crashed worker's cell.
+    Binds a worker identity and TTL to a :class:`GridBackend`, so call sites
+    deal in fingerprints only.  Constructed either over a bare directory
+    (``LeaseQueue(path)`` -- the historical file-based form, still the unit
+    of coordination for standalone use) or over any backend
+    (``LeaseQueue(backend=...)``).
 
-    A worker that merely stalls past its TTL is *not* fenced: its cell may be
-    re-executed elsewhere.  That is safe here -- cells are deterministic and
-    the merge step deduplicates by fingerprint -- so the queue prefers
-    availability over exclusivity.
-
-    A finished cell's lease becomes a permanent *done marker*
-    (:meth:`mark_done`): unlike a released or expired lease it can never be
-    claimed again, so workers whose startup scan predates the completion do
-    not re-execute cells that are already in the logs.
+    The lease *semantics* -- atomic claims, one-winner expiry reclaim,
+    permanent done markers, availability over exclusivity -- are the
+    backend's contract; see :class:`~repro.faas.backends.base.GridBackend`
+    and the per-backend docs.
     """
 
-    directory: Union[str, Path]
-    worker_id: str
-    ttl_s: float = DEFAULT_LEASE_TTL_S
-    #: Injectable time source; every deadline read/write goes through this.
-    clock: Callable[[], float] = _wall_clock
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        worker_id: str = "worker",
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        clock: Optional[Callable[[], float]] = None,
+        backend: Optional[GridBackend] = None,
+    ) -> None:
+        if backend is None:
+            if directory is None:
+                raise ValueError("LeaseQueue needs a directory or a backend")
+            backend = FileBackend.for_lease_dir(
+                directory, clock=clock if clock is not None else _wall_clock
+            )
+        elif clock is not None:
+            backend.clock = clock
+        self.backend = backend
+        self.worker_id = worker_id
+        self.ttl_s = ttl_s
 
-    def __post_init__(self) -> None:
-        self.directory = Path(self.directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+    @property
+    def clock(self) -> Callable[[], float]:
+        """Injectable time source; every deadline read/write goes through this."""
+        return self.backend.clock
 
-    def _path(self, fingerprint: str) -> Path:
-        return Path(self.directory) / f"{fingerprint}.lease"
-
-    def _write_claim(self, fingerprint: str) -> Path:
-        temp = Path(self.directory) / (
-            f".{fingerprint}.{self.worker_id}.{_unique_token()}.tmp"
-        )
-        temp.write_text(json.dumps({
-            "fingerprint": fingerprint,
-            "worker": self.worker_id,
-            "deadline": self.clock() + self.ttl_s,
-        }))
-        return temp
+    @clock.setter
+    def clock(self, value: Callable[[], float]) -> None:
+        self.backend.clock = value
 
     def claim(self, fingerprint: str) -> bool:
         """Try to acquire the lease; True when this worker now holds it."""
-        path = self._path(fingerprint)
-        temp = self._write_claim(fingerprint)
-        try:
-            try:
-                os.link(temp, path)
-                return True
-            except FileExistsError:
-                pass
-            holder = self.read(fingerprint)
-            if holder is not None and holder.get("done"):
-                return False  # the cell is finished and logged; never re-claim
-            if holder is not None and float(holder.get("deadline", 0)) >= self.clock():
-                return False  # live lease held by someone else
-            # Expired or unreadable: tombstone-rename it out of the way.
-            # Exactly one contender's rename succeeds.
-            tombstone = Path(self.directory) / f".{fingerprint}.expired.{_unique_token()}"
-            try:
-                os.rename(path, tombstone)
-            except FileNotFoundError:
-                pass  # the holder released, or a rival tombstoned it first
-            else:
-                # Verify the rename swept up what we observed: a rival may
-                # have reclaimed and re-linked a *fresh* claim (or a done
-                # marker) between our read and our rename.  If so, restore
-                # it and back off instead of stealing a live lease.
-                try:
-                    snatched = json.loads(tombstone.read_text())
-                except (OSError, json.JSONDecodeError):
-                    snatched = None
-                if isinstance(snatched, dict) and (
-                    snatched.get("done")
-                    or float(snatched.get("deadline", 0)) >= self.clock()
-                ):
-                    try:
-                        os.link(tombstone, path)
-                    except FileExistsError:
-                        pass  # a third claim already took the slot
-                    tombstone.unlink(missing_ok=True)
-                    return False
-                tombstone.unlink(missing_ok=True)
-            try:
-                os.link(temp, path)
-                return True
-            except FileExistsError:
-                return False  # a rival claimed between the rename and link
-        finally:
-            temp.unlink(missing_ok=True)
+        return self.backend.claim(fingerprint, self.worker_id, self.ttl_s)
 
     def read(self, fingerprint: str) -> Optional[Dict[str, object]]:
-        try:
-            document = json.loads(self._path(fingerprint).read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        return document if isinstance(document, dict) else None
+        return self.backend.read_lease(fingerprint)
 
     def renew(self, fingerprint: str) -> bool:
         """Heartbeat: push our lease's deadline out by another TTL.
 
-        Returns False -- without touching the file -- when the lease is no
-        longer ours: a worker that stalled past its TTL and was reclaimed
-        must not clobber the reclaimer's live claim.  (A read-then-replace
-        window remains in which a rival reclaims between the ownership check
-        and the rename; the consequence is bounded -- the cell runs twice
-        and the merge deduplicates -- and closing it would need real file
-        locking, which NFS makes unreliable.)
+        Returns False -- without touching the lease -- when it is no longer
+        ours: a worker that stalled past its TTL and was reclaimed must not
+        clobber the reclaimer's live claim.
         """
-        holder = self.read(fingerprint)
-        if holder is None or holder.get("worker") != self.worker_id:
-            return False
-        temp = self._write_claim(fingerprint)
-        os.replace(temp, self._path(fingerprint))
-        return True
+        return self.backend.renew(fingerprint, self.worker_id, self.ttl_s)
 
     def mark_done(self, fingerprint: str) -> None:
         """Replace the lease with a permanent done marker.
@@ -271,43 +186,15 @@ class LeaseQueue:
         The marker is written unconditionally -- even if the lease was
         reclaimed from us mid-cell, the cell *is* done.
         """
-        temp = Path(self.directory) / (
-            f".{fingerprint}.{self.worker_id}.{_unique_token()}.tmp"
-        )
-        temp.write_text(json.dumps({
-            "fingerprint": fingerprint,
-            "worker": self.worker_id,
-            "done": True,
-        }))
-        os.replace(temp, self._path(fingerprint))
+        self.backend.mark_done(fingerprint, self.worker_id)
 
     def release(self, fingerprint: str) -> None:
-        """Drop our lease; a rival's claim (after reclaiming us) is left alone.
-
-        Only a lease confirmed to be ours is unlinked: if the file is absent
-        or unreadable (e.g. mid-way through a rival's tombstone reclaim),
-        releasing is a no-op rather than a risk of deleting the rival's fresh
-        claim an instant after it appears.
-        """
-        holder = self.read(fingerprint)
-        if holder is None or holder.get("worker") != self.worker_id:
-            return
-        self._path(fingerprint).unlink(missing_ok=True)
+        """Drop our lease; a rival's claim (after reclaiming us) is left alone."""
+        self.backend.release(fingerprint, self.worker_id)
 
     def active(self) -> Dict[str, Dict[str, object]]:
         """All unexpired leases, keyed by fingerprint."""
-        now = self.clock()
-        leases: Dict[str, Dict[str, object]] = {}
-        for path in sorted(Path(self.directory).glob("*.lease")):
-            try:
-                document = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                continue
-            if not isinstance(document, dict):
-                continue
-            if float(document.get("deadline", 0)) >= now:
-                leases[str(document.get("fingerprint", path.stem))] = document
-        return leases
+        return self.backend.active()
 
 
 # ----------------------------------------------------------------- run state
@@ -319,11 +206,23 @@ class GridScan:
     failed: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
+class _ShardAppender:
+    """Append handle for one (shard, worker) stream of a non-file backend."""
+
+    def __init__(self, backend: GridBackend, shard: int, worker_id: str) -> None:
+        self.backend = backend
+        self.shard = shard
+        self.worker_id = worker_id
+
+    def append(self, document: Dict[str, object]) -> None:
+        self.backend.append_record(self.shard, self.worker_id, document)
+
+
 @dataclass
 class GridRun:
-    """A durable, shareable campaign run directory."""
+    """A durable, shareable campaign run over a coordination backend."""
 
-    run_dir: Path
+    backend: GridBackend
     spec: CampaignSpec
     shard_count: int
 
@@ -334,126 +233,151 @@ class GridRun:
     def create(
         cls,
         spec: CampaignSpec,
-        run_dir: Union[str, Path],
+        run_dir: Optional[Union[str, Path]] = None,
         shard_count: Optional[int] = 1,
+        backend: Optional[GridBackend] = None,
     ) -> "GridRun":
-        """Initialise a run directory, or join it if it already exists.
+        """Initialise a run, or join it if it already exists.
 
-        Joining verifies that the directory was initialised for the *same*
-        campaign (identical spec document and shard count); a mismatch is an
-        error rather than a silent mixture of two different sweeps.  Passing
-        ``shard_count=None`` joins an existing run at whatever shard count it
-        was initialised with (a fresh run defaults to one shard) -- the
-        "help finish this run, any shard" entry.
+        ``run_dir`` is shorthand for a :class:`FileBackend` over that
+        directory; any other backend is passed explicitly.  Joining verifies
+        that the run was initialised for the *same* campaign (identical spec
+        document and shard count); a mismatch is an error rather than a
+        silent mixture of two different sweeps.  Passing ``shard_count=None``
+        joins an existing run at whatever shard count it was initialised with
+        (a fresh run defaults to one shard) -- the "help finish this run, any
+        shard" entry.
         """
         if shard_count is not None and shard_count < 1:
             raise ValueError("shard_count must be >= 1")
-        run_path = Path(run_dir)
-        manifest_path = run_path / cls.MANIFEST
+        backend = cls._resolve_backend(run_dir, backend)
         spec_document = json.loads(json.dumps(spec.to_dict()))
+
         def join() -> "GridRun":
-            manifest = cls._read_manifest(manifest_path)
+            manifest = cls._validated_manifest(backend)
             if shard_count is not None and int(manifest["shard_count"]) != shard_count:
                 raise ValueError(
-                    f"run directory {run_path} was initialised with "
+                    f"run directory {backend.describe()} was initialised with "
                     f"{manifest['shard_count']} shard(s), not {shard_count}"
                 )
             if manifest["spec"] != spec_document:
                 raise ValueError(
-                    f"run directory {run_path} was initialised for a different "
-                    f"campaign spec; start a fresh run directory"
+                    f"run directory {backend.describe()} was initialised for a "
+                    f"different campaign spec; start a fresh run directory"
                 )
-            return cls._from_manifest(run_path, manifest)
+            return cls._from_manifest(backend, manifest)
 
-        if manifest_path.exists():
-            return join()
-        (run_path / "leases").mkdir(parents=True, exist_ok=True)
-        (run_path / "results").mkdir(parents=True, exist_ok=True)
         manifest = {
             "grid_version": GRID_VERSION,
             "cache_version": CACHE_VERSION,
             "shard_count": int(shard_count) if shard_count is not None else 1,
             "spec": spec_document,
         }
-        temp = run_path / f".{cls.MANIFEST}.{_unique_token()}.tmp"
-        temp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        try:
-            # Exclusive link, like a lease claim: when two hosts race to
-            # initialise the same fresh directory, exactly one manifest wins
-            # and the loser validates against it instead of replacing it.
-            os.link(temp, manifest_path)
-        except FileExistsError:
-            return join()
-        finally:
-            temp.unlink(missing_ok=True)
-        return cls._from_manifest(run_path, manifest)
+        if backend.write_manifest(manifest):
+            return cls._from_manifest(backend, manifest)
+        # A manifest already exists (or a racing initialiser won): validate
+        # against it instead of replacing it.
+        return join()
 
     @classmethod
-    def open(cls, run_dir: Union[str, Path]) -> "GridRun":
-        """Open an existing run directory (the resume/status/merge entry)."""
-        run_path = Path(run_dir)
-        manifest_path = run_path / cls.MANIFEST
-        if not manifest_path.exists():
+    def open(
+        cls,
+        run_dir: Optional[Union[str, Path]] = None,
+        backend: Optional[GridBackend] = None,
+    ) -> "GridRun":
+        """Open an existing run (the resume/status/merge entry)."""
+        backend = cls._resolve_backend(run_dir, backend)
+        return cls._from_manifest(backend, cls._validated_manifest(backend))
+
+    @staticmethod
+    def _resolve_backend(
+        run_dir: Optional[Union[str, Path]], backend: Optional[GridBackend]
+    ) -> GridBackend:
+        if backend is not None:
+            return backend
+        if run_dir is None:
+            raise ValueError("GridRun needs a run_dir or a backend")
+        return FileBackend(run_dir)
+
+    @classmethod
+    def _validated_manifest(cls, backend: GridBackend) -> Dict[str, object]:
+        manifest = backend.read_manifest()
+        if manifest is None:
             raise FileNotFoundError(
-                f"{run_path} is not a grid run directory (no {cls.MANIFEST})"
+                f"{backend.describe()} is not a grid run directory "
+                f"(no {cls.MANIFEST})"
             )
-        return cls._from_manifest(run_path, cls._read_manifest(manifest_path))
-
-    @classmethod
-    def _read_manifest(cls, path: Path) -> Dict[str, object]:
-        manifest = json.loads(path.read_text())
         if manifest.get("grid_version") != GRID_VERSION:
             raise ValueError(
-                f"{path} has grid_version {manifest.get('grid_version')!r}; "
-                f"this build speaks {GRID_VERSION}"
+                f"{backend.describe()} has grid_version "
+                f"{manifest.get('grid_version')!r}; this build speaks {GRID_VERSION}"
             )
         if manifest.get("cache_version") != CACHE_VERSION:
             # Result documents in the logs were produced under different cell
             # semantics; merging them would silently mix incompatible data.
             raise ValueError(
-                f"{path} was produced with cell-cache version "
+                f"{backend.describe()} was produced with cell-cache version "
                 f"{manifest.get('cache_version')!r} (current: {CACHE_VERSION}); "
                 f"start a fresh run directory"
             )
         return manifest
 
     @classmethod
-    def _from_manifest(cls, run_path: Path, manifest: Dict[str, object]) -> "GridRun":
+    def _from_manifest(
+        cls, backend: GridBackend, manifest: Dict[str, object]
+    ) -> "GridRun":
         # Always rebuild the spec from the manifest document (not from the
         # caller's in-memory spec) so every host merges from bit-identical
         # state.
         return cls(
-            run_dir=run_path,
+            backend=backend,
             spec=CampaignSpec.from_dict(manifest["spec"]),  # type: ignore[arg-type]
             shard_count=int(manifest["shard_count"]),  # type: ignore[arg-type]
         )
 
     # -- layout -------------------------------------------------------------
     @property
+    def run_dir(self) -> Union[Path, str]:
+        """The run's location: a real path for file runs, a label otherwise."""
+        if isinstance(self.backend, FileBackend):
+            return self.backend.root
+        return self.backend.describe()
+
+    @property
     def leases_dir(self) -> Path:
-        return self.run_dir / "leases"
+        if isinstance(self.backend, FileBackend):
+            return self.backend.leases_dir
+        raise AttributeError(
+            f"{type(self.backend).__name__} keeps leases in its own medium, "
+            f"not a directory"
+        )
 
     @property
     def results_dir(self) -> Path:
-        return self.run_dir / "results"
-
-    def shard_log(self, shard: int, worker_id: str) -> ResultLog:
-        """This worker's private append segment of a shard's result stream.
-
-        Each worker appends to its own file, so no two processes -- let alone
-        two hosts over NFS, where ``O_APPEND`` is not atomic -- ever write
-        the same log file.  Readers fold all of a shard's segments together
-        (:meth:`iter_shard_records`); the merge is order-independent, so the
-        segmentation is invisible to consumers.
-        """
-        return ResultLog(
-            self.results_dir / f"shard-{shard:04d}.{_safe_worker_id(worker_id)}.jsonl"
+        if isinstance(self.backend, FileBackend):
+            return self.backend.results_dir
+        raise AttributeError(
+            f"{type(self.backend).__name__} keeps records in its own medium, "
+            f"not a directory"
         )
 
-    def iter_shard_records(self, shard: int):
+    def shard_log(self, shard: int, worker_id: str):
+        """This worker's private append segment of a shard's result stream.
+
+        For the file backend this is the worker's own JSONL
+        :class:`~repro.faas.results.ResultLog` (no two processes ever write
+        the same file); other backends return a lightweight appender bound to
+        the same ``(shard, worker)`` coordinates.  Readers fold all of a
+        shard's segments together (:meth:`iter_shard_records`); the merge is
+        order-independent, so the segmentation is invisible to consumers.
+        """
+        if isinstance(self.backend, FileBackend):
+            return self.backend.shard_log(shard, worker_id)
+        return _ShardAppender(self.backend, shard, worker_id)
+
+    def iter_shard_records(self, shard: int) -> Iterator[Dict[str, object]]:
         """Every record of a shard, streamed across all worker segments."""
-        for path in sorted(self.results_dir.glob(f"shard-{shard:04d}.*.jsonl")):
-            yield from ResultLog(path)
+        return self.backend.iter_records(shard)
 
     # -- state --------------------------------------------------------------
     def scan(self, shard: Optional[int] = None) -> GridScan:
@@ -519,6 +443,8 @@ def run_grid_worker(
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     max_retries: int = 1,
     progress: Optional[Callable[[CampaignJob, bool], None]] = None,
+    clock: Optional[Callable[[], float]] = None,
+    priority: Optional[Mapping[str, float]] = None,
 ) -> GridWorkerReport:
     """Execute (one shard of) a grid run, cooperating through the lease queue.
 
@@ -529,6 +455,13 @@ def run_grid_worker(
     to their holder, and expired leases of crashed workers are reclaimed.
     Failures are recorded in the shard logs (and the report), never raised --
     a bad cell on one host must not take down the fleet.
+
+    ``clock`` overrides the backend's time source for every lease decision
+    this run makes (tests drive expiry with a fake clock instead of sleeps).
+    ``priority`` maps fingerprints to ranks; higher-ranked pending cells are
+    attempted first (ties keep the spec's deterministic expansion order) --
+    the hook :func:`repro.analysis.artifacts.cell_priorities` feeds so cells
+    blocking a pending figure drain before cells nothing is waiting on.
 
     Lease heartbeats fire from the pool wait loop, so with ``workers > 1``
     leases stay fresh even while cells execute.  With ``workers=1`` renewal
@@ -544,7 +477,9 @@ def run_grid_worker(
         worker_id = f"{socket.gethostname()}-{os.getpid()}"
     worker_id = _safe_worker_id(worker_id)
     report = GridWorkerReport(worker_id=worker_id)
-    leases = LeaseQueue(run.leases_dir, worker_id=worker_id, ttl_s=lease_ttl_s)
+    leases = LeaseQueue(
+        backend=run.backend, worker_id=worker_id, ttl_s=lease_ttl_s, clock=clock,
+    )
     cache_path = Path(cache_dir) if cache_dir is not None else None
 
     scan = run.scan(shard)
@@ -560,7 +495,7 @@ def run_grid_worker(
         cached_document = _load_cached_document(cache_path, job)
         if cached_document is not None:
             # Log cache-served cells too, so a merge needs only the logs.
-            run.shard_log(job_shard, worker_id).append({
+            run.backend.append_record(job_shard, worker_id, {
                 "fingerprint": fingerprint,
                 "shard": job_shard,
                 "worker": worker_id,
@@ -574,6 +509,9 @@ def run_grid_worker(
                 progress(job, True)
             continue
         pending.append(job)
+    if priority:
+        # Stable sort: equal-rank cells keep the expansion order above.
+        pending.sort(key=lambda job: -float(priority.get(job.fingerprint(), 0.0)))
 
     held: set = set()
 
@@ -595,18 +533,24 @@ def run_grid_worker(
                 # heartbeating a lease that is no longer ours.
                 held.discard(fingerprint)
 
-    def finish(job: CampaignJob, document: Dict[str, object]) -> None:
+    def finish(job: CampaignJob, document: Dict[str, object],
+               elapsed_s: Optional[float] = None) -> None:
         fingerprint = job.fingerprint()
         job_shard = shard_of(fingerprint, run.shard_count)
         _store_cached(cache_path, job, document)
-        run.shard_log(job_shard, worker_id).append({
+        record: Dict[str, object] = {
             "fingerprint": fingerprint,
             "shard": job_shard,
             "worker": worker_id,
             "from_cache": False,
             "job": job.to_dict(),
             "result": document,
-        })
+        }
+        if elapsed_s is not None:
+            # Observed wall cost of this cell; autoscale_hint() medians these
+            # to size the fleet.  Merge/scan ignore unknown record keys.
+            record["elapsed_s"] = round(float(elapsed_s), 6)
+        run.backend.append_record(job_shard, worker_id, record)
         held.discard(fingerprint)
         # A done marker instead of a plain release: a concurrent worker whose
         # startup scan predates this completion must not re-claim the cell.
@@ -618,7 +562,7 @@ def run_grid_worker(
     def fail(failure: CellFailure) -> None:
         fingerprint = failure.job.fingerprint()
         job_shard = shard_of(fingerprint, run.shard_count)
-        run.shard_log(job_shard, worker_id).append({
+        run.backend.append_record(job_shard, worker_id, {
             "fingerprint": fingerprint,
             "shard": job_shard,
             "worker": worker_id,
@@ -735,7 +679,7 @@ def iter_partial_merges(
             # failure records; only count failures nobody is working on.
             merged = {cell.job.fingerprint() for cell in campaign.cells}
             scan = run.scan()
-            leases = LeaseQueue(run.leases_dir, worker_id="watch-scan").active()
+            leases = run.backend.active()
             failed = sum(
                 1 for fingerprint in scan.failed
                 if fingerprint not in leases and fingerprint not in merged
@@ -778,7 +722,7 @@ def grid_status(run: GridRun) -> List[ShardStatus]:
     always equals the shard's cell count.
     """
     scan = run.scan()
-    leases = LeaseQueue(run.leases_dir, worker_id="status-scan").active()
+    leases = run.backend.active()
     shards = plan_shards(run.spec, run.shard_count)
     statuses: List[ShardStatus] = []
     for shard, members in enumerate(shards):
@@ -800,3 +744,109 @@ def grid_status(run: GridRun) -> List[ShardStatus]:
             pending=len(members) - done - failed - leased,
         ))
     return statuses
+
+
+# ------------------------------------------------------------ autoscale hints
+#: How quickly a fleet sized by :func:`autoscale_hint` should drain the
+#: backlog: enough workers that ``pending x median cost`` clears in about
+#: this many seconds (assuming cells parallelise perfectly, which the
+#: fingerprint-disjoint grid cells do).
+DEFAULT_TARGET_DRAIN_S = 120.0
+
+#: Suggested fleet size when nothing has executed yet (no observed cost to
+#: extrapolate from): enough workers to make quick progress, few enough not
+#: to stampede a backend for a possibly tiny run.
+_COLD_START_WORKER_CAP = 8
+
+
+@dataclass(frozen=True)
+class AutoscaleHint:
+    """Elastic-worker sizing derived from observed cell cost.
+
+    ``median_cost_s`` is the median wall time of the cells the run has
+    actually executed (cache-served cells are excluded -- they say nothing
+    about compute cost); ``backlog_s`` extrapolates it over the pending
+    cells.  ``suggested_workers`` is the fleet that drains that backlog in
+    about ``target_drain_s``, clamped to ``[1, pending]`` -- never more
+    workers than there are cells to hand out, never zero while work remains.
+    """
+
+    pending: int
+    leased: int
+    failed: int
+    observed_cells: int
+    median_cost_s: Optional[float]
+    backlog_s: Optional[float]
+    target_drain_s: float
+    suggested_workers: int
+
+    def describe(self) -> str:
+        """One status line; always contains ``suggested workers: N``."""
+        if self.pending == 0:
+            if self.failed:
+                tail = f"{self.failed} failed cell(s) need fixes, not workers"
+            elif self.leased:
+                tail = f"{self.leased} cell(s) in flight elsewhere"
+            else:
+                tail = "run complete"
+            return f"autoscale: 0 pending cell(s); suggested workers: 0 ({tail})"
+        if self.median_cost_s is None:
+            return (
+                f"autoscale: {self.pending} pending cell(s), no observed cell "
+                f"cost yet; suggested workers: {self.suggested_workers}"
+            )
+        return (
+            f"autoscale: {self.pending} pending cell(s) x "
+            f"{self.median_cost_s:.3f}s median observed cell cost = "
+            f"{self.backlog_s:.1f}s backlog; suggested workers: "
+            f"{self.suggested_workers} (target drain {self.target_drain_s:.0f}s)"
+        )
+
+
+def autoscale_hint(
+    run: GridRun,
+    statuses: Optional[List[ShardStatus]] = None,
+    target_drain_s: float = DEFAULT_TARGET_DRAIN_S,
+) -> AutoscaleHint:
+    """Suggest a worker count for a run: pending cells x observed cell cost.
+
+    Executed cells log their wall time (``elapsed_s``); the median over every
+    such record, times the pending-cell count, estimates the remaining
+    compute.  Dividing by ``target_drain_s`` sizes a fleet that clears it in
+    roughly that long.  Before anything has executed the hint falls back to
+    ``min(pending, 8)`` -- enough to start learning the cost.  Leased cells
+    are someone's already; they count toward neither backlog nor fleet.
+    """
+    if statuses is None:
+        statuses = grid_status(run)
+    pending = sum(status.pending for status in statuses)
+    leased = sum(status.leased for status in statuses)
+    failed = sum(status.failed for status in statuses)
+    costs: List[float] = []
+    for shard in range(run.shard_count):
+        for record in run.iter_shard_records(shard):
+            if record.get("from_cache") or not isinstance(record.get("result"), dict):
+                continue
+            elapsed = record.get("elapsed_s")
+            if isinstance(elapsed, (int, float)) and elapsed >= 0:
+                costs.append(float(elapsed))
+    median = statistics.median(costs) if costs else None
+    if pending == 0:
+        backlog = 0.0 if median is not None else None
+        suggested = 0
+    elif median is None:
+        backlog = None
+        suggested = min(pending, _COLD_START_WORKER_CAP)
+    else:
+        backlog = pending * median
+        suggested = max(1, min(pending, math.ceil(backlog / target_drain_s)))
+    return AutoscaleHint(
+        pending=pending,
+        leased=leased,
+        failed=failed,
+        observed_cells=len(costs),
+        median_cost_s=median,
+        backlog_s=backlog,
+        target_drain_s=target_drain_s,
+        suggested_workers=suggested,
+    )

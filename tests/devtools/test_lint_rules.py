@@ -176,3 +176,90 @@ class TestR007EventHandlerPurity:
         flagged = tmp_path / "engine.py"
         flagged.write_text(source)
         assert len(run_lint([flagged], [rule], root=tmp_path)) == 1
+
+
+class TestR008BackendProtocol:
+    def test_flags_gaps_drift_and_filesystem_leaks(self):
+        from repro.devtools.lint.rules import BackendProtocolRule
+
+        findings = lint_fixture("r008_bad.py", BackendProtocolRule())
+        messages = [f.message for f in findings]
+        assert all(f.rule_id == "R008" for f in findings)
+        # IncompleteBackend: two missing protocol methods.
+        assert any(
+            "'IncompleteBackend' is missing protocol method renew" in m
+            for m in messages
+        )
+        assert any(
+            "'IncompleteBackend' is missing protocol method active" in m
+            for m in messages
+        )
+        # MismatchedBackend: two renamed/dropped-parameter signatures.
+        assert any(
+            "'MismatchedBackend' method claim has signature "
+            "(self, fp, who, lease_seconds)" in m
+            for m in messages
+        )
+        assert any(
+            "'MismatchedBackend' method append_record" in m for m in messages
+        )
+        # LeakyBackend: pathlib, open(), and os filesystem access.
+        assert any(
+            "'LeakyBackend' performs filesystem access: pathlib.Path()" in m
+            for m in messages
+        )
+        assert any(
+            "'LeakyBackend' performs filesystem access: open()" in m
+            for m in messages
+        )
+        assert any(
+            "'LeakyBackend' performs filesystem access: os.listdir()" in m
+            for m in messages
+        )
+        assert len(findings) == 7
+
+    def test_hints_point_at_the_protocol_and_the_medium(self):
+        from repro.devtools.lint.rules import BackendProtocolRule
+
+        findings = lint_fixture("r008_bad.py", BackendProtocolRule())
+        assert findings
+        for finding in findings:
+            if "filesystem access" in finding.message:
+                assert "FileBackend's private concern" in finding.hint
+            else:
+                assert "repro.faas.backends.base.GridBackend" in finding.hint
+
+    def test_clean_on_compliant_file_backend_and_bystanders(self):
+        from repro.devtools.lint.rules import BackendProtocolRule
+
+        assert lint_fixture("r008_good.py", BackendProtocolRule()) == []
+
+    def test_backends_package_modules_are_filesystem_free(self, tmp_path):
+        from repro.devtools.lint.framework import run_lint
+        from repro.devtools.lint.rules import BackendProtocolRule
+
+        package = tmp_path / "faas" / "backends"
+        package.mkdir(parents=True)
+        source = (
+            "import os\n"
+            "def helper(path):\n"
+            "    return os.listdir(path)\n"
+        )
+        # Module-level filesystem access in the package is flagged even
+        # outside a backend class body...
+        leaky = package / "redis.py"
+        leaky.write_text(source)
+        rule = BackendProtocolRule()
+        assert len(run_lint([leaky], [rule], root=tmp_path)) == 1
+        # ...but file.py is the sanctioned home for it.
+        sanctioned = package / "file.py"
+        sanctioned.write_text(source)
+        assert run_lint([sanctioned], [rule], root=tmp_path) == []
+
+    def test_real_backends_lint_clean(self):
+        from repro.devtools.lint.rules import BackendProtocolRule
+
+        root = Path(__file__).resolve().parents[2] / "src"
+        modules = sorted((root / "repro" / "faas" / "backends").glob("*.py"))
+        assert modules
+        assert run_lint(modules, [BackendProtocolRule()], root=root) == []

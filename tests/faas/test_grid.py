@@ -305,15 +305,17 @@ class TestGridExecution:
         spec = tiny_spec()
         run = GridRun.create(spec, tmp_path / "run", shard_count=2)
         run_grid_worker(run, shard=0, workers=1)
-        # The "crashed" worker died holding a lease on a shard-1 cell.  Its
-        # queue ran on an epoch-zero clock, so the deadline it wrote is far
-        # in the past for the resuming worker's real wall clock -- an
-        # already-expired lease without any sleeping.
+        # The "crashed" worker died holding a lease on a shard-1 cell.  Both
+        # workers share one injected clock; advancing it past the TTL makes
+        # the crash lease expired for the resuming worker without sleeping.
+        clock = FakeClock()
         victim = plan_shards(spec, 2)[1][0]
         crashed = LeaseQueue(run.leases_dir, worker_id="crashed", ttl_s=30.0,
-                             clock=FakeClock(0.0))
+                             clock=clock)
         assert crashed.claim(victim.fingerprint())
-        resumed = run_grid_worker(run, workers=1, lease_ttl_s=30.0)
+        clock.advance(31.0)
+        resumed = run_grid_worker(run, workers=1, lease_ttl_s=30.0,
+                                  clock=clock)
         assert resumed.already_done == 3  # shard 0's cells were not redone
         assert resumed.executed == 1      # the reclaimed cell ran here
         assert merge_run(run).cells and len(merge_run(run).cells) == 4

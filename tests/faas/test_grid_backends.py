@@ -1,0 +1,346 @@
+"""Fault-injection tests for the pluggable grid coordination backends.
+
+Every backend must honour the same protocol invariants (claim exclusivity,
+one-winner expiry reclaim, done permanence, append durability, manifest
+exclusivity) and -- the acceptance bar -- produce a ``merge_run`` document
+bit-identical to the single-process ``run_campaign``, whatever faults the
+run suffered along the way.  The suite parametrizes the invariants over all
+three shipped backends with an injected clock, so expiry races are driven
+by advancing time, never by sleeping.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.artifacts import cell_priorities, plan_artifacts
+from repro.faas import (
+    CampaignSpec,
+    FileBackend,
+    GridBackend,
+    GridRun,
+    LocalObjectStore,
+    MemoryBackend,
+    ObjectStoreBackend,
+    autoscale_hint,
+    create_backend,
+    grid_status,
+    merge_run,
+    plan_shards,
+    run_campaign,
+    run_grid_worker,
+)
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    """4 cells that split 3/1 over two planner shards (same as test_grid)."""
+    params = dict(
+        benchmarks=("function_chain",),
+        platforms=("aws", "azure"),
+        seeds=(0, 1),
+        burst_size=2,
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+def canonical(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class FakeClock:
+    """Injectable backend clock: expiry by advancing time, not sleeping."""
+
+    def __init__(self, now: float = 1_000_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(params=["file", "memory", "object-store"])
+def backend(request, tmp_path) -> GridBackend:
+    """One of each shipped backend, fresh, on a fake clock."""
+    clock = FakeClock()
+    if request.param == "file":
+        return FileBackend(tmp_path / "run", clock=clock)
+    if request.param == "memory":
+        return MemoryBackend(name="test", clock=clock)
+    return ObjectStoreBackend(LocalObjectStore(), prefix="runs/a", clock=clock)
+
+
+class TestLeaseInvariants:
+    def test_claim_is_exclusive_until_expiry(self, backend):
+        assert backend.claim(FP_A, "a", 30.0)
+        assert not backend.claim(FP_A, "b", 30.0)
+        backend.clock.advance(29.0)
+        assert not backend.claim(FP_A, "b", 30.0)  # still live
+        backend.clock.advance(2.0)
+        assert backend.claim(FP_A, "b", 30.0)  # expired: reclaimable
+
+    def test_expired_reclaim_has_exactly_one_winner(self, backend):
+        assert backend.claim(FP_A, "crashed", 30.0)
+        backend.clock.advance(31.0)
+        winners = [backend.claim(FP_A, rival, 300.0) for rival in ("r1", "r2")]
+        assert winners == [True, False]  # r1's fresh lease fences r2 out
+
+    def test_renew_is_fenced_after_reclaim(self, backend):
+        assert backend.claim(FP_A, "slow", 30.0)
+        assert backend.renew(FP_A, "slow", 30.0)  # ours, still live
+        backend.clock.advance(31.0)
+        assert backend.claim(FP_A, "rival", 300.0)
+        # The stalled worker must not clobber the reclaimer's live claim.
+        assert not backend.renew(FP_A, "slow", 30.0)
+        assert backend.read_lease(FP_A)["worker"] == "rival"
+
+    def test_done_markers_are_permanent(self, backend):
+        assert backend.claim(FP_A, "a", 30.0)
+        backend.mark_done(FP_A, "a")
+        assert not backend.claim(FP_A, "b", 30.0)
+        backend.clock.advance(1_000_000.0)
+        assert not backend.claim(FP_A, "b", 30.0)  # no TTL on done
+
+    def test_release_reopens_only_for_the_holder(self, backend):
+        assert backend.claim(FP_A, "a", 300.0)
+        backend.release(FP_A, "bystander")  # not the holder: no-op
+        assert not backend.claim(FP_A, "b", 300.0)
+        backend.release(FP_A, "a")
+        assert backend.claim(FP_A, "b", 300.0)
+
+    def test_active_tracks_live_leases_only(self, backend):
+        assert backend.claim(FP_A, "a", 30.0)
+        assert backend.claim(FP_B, "b", 300.0)
+        assert set(backend.active()) == {FP_A, FP_B}
+        backend.clock.advance(31.0)  # FP_A expires, FP_B lives on
+        assert set(backend.active()) == {FP_B}
+        backend.mark_done(FP_B, "b")  # done markers are not active leases
+        assert backend.active() == {}
+
+
+class TestRecordsAndManifest:
+    def test_appends_from_two_workers_interleave(self, backend):
+        backend.append_record(0, "w1", {"fingerprint": FP_A, "n": 1})
+        backend.append_record(0, "w2", {"fingerprint": FP_B, "n": 2})
+        backend.append_record(1, "w1", {"fingerprint": FP_A, "n": 3})
+        shard0 = list(backend.iter_records(0))
+        assert sorted(record["n"] for record in shard0) == [1, 2]
+        assert [record["n"] for record in backend.iter_records(1)] == [3]
+
+    def test_manifest_is_written_exactly_once(self, backend):
+        manifest = {"grid_version": 1, "shard_count": 2}
+        assert backend.read_manifest() is None
+        assert backend.write_manifest(manifest)
+        assert not backend.write_manifest({"grid_version": 1, "shard_count": 9})
+        assert backend.read_manifest() == manifest
+
+
+class TestLocalObjectStoreFake:
+    def test_etag_guards_behave_like_http_412(self):
+        store = LocalObjectStore()
+        etag = store.put("k", "v1")
+        assert etag is not None
+        assert store.put("k", "v2", if_absent=True) is None  # already exists
+        assert store.put("k", "v2", if_match="g999") is None  # stale etag
+        fresh = store.put("k", "v2", if_match=etag)
+        assert fresh is not None and fresh != etag  # every write bumps
+        assert store.get("k") == ("v2", fresh)
+        assert not store.delete("k", if_match=etag)  # stale guard
+        assert store.delete("k", if_match=fresh)
+        assert store.get("k") is None
+
+    def test_keys_lists_by_prefix(self):
+        store = LocalObjectStore()
+        for key in ("a/1", "a/2", "b/1"):
+            store.put(key, "x")
+        assert store.keys("a/") == ["a/1", "a/2"]
+
+
+class TestFaultInjection:
+    """Grid runs that crash, race, and duplicate -- merges stay bit-identical."""
+
+    def test_worker_crash_mid_claim_is_reclaimed(self, backend):
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=backend, shard_count=2)
+        victim = plan_shards(spec, 2)[1][0]
+        # The crashed worker died holding a live lease; it expires on the
+        # injected clock, and the resuming worker reclaims and finishes.
+        assert backend.claim(victim.fingerprint(), "crashed", 30.0)
+        backend.clock.advance(31.0)
+        report = run_grid_worker(run, workers=1, lease_ttl_s=30.0,
+                                 clock=backend.clock)
+        assert report.executed == 4
+        assert canonical(merge_run(run)) == \
+            canonical(run_campaign(spec, workers=1))
+
+    def test_live_lease_blocks_until_expiry(self, backend):
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=backend, shard_count=1)
+        victim = spec.expand()[0]
+        assert backend.claim(victim.fingerprint(), "other-host", 300.0)
+        first = run_grid_worker(run, workers=1, clock=backend.clock)
+        assert first.skipped_leased == 1 and first.executed == 3
+        with pytest.raises(ValueError, match="incomplete"):
+            merge_run(run)
+        backend.clock.advance(301.0)  # the other host never came back
+        second = run_grid_worker(run, workers=1, clock=backend.clock)
+        assert second.executed == 1 and second.already_done == 3
+        assert canonical(merge_run(run)) == \
+            canonical(run_campaign(spec, workers=1))
+
+    def test_duplicate_and_torn_records_heal_at_merge(self, backend):
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=backend, shard_count=1)
+        run_grid_worker(run, workers=1, clock=backend.clock)
+        golden = canonical(run_campaign(spec, workers=1))
+        assert canonical(merge_run(run)) == golden
+        records = list(run.iter_shard_records(0))
+        # A retried worker appended the same cell twice...
+        backend.append_record(0, "retry", records[0])
+        # ...a cell recorded a failure before its eventual success...
+        backend.append_record(0, "retry", {
+            "fingerprint": records[0]["fingerprint"],
+            "shard": 0, "worker": "retry", "error": "boom", "attempts": 1,
+        })
+        # ...a record arrived torn (non-dict result payload)...
+        backend.append_record(0, "retry", {
+            "fingerprint": records[1]["fingerprint"],
+            "shard": 0, "worker": "retry", "result": "truncat",
+        })
+        # ...and a foreign record from some other sweep leaked in.
+        backend.append_record(0, "stray", {
+            "fingerprint": "f" * 64, "shard": 0, "worker": "stray",
+            "result": {"bogus": True},
+        })
+        if isinstance(backend, FileBackend):
+            # A torn JSONL line (the crash the per-record object stores
+            # cannot even express) must be skipped, not fatal.
+            torn = backend.results_dir / "shard-0000.torn.jsonl"
+            torn.write_text('{"fingerprint": "' + "c" * 64 + '", "resu')
+        assert canonical(merge_run(run)) == golden
+
+    def test_sharded_run_merges_bit_identical(self, backend):
+        """Acceptance: two shard-pinned workers over any backend merge to
+        the exact single-process document."""
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=backend, shard_count=2)
+        run_grid_worker(run, shard=0, workers=1, clock=backend.clock)
+        run_grid_worker(run, shard=1, workers=1, clock=backend.clock)
+        assert canonical(merge_run(run)) == \
+            canonical(run_campaign(spec, workers=1))
+
+    def test_rejoining_a_different_spec_is_refused(self, backend):
+        GridRun.create(tiny_spec(), backend=backend, shard_count=1)
+        with pytest.raises(ValueError, match="different campaign spec"):
+            GridRun.create(tiny_spec(seeds=(7,)), backend=backend,
+                           shard_count=1)
+
+
+class TestAutoscaleHint:
+    def test_fresh_run_falls_back_to_capped_fleet(self, tmp_path):
+        run = GridRun.create(tiny_spec(), backend=MemoryBackend(),
+                             shard_count=1)
+        hint = autoscale_hint(run)
+        assert hint.pending == 4 and hint.observed_cells == 0
+        assert hint.median_cost_s is None
+        assert hint.suggested_workers == 4  # min(pending, cold-start cap)
+        assert "no observed cell cost" in hint.describe()
+        assert "suggested workers: 4" in hint.describe()
+
+    def test_partial_run_extrapolates_observed_cost(self):
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=MemoryBackend(), shard_count=2)
+        run_grid_worker(run, shard=0, workers=1)  # 3 of 4 cells
+        hint = autoscale_hint(run)
+        assert hint.pending == 1
+        assert hint.observed_cells == 3
+        assert hint.median_cost_s is not None and hint.median_cost_s > 0
+        assert hint.backlog_s == pytest.approx(hint.median_cost_s)
+        assert 1 <= hint.suggested_workers <= hint.pending
+        assert "suggested workers: 1" in hint.describe()
+
+    def test_complete_run_suggests_zero(self):
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=MemoryBackend(), shard_count=1)
+        run_grid_worker(run, workers=1)
+        hint = autoscale_hint(run)
+        assert hint.pending == 0 and hint.suggested_workers == 0
+        assert "suggested workers: 0 (run complete)" in hint.describe()
+
+    def test_big_backlog_wants_more_workers(self):
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=MemoryBackend(), shard_count=2)
+        run_grid_worker(run, shard=0, workers=1)
+        # A vanishing drain target asks for an enormous fleet; the hint is
+        # clamped to the pending-cell count -- idle workers help nobody.
+        hint = autoscale_hint(run, target_drain_s=1e-9)
+        assert hint.suggested_workers == hint.pending == 1
+
+    def test_statuses_can_be_precomputed(self):
+        run = GridRun.create(tiny_spec(), backend=MemoryBackend(),
+                             shard_count=1)
+        statuses = grid_status(run)
+        assert autoscale_hint(run, statuses).pending == 4
+
+
+class TestArtifactPriorities:
+    def test_priority_orders_pending_cells(self):
+        spec = tiny_spec()
+        run = GridRun.create(spec, backend=MemoryBackend(), shard_count=1)
+        jobs = spec.expand()
+        favourite = jobs[-1].fingerprint()
+        order = []
+        run_grid_worker(
+            run, workers=1,
+            priority={favourite: 5.0},
+            progress=lambda job, cached: order.append(job.fingerprint()),
+        )
+        assert order[0] == favourite
+        # Ties keep the spec's deterministic expansion order.
+        assert order[1:] == [j.fingerprint() for j in jobs[:-1]]
+
+    def test_cell_priorities_counts_pending_artifacts(self):
+        plan = plan_artifacts(["figure7", "figure8"])
+        priorities = cell_priorities(plan)
+        assert set(priorities) == {job.fingerprint() for job in plan.jobs}
+        assert all(count >= 1 for count in priorities.values())
+        shared = plan.requested_cells - len(plan.jobs)
+        assert (max(priorities.values()) >= 2) == (shared > 0)
+
+    def test_finished_artifacts_stop_boosting(self):
+        plan = plan_artifacts(["figure7"])
+
+        class _Done:
+            def index(self_inner):
+                return {job.cell_key: object() for job in plan.jobs}
+
+        assert cell_priorities(plan, _Done()) == {}
+
+
+class TestCreateBackend:
+    def test_memory_urls_share_named_instances(self):
+        assert create_backend("memory://ci") is create_backend("memory://ci")
+        assert create_backend("memory://ci") is not create_backend("memory://x")
+        assert isinstance(create_backend("memory"), MemoryBackend)
+
+    def test_fake_object_urls_share_the_bucket(self):
+        first = create_backend("fake-object://bucket/run1")
+        second = create_backend("fake-object://bucket/run2")
+        assert isinstance(first, ObjectStoreBackend)
+        assert first.store is second.store  # same bucket
+        assert first.prefix == "run1/" and second.prefix == "run2/"
+
+    def test_rejections_carry_guidance(self):
+        with pytest.raises(ValueError, match="pass --run-dir"):
+            create_backend("file")
+        with pytest.raises(ValueError, match="fake-object://"):
+            create_backend("s3://real-bucket/prefix")
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("carrier-pigeon")
+        with pytest.raises(ValueError, match="needs a bucket"):
+            create_backend("fake-object://")

@@ -1,0 +1,96 @@
+"""R008 positive fixture: protocol gaps, signature drift, filesystem leaks."""
+
+import os
+from pathlib import Path
+
+from repro.faas.backends import GridBackend
+
+
+class IncompleteBackend(GridBackend):
+    """Misses renew and active entirely: two findings."""
+
+    def claim(self, fingerprint, worker_id, ttl_s):
+        return True
+
+    def mark_done(self, fingerprint, worker_id):
+        pass
+
+    def release(self, fingerprint, worker_id):
+        pass
+
+    def append_record(self, shard, worker_id, document):
+        pass
+
+    def iter_records(self, shard):
+        return iter(())
+
+    def read_manifest(self):
+        return None
+
+    def write_manifest(self, manifest):
+        return True
+
+
+class MismatchedBackend(GridBackend):
+    """Full method set, but claim renamed its params and append_record
+    dropped worker_id: two findings."""
+
+    def claim(self, fp, who, lease_seconds):
+        return True
+
+    def renew(self, fingerprint, worker_id, ttl_s):
+        return True
+
+    def mark_done(self, fingerprint, worker_id):
+        pass
+
+    def release(self, fingerprint, worker_id):
+        pass
+
+    def active(self):
+        return {}
+
+    def append_record(self, shard, document):
+        pass
+
+    def iter_records(self, shard):
+        return iter(())
+
+    def read_manifest(self):
+        return None
+
+    def write_manifest(self, manifest):
+        return True
+
+
+class LeakyBackend(GridBackend):
+    """Protocol-complete but smuggles the filesystem back in: three findings."""
+
+    def claim(self, fingerprint, worker_id, ttl_s):
+        Path("leases").write_text(fingerprint)  # pathlib leak
+        return True
+
+    def renew(self, fingerprint, worker_id, ttl_s):
+        return True
+
+    def mark_done(self, fingerprint, worker_id):
+        pass
+
+    def release(self, fingerprint, worker_id):
+        with open("leases.json") as handle:  # open() leak
+            handle.read()
+
+    def active(self):
+        return {name: {} for name in os.listdir("leases")}  # os leak
+
+    def append_record(self, shard, worker_id, document):
+        pass
+
+    def iter_records(self, shard):
+        return iter(())
+
+    def read_manifest(self):
+        return None
+
+    def write_manifest(self, manifest):
+        return True
