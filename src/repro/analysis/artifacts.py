@@ -49,6 +49,7 @@ from ..faas.campaign import (
     run_campaign,
 )
 from ..faas.workload import WorkloadSpec
+from ..observability import current_registry, span
 from ..sim.platforms.spec import PlatformSpec
 
 #: The paper's cloud platforms, in its display order.
@@ -416,6 +417,10 @@ def render_artifact(
         for request in requests
         if campaign is None or not campaign.has_job(request.job())
     ]
+    current_registry().gauge(
+        "repro_artifact_cells_pending",
+        "Campaign cells an artifact still needs before it can render.",
+    ).set(len(missing), artifact=spec.name)
     rendered = RenderedArtifact(
         name=spec.name,
         title=spec.title,
@@ -430,8 +435,9 @@ def render_artifact(
             f"cell(s) not merged yet)"
         )
         return rendered
-    rendered.data = spec.build(campaign, config)
-    rendered.text = (spec.text or _default_text)(rendered.data)
+    with span("artifact_render", artifact=spec.name):
+        rendered.data = spec.build(campaign, config)
+        rendered.text = (spec.text or _default_text)(rendered.data)
     return rendered
 
 

@@ -75,6 +75,13 @@ from .devtools.lint.cli import add_lint_arguments
 from .devtools.lint.cli import run_from_args as lint_run_from_args
 from .faas.grid import DEFAULT_LEASE_TTL_S
 from .faas.results import result_to_dict
+from .observability import telemetry_session
+from .serve import (
+    aggregate_run_metrics,
+    cache_hit_rate,
+    cells_per_second,
+    serve as serve_run,
+)
 from .sim.platforms.spec import (
     DEFAULT_ERA,
     PlatformSpec,
@@ -256,11 +263,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-id", default=None,
         help="grid worker identity in leases/logs (default: hostname-pid)",
     )
+    campaign.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="stream metrics snapshots and span events as JSONL into this "
+             "directory (one file per process; point it at RUN_DIR/telemetry "
+             "so campaign-status --metrics and `repro-flow serve` find it)",
+    )
 
     status = subparsers.add_parser(
         "campaign-status", help="report per-shard progress of a grid run directory"
     )
     status.add_argument("run_dir", help="grid run directory (see campaign --run-dir)")
+    status.add_argument(
+        "--metrics", action="store_true",
+        help="also merge the workers' --telemetry streams into a cluster-wide "
+             "metrics view (cells/sec, cache hit rate, queue depth)",
+    )
+    status.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="telemetry directory for --metrics (default: RUN_DIR/telemetry)",
+    )
 
     merge = subparsers.add_parser(
         "campaign-merge",
@@ -276,6 +298,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="merge whatever is finished so far (workers may still be live)",
     )
     merge.add_argument("--output", help="write the merged campaign result as JSON")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="HTTP front door onto a grid run: /metrics (Prometheus), "
+             "/status (JSON), /events (SSE merge progress)",
+    )
+    serve_parser.add_argument("run_dir", help="grid run directory (see campaign --run-dir)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8000,
+                              help="listen port (0 picks a free one; default: %(default)s)")
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="per-cell result cache folded into the /events partial merges",
+    )
+    serve_parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="telemetry directory to aggregate (default: RUN_DIR/telemetry)",
+    )
+    serve_parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between /events progress polls (default: %(default)s)",
+    )
 
     figures = subparsers.add_parser(
         "figures",
@@ -709,7 +753,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 3 if worker_report.failed else 0
 
 
-def _cmd_campaign_status(run_dir: str) -> int:
+def _cmd_campaign_status(run_dir: str, metrics: bool = False,
+                         telemetry: Optional[str] = None) -> int:
     run = GridRun.open(run_dir)
     statuses = grid_status(run)
     print(report.format_table([s.as_row() for s in statuses],
@@ -722,8 +767,43 @@ def _cmd_campaign_status(run_dir: str) -> int:
     print(f"cells: {done}/{total} done, {failed} failed, {leased} leased, "
           f"{pending} pending")
     print(autoscale_hint(run, statuses).describe())
+    if metrics:
+        # The exact registry `repro-flow serve` scrapes: merged per-worker
+        # telemetry snapshots plus freshly computed whole-run gauges.
+        view = aggregate_run_metrics(run_dir, telemetry=telemetry)
+        print(f"telemetry: {view.writers} writer file(s) merged")
+        throughput = cells_per_second(view.registry)
+        if throughput is not None:
+            print(f"cells/sec: {throughput:.3f}")
+        else:
+            print("cells/sec: n/a (no executed cells in telemetry)")
+        rate = cache_hit_rate(view.registry)
+        if rate is not None:
+            fraction, hits, misses = rate
+            print(f"cache hit rate: {fraction * 100:.1f}% "
+                  f"({hits} hits, {misses} misses)")
+        else:
+            print("cache hit rate: n/a (no cache probes in telemetry)")
+        print(f"queue depth: {leased}")
     if done == total:
         print("run complete")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    def ready(host: str, port: int) -> None:
+        print(f"serving grid run {args.run_dir} on http://{host}:{port} "
+              f"(/metrics, /status, /events; Ctrl-C to stop)", flush=True)
+
+    serve_run(
+        args.run_dir,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        telemetry=args.telemetry,
+        interval_s=args.interval,
+        ready=ready,
+    )
     return 0
 
 
@@ -971,11 +1051,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "campaign":
+            if args.telemetry:
+                # Every metric written by this process (campaign counters,
+                # engine monitor, backend ops, autoscale gauges) streams into
+                # one per-pid JSONL file; a final snapshot lands on exit.
+                with telemetry_session(args.telemetry, label="campaign"):
+                    return _cmd_campaign(args)
             return _cmd_campaign(args)
         if args.command == "campaign-status":
-            return _cmd_campaign_status(args.run_dir)
+            return _cmd_campaign_status(args.run_dir, metrics=args.metrics,
+                                        telemetry=args.telemetry)
         if args.command == "campaign-merge":
             return _cmd_campaign_merge(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "figures":
             return _cmd_figures(args)
         if args.command == "report":

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ...observability import EngineMonitor, MetricsRegistry, span, use_registry
 from ...sim.engine import Environment, Resource
 
 #: Number of processes contending in the resource cell; capacity stays far
@@ -155,6 +156,44 @@ def _measure_timeout_storm(profile: BenchProfile, state: object) -> BenchSample:
     elapsed = perf_counter() - start
     if fired[0] != n:
         raise RuntimeError(f"storm dropped arrivals: {fired[0]}/{n}")
+    return BenchSample(units=n, seconds=elapsed)
+
+
+def _measure_telemetry_overhead(profile: BenchProfile,
+                                state: object) -> BenchSample:
+    """The timeout storm with telemetry fully enabled.
+
+    Same arrival lattice as ``engine.timeout_storm``, but run under a
+    recording :class:`MetricsRegistry` with an :class:`EngineMonitor`
+    attached through the engine's seam and a span wrapping the run -- the
+    most instrumented configuration a campaign cell can see.  Comparing this
+    cell's rate against ``engine.timeout_storm`` in the same document bounds
+    the *enabled*-path cost; comparing ``engine.timeout_storm`` across bench
+    documents bounds the no-op path (gated at <2% by the tier-1 suite).
+    """
+    registry = MetricsRegistry(name="bench")
+    n = profile.engine_events
+    fired = [0]
+
+    def hit() -> None:
+        fired[0] += 1
+
+    delays = [index * 1e-4 for index in range(n)]
+    with use_registry(registry):
+        env = Environment()
+        set_monitor = getattr(env, "set_monitor", None)
+        if set_monitor is not None:
+            set_monitor(EngineMonitor())
+        start = perf_counter()
+        with span("bench_telemetry_storm"):
+            schedule_arrivals(env, delays, hit)
+            env.run()
+        elapsed = perf_counter() - start
+    if fired[0] != n:
+        raise RuntimeError(f"storm dropped arrivals: {fired[0]}/{n}")
+    if set_monitor is not None and \
+            registry.counter("repro_engine_events_total").value() < n:
+        raise RuntimeError("engine monitor recorded no events; seam broken")
     return BenchSample(units=n, seconds=elapsed)
 
 
@@ -367,6 +406,7 @@ def _cleanup_backend_file(state: object) -> None:
 
 _CELL_PARAMS: Dict[str, Callable[[BenchProfile], Dict[str, object]]] = {
     "engine.timeout_storm": lambda p: {"arrivals": p.engine_events},
+    "engine.telemetry_overhead": lambda p: {"arrivals": p.engine_events},
     "engine.process_chain": lambda p: {"links": p.engine_events},
     "engine.resource_contention": lambda p: {
         "cycles": max(1, p.resource_ops // CONTENTION_WORKERS)
@@ -387,6 +427,13 @@ ALL_CELLS: Tuple[BenchCell, ...] = (
         description="open-loop arrival storm through the bulk scheduling lane "
                     "(falls back to one wrapper process per arrival on "
                     "engines without schedule_batch)",
+    ),
+    BenchCell(
+        name="engine.telemetry_overhead", unit="events/s",
+        measure=_measure_telemetry_overhead,
+        description="the timeout storm with a recording registry, attached "
+                    "EngineMonitor, and a span -- telemetry's enabled-path "
+                    "cost relative to engine.timeout_storm",
     ),
     BenchCell(
         name="engine.process_chain", unit="events/s",

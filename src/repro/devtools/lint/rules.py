@@ -22,6 +22,10 @@ R008 backend-protocol        every ``GridBackend`` implementation defines the
                              full lease/record/manifest protocol with matching
                              signatures, and filesystem access stays inside
                              ``FileBackend``
+R009 telemetry-purity        metric/span calls never run inside event-handler
+                             bodies (the engine is instrumented only through
+                             the external ``set_monitor`` seam), and nothing
+                             under ``sim/`` imports the observability package
 ==== ======================= =====================================================
 
 Each rule is pure AST analysis over one file; cross-file state (R002's
@@ -829,6 +833,138 @@ class BackendProtocolRule(Rule):
         return None
 
 
+# ------------------------------------------------------------------------ R009
+def _telemetry_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the observability package (any import spelling).
+
+    Unlike :func:`_import_aliases` this resolves *relative* imports too
+    (``from ..observability import span``), because telemetry is imported
+    relatively everywhere inside the package.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if "observability" in module:
+                for item in node.names:
+                    if item.name != "*":
+                        names.add(item.asname or item.name)
+            else:
+                for item in node.names:
+                    if "observability" in item.name:
+                        names.add(item.asname or item.name.split(".", 1)[0])
+        elif isinstance(node, ast.Import):
+            for item in node.names:
+                if "observability" in item.name:
+                    names.add(item.asname or item.name.split(".", 1)[0])
+    return names
+
+
+def _imports_observability(node: ast.AST) -> bool:
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        return "observability" in module or any(
+            "observability" in item.name for item in node.names
+        )
+    if isinstance(node, ast.Import):
+        return any("observability" in item.name for item in node.names)
+    return False
+
+
+class TelemetryPurityRule(Rule):
+    """Telemetry observes the simulation; it must never participate in it.
+
+    Two halves, mirroring the two ways metrics could perturb determinism:
+
+    * **Handlers stay uninstrumented.**  Event callbacks (every registration
+      shape R007 recognises) run at points chosen by the queue; a metric
+      update or span inside one adds host-dependent work to the hot dispatch
+      path and tempts reading values back into simulation decisions.  The
+      engine's one sanctioned seam is the *external* monitor attached via
+      ``Environment.set_monitor`` -- per-run, outside any handler.
+    * **``sim/`` never imports observability.**  The import ban makes the
+      stronger property auditable at a glance: simulation code cannot read a
+      metric back into control flow if it cannot even name one.
+    """
+
+    rule_id = "R009"
+    name = "telemetry-purity"
+    description = (
+        "no metric/span calls inside event-handler bodies (instrument via the "
+        "external Environment.set_monitor seam), and no observability imports "
+        "anywhere under sim/"
+    )
+
+    SIM_PATHS = ("sim/",)
+
+    HANDLER_HINT = (
+        "event handlers must stay pure simulation code; record per-run "
+        "telemetry from outside via Environment.set_monitor (the engine's "
+        "sanctioned seam), or in the campaign/grid layer after the run"
+    )
+    IMPORT_HINT = (
+        "sim/ must not know telemetry exists: attach an EngineMonitor from "
+        "the caller (see repro.faas.experiment._attach_engine_monitor) "
+        "instead of importing observability into simulation code"
+    )
+
+    def __init__(
+        self, allowed_paths: Sequence[str] = ("observability/", "devtools/")
+    ):
+        self.allowed_paths = tuple(allowed_paths)
+        self._handlers = EventHandlerPurityRule()
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        if path_matches(module.rel_path, self.allowed_paths):
+            return
+        if path_matches(module.rel_path, self.SIM_PATHS):
+            for node in ast.walk(module.tree):
+                if _imports_observability(node):
+                    yield self.finding(
+                        module, node,
+                        "simulation module imports the observability package",
+                        hint=self.IMPORT_HINT,
+                    )
+            return  # the import ban subsumes the handler check under sim/
+        telemetry = _telemetry_aliases(module.tree)
+        if not telemetry:
+            return
+        functions: Dict[str, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, node)
+        seen: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            handler = self._handlers._registered_handler(node)
+            if handler is None:
+                continue
+            body = EventHandlerPurityRule._resolve_handler(handler, functions)
+            if body is None or id(body) in seen:
+                continue
+            seen.add(id(body))
+            yield from self._check_handler(module, body, telemetry)
+
+    def _check_handler(
+        self, module: LintModule, body: ast.AST, telemetry: Set[str]
+    ) -> Iterator[Finding]:
+        owner = getattr(body, "name", "<lambda>")
+        for node in ast.walk(body):
+            if not isinstance(node, ast.Call):
+                continue
+            root = node.func
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in telemetry:
+                yield self.finding(
+                    module, node,
+                    f"event handler {owner!r} performs telemetry through "
+                    f"{root.id!r}",
+                    hint=self.HANDLER_HINT,
+                )
+
+
 def default_rules(
     manifest_path: Optional[Path] = None,
     package_root: Optional[Path] = None,
@@ -843,4 +979,5 @@ def default_rules(
         DeprecatedKwargRule(),
         EventHandlerPurityRule(),
         BackendProtocolRule(),
+        TelemetryPurityRule(),
     ]

@@ -38,6 +38,8 @@ import time
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterator, Optional
 
+from ...observability import current_registry
+
 
 def _wall_clock() -> float:
     """The grid's one sanctioned wall-clock read.
@@ -73,6 +75,35 @@ class GridBackend(ABC):
 
     #: Injectable time source; every deadline read/write goes through this.
     clock: Callable[[], float] = staticmethod(_wall_clock)
+
+    #: Short backend identity, used as the ``backend`` telemetry label.
+    kind: str = "grid"
+
+    # -- telemetry -----------------------------------------------------------
+    def _record_op(self, op: str) -> None:
+        """Count one lease-protocol operation on the ambient metrics registry.
+
+        Implementations call this at each protocol decision point (claim won,
+        claim conflicted, expired lease reclaimed, renew succeeded or lost,
+        done marker installed, lease released).  With the default
+        :data:`~repro.observability.NULL_REGISTRY` this is a no-op attribute
+        check, so uninstrumented runs pay nothing measurable.
+        """
+        registry = current_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_grid_backend_ops_total",
+                "Lease-protocol operations by backend kind and outcome.",
+            ).inc(backend=self.kind, op=op)
+
+    def _record_append(self) -> None:
+        """Count one result record durably appended through this backend."""
+        registry = current_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_grid_records_total",
+                "Result records appended by backend kind.",
+            ).inc(backend=self.kind)
 
     # -- leases --------------------------------------------------------------
     @abstractmethod

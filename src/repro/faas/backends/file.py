@@ -68,6 +68,8 @@ class FileBackend(GridBackend):
     made lazily on the write paths.
     """
 
+    kind = "file"
+
     def __init__(self, root: Union[str, Path], clock=None) -> None:
         self.root = Path(root)
         self.clock = clock if clock is not None else _wall_clock
@@ -114,13 +116,16 @@ class FileBackend(GridBackend):
         try:
             try:
                 os.link(temp, path)
+                self._record_op("claim")
                 return True
             except FileExistsError:
                 pass
             holder = self.read_lease(fingerprint)
             if holder is not None and holder.get("done"):
+                self._record_op("claim_conflict")
                 return False  # the cell is finished and logged; never re-claim
             if holder is not None and float(holder.get("deadline", 0)) >= self.clock():
+                self._record_op("claim_conflict")
                 return False  # live lease held by someone else
             # Expired or unreadable: tombstone-rename it out of the way.
             # Exactly one contender's rename succeeds.
@@ -147,12 +152,15 @@ class FileBackend(GridBackend):
                     except FileExistsError:
                         pass  # a third claim already took the slot
                     tombstone.unlink(missing_ok=True)
+                    self._record_op("claim_conflict")
                     return False
                 tombstone.unlink(missing_ok=True)
             try:
                 os.link(temp, path)
+                self._record_op("reclaim")
                 return True
             except FileExistsError:
+                self._record_op("claim_conflict")
                 return False  # a rival claimed between the rename and link
         finally:
             temp.unlink(missing_ok=True)
@@ -167,9 +175,11 @@ class FileBackend(GridBackend):
     def renew(self, fingerprint: str, worker_id: str, ttl_s: float) -> bool:
         holder = self.read_lease(fingerprint)
         if holder is None or holder.get("worker") != worker_id:
+            self._record_op("renew_lost")
             return False
         temp = self._write_claim(fingerprint, worker_id, ttl_s)
         os.replace(temp, self._lease_path(fingerprint))
+        self._record_op("renew")
         return True
 
     def mark_done(self, fingerprint: str, worker_id: str) -> None:
@@ -181,12 +191,14 @@ class FileBackend(GridBackend):
             "done": True,
         }))
         os.replace(temp, self._lease_path(fingerprint))
+        self._record_op("mark_done")
 
     def release(self, fingerprint: str, worker_id: str) -> None:
         holder = self.read_lease(fingerprint)
         if holder is None or holder.get("worker") != worker_id:
             return
         self._lease_path(fingerprint).unlink(missing_ok=True)
+        self._record_op("release")
 
     def active(self) -> Dict[str, Dict[str, object]]:
         now = self.clock()
@@ -223,6 +235,7 @@ class FileBackend(GridBackend):
         self, shard: int, worker_id: str, document: Dict[str, object]
     ) -> None:
         self.shard_log(shard, worker_id).append(document)
+        self._record_append()
 
     def iter_records(self, shard: int) -> Iterator[Dict[str, object]]:
         if not self.results_dir.is_dir():

@@ -25,6 +25,8 @@ from .base import GridBackend, _wall_clock
 class MemoryBackend(GridBackend):
     """TTL leases, result streams, and a manifest in process memory."""
 
+    kind = "memory"
+
     def __init__(self, name: str = "memory", clock=None) -> None:
         self.name = name
         self.clock = clock if clock is not None else _wall_clock
@@ -49,8 +51,10 @@ class MemoryBackend(GridBackend):
             holder = self._holder(fingerprint)
             if holder is not None:
                 if holder.get("done"):
+                    self._record_op("claim_conflict")
                     return False  # finished and logged; never re-claim
                 if float(holder.get("deadline", 0)) >= self.clock():
+                    self._record_op("claim_conflict")
                     return False  # live lease held by someone else
             # Expired, unreadable, or absent: the lock makes the
             # read-check-write atomic, so exactly one contender wins.
@@ -59,6 +63,7 @@ class MemoryBackend(GridBackend):
                 "worker": worker_id,
                 "deadline": self.clock() + ttl_s,
             })
+            self._record_op("reclaim" if holder is not None else "claim")
             return True
 
     def read_lease(self, fingerprint: str) -> Optional[Dict[str, object]]:
@@ -69,12 +74,14 @@ class MemoryBackend(GridBackend):
         with self._lock:
             holder = self._holder(fingerprint)
             if holder is None or holder.get("worker") != worker_id:
+                self._record_op("renew_lost")
                 return False
             self._leases[fingerprint] = json.dumps({
                 "fingerprint": fingerprint,
                 "worker": worker_id,
                 "deadline": self.clock() + ttl_s,
             })
+            self._record_op("renew")
             return True
 
     def mark_done(self, fingerprint: str, worker_id: str) -> None:
@@ -84,6 +91,7 @@ class MemoryBackend(GridBackend):
                 "worker": worker_id,
                 "done": True,
             })
+            self._record_op("mark_done")
 
     def release(self, fingerprint: str, worker_id: str) -> None:
         with self._lock:
@@ -91,6 +99,7 @@ class MemoryBackend(GridBackend):
             if holder is None or holder.get("worker") != worker_id:
                 return
             self._leases.pop(fingerprint, None)
+            self._record_op("release")
 
     def active(self) -> Dict[str, Dict[str, object]]:
         now = self.clock()
@@ -111,6 +120,7 @@ class MemoryBackend(GridBackend):
         line = json.dumps(document, sort_keys=True)
         with self._lock:
             self._records.setdefault(int(shard), []).append(line)
+        self._record_append()
 
     def iter_records(self, shard: int) -> Iterator[Dict[str, object]]:
         with self._lock:

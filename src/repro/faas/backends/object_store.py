@@ -103,6 +103,8 @@ class ObjectStoreBackend(GridBackend):
     observed at read time is the fencing token for the write.
     """
 
+    kind = "object-store"
+
     def __init__(self, store=None, prefix: str = "", clock=None) -> None:
         self.store = store if store is not None else LocalObjectStore()
         self.prefix = f"{prefix.strip('/')}/" if prefix.strip("/") else ""
@@ -139,22 +141,28 @@ class ObjectStoreBackend(GridBackend):
             if self.store.put(
                 key, self._lease_body(fingerprint, worker_id, ttl_s), if_absent=True
             ) is not None:
+                self._record_op("claim")
                 return True
             current = self.store.get(key)
             if current is None:
+                self._record_op("claim_conflict")
                 return False  # created and deleted between our reads; back off
         holder = self._parse(current[0])
         if holder is not None and holder.get("done"):
+            self._record_op("claim_conflict")
             return False  # the cell is finished and logged; never re-claim
         if holder is not None and float(holder.get("deadline", 0)) >= self.clock():
+            self._record_op("claim_conflict")
             return False  # live lease held by someone else
         # Expired or unreadable: replace it guarded by the ETag we read.
         # The first winner's put bumps the generation, so every rival's
         # guarded put fails -- exactly one contender reclaims.
-        return self.store.put(
+        reclaimed = self.store.put(
             key, self._lease_body(fingerprint, worker_id, ttl_s),
             if_match=current[1],
         ) is not None
+        self._record_op("reclaim" if reclaimed else "claim_conflict")
+        return reclaimed
 
     def read_lease(self, fingerprint: str) -> Optional[Dict[str, object]]:
         current = self.store.get(self._lease_key(fingerprint))
@@ -164,17 +172,21 @@ class ObjectStoreBackend(GridBackend):
         key = self._lease_key(fingerprint)
         current = self.store.get(key)
         if current is None:
+            self._record_op("renew_lost")
             return False
         holder = self._parse(current[0])
         if holder is None or holder.get("worker") != worker_id:
+            self._record_op("renew_lost")
             return False
         # Guarded by the ETag: if a rival reclaimed us between the read and
         # the write, the put fails and we report the lease lost instead of
         # clobbering the reclaimer's fresh claim.
-        return self.store.put(
+        renewed = self.store.put(
             key, self._lease_body(fingerprint, worker_id, ttl_s),
             if_match=current[1],
         ) is not None
+        self._record_op("renew" if renewed else "renew_lost")
+        return renewed
 
     def mark_done(self, fingerprint: str, worker_id: str) -> None:
         # Unconditional, like the file backend's replace: even if the lease
@@ -184,6 +196,7 @@ class ObjectStoreBackend(GridBackend):
             "worker": worker_id,
             "done": True,
         }))
+        self._record_op("mark_done")
 
     def release(self, fingerprint: str, worker_id: str) -> None:
         key = self._lease_key(fingerprint)
@@ -194,6 +207,7 @@ class ObjectStoreBackend(GridBackend):
         if holder is None or holder.get("worker") != worker_id:
             return
         self.store.delete(key, if_match=current[1])
+        self._record_op("release")
 
     def active(self) -> Dict[str, Dict[str, object]]:
         now = self.clock()
@@ -229,6 +243,7 @@ class ObjectStoreBackend(GridBackend):
             # fresh slot accepts the record.  Records are immutable once
             # written, so this never overwrites.
             if self.store.put(key, body, if_absent=True) is not None:
+                self._record_append()
                 return
 
     def iter_records(self, shard: int) -> Iterator[Dict[str, object]]:

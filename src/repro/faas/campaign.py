@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..observability import current_registry
 from ..sim.platforms.spec import DEFAULT_ERA, PlatformSpec, available_eras, is_builtin_spec
 from .cost import CostReport, combine_cost_reports
 from .experiment import ExperimentConfig, ExperimentResult
@@ -839,6 +840,43 @@ def run_cells(
     if workers is None:
         workers = min(len(jobs), os.cpu_count() or 1)
 
+    # Telemetry handles (no-ops under the default NullRegistry).  Metrics are
+    # write-only here: nothing below reads them back into scheduling
+    # decisions, so cell results stay bit-identical with telemetry on.
+    registry = current_registry()
+    cells_started = registry.counter(
+        "repro_campaign_cells_started_total", "Cells admitted for execution."
+    )
+    cells_done = registry.counter(
+        "repro_campaign_cells_done_total", "Cells that finished successfully."
+    )
+    cells_failed = registry.counter(
+        "repro_campaign_cells_failed_total", "Cells that failed permanently."
+    )
+    inflight = registry.gauge(
+        "repro_campaign_inflight", "Cells currently executing on the pool."
+    )
+    cell_seconds = registry.histogram(
+        "repro_campaign_cell_seconds", "Observed wall cost per executed cell."
+    )
+    registry.gauge(
+        "repro_campaign_workers", "Worker processes serving this campaign."
+    ).set(workers)
+
+    user_finish, user_fail = finish, fail
+
+    def finish(job: CampaignJob, document: Dict[str, object],
+               elapsed_s: float) -> None:
+        cells_done.inc()
+        cell_seconds.observe(elapsed_s)
+        registry.flush(min_interval_s=1.0)
+        user_finish(job, document, elapsed_s)
+
+    def fail(failure: CellFailure) -> None:
+        cells_failed.inc()
+        registry.flush(min_interval_s=1.0)
+        user_fail(failure)
+
     # Jobs not yet finished/failed/skipped, and which of them already passed
     # admission -- the drain list if the process pool itself dies.
     remaining: Dict[str, CampaignJob] = {job.fingerprint(): job for job in jobs}
@@ -856,6 +894,7 @@ def run_cells(
                     skip(job)
                 return
             admitted.add(job.fingerprint())
+            cells_started.inc()
         last: Optional[BaseException] = None
         for _ in range(max_retries + 1):
             if tick is not None:
@@ -918,8 +957,10 @@ def run_cells(
                             skip(job)
                         continue
                     admitted.add(job.fingerprint())
+                    cells_started.inc()
                     attempts[job.fingerprint()] = 1
                     live[pool.submit(_execute_job_timed, job.to_dict())] = job
+                inflight.set(len(live))
 
             refill()
             while live:
@@ -1013,15 +1054,26 @@ def run_campaign(
     jobs = spec.expand()
     cache_path = Path(cache_dir) if cache_dir is not None else None
 
+    registry = current_registry()
+    cache_hits = registry.counter(
+        "repro_campaign_cache_hits_total",
+        "Cells served from the on-disk cell cache.",
+    )
+    cache_misses = registry.counter(
+        "repro_campaign_cache_misses_total", "Cells that had to execute."
+    )
+
     results: Dict[str, Tuple[ExperimentResult, bool]] = {}
     pending: List[CampaignJob] = []
     for job in jobs:
         cached = _load_cached(cache_path, job)
         if cached is not None:
             results[job.fingerprint()] = (cached, True)
+            cache_hits.inc()
             if progress is not None:
                 progress(job, True)
         else:
+            cache_misses.inc()
             pending.append(job)
 
     failures: List[CellFailure] = []

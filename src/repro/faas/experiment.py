@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.critical_path import WorkflowMeasurement
+from ..observability import EngineMonitor, current_registry
 from ..sim.orchestration.events import OrchestrationStats
 from ..sim.platforms.base import Platform, PlatformProfile
 from ..sim.platforms.spec import DEFAULT_ERA, PlatformSpec
@@ -173,6 +174,23 @@ class ExperimentResult:
         return self.summary.cold_start_fraction if self.summary else 0.0
 
 
+def _attach_engine_monitor(platform: Platform) -> None:
+    """Attach an :class:`EngineMonitor` to a fresh platform's engine.
+
+    Only when a recording registry is ambient: the default null registry
+    leaves the engine's monitor seam at ``None``, keeping the hot loop's
+    telemetry cost at exactly one ``is None`` check per :meth:`run` call.
+    The monitor is duck-typed through ``getattr`` so the engine itself never
+    imports observability (lint rule R009).
+    """
+    if not current_registry().enabled:
+        return
+    env = getattr(platform, "env", None)
+    set_monitor = getattr(env, "set_monitor", None)
+    if set_monitor is not None:
+        set_monitor(EngineMonitor())
+
+
 class ExperimentRunner:
     """Runs benchmark experiments on simulated platforms."""
 
@@ -187,7 +205,9 @@ class ExperimentRunner:
         profile = self._config.platform_spec.resolve()
         if self._config.memory_mb is not None:
             profile = profile.with_overrides(default_memory_mb=self._config.memory_mb)
-        return Platform(profile, seed=derive_platform_seed(self._config.seed, repetition))
+        platform = Platform(profile, seed=derive_platform_seed(self._config.seed, repetition))
+        _attach_engine_monitor(platform)
+        return platform
 
     def _effective_benchmark(self, benchmark: WorkflowBenchmark) -> WorkflowBenchmark:
         if self._config.memory_mb is not None and self._config.memory_mb != benchmark.memory_mb:

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
+from ..observability import current_registry
 from .backends import FileBackend, GridBackend
 from .backends.base import _safe_worker_id, _wall_clock
 from .backends.file import _unique_token  # noqa: F401  (re-exported seam)
@@ -482,6 +483,16 @@ def run_grid_worker(
     )
     cache_path = Path(cache_dir) if cache_dir is not None else None
 
+    # Telemetry handles (no-ops unless a recording registry is current).
+    registry = current_registry()
+    grid_cache_hits = registry.counter(
+        "repro_campaign_cache_hits_total",
+        "Cells served from the on-disk cell cache.",
+    )
+    lease_depth = registry.gauge(
+        "repro_grid_lease_queue_depth", "Leases this worker currently holds."
+    )
+
     scan = run.scan(shard)
     pending: List[CampaignJob] = []
     for job in run.spec.expand():
@@ -505,6 +516,7 @@ def run_grid_worker(
             })
             leases.mark_done(fingerprint)
             report.cache_hits += 1
+            grid_cache_hits.inc()
             if progress is not None:
                 progress(job, True)
             continue
@@ -519,6 +531,7 @@ def run_grid_worker(
         fingerprint = job.fingerprint()
         if leases.claim(fingerprint):
             held.add(fingerprint)
+            lease_depth.set(len(held))
             return True
         return False
 
@@ -532,6 +545,8 @@ def run_grid_worker(
                 # may now run twice, which the merge deduplicates.  Stop
                 # heartbeating a lease that is no longer ours.
                 held.discard(fingerprint)
+        lease_depth.set(len(held))
+        registry.flush(min_interval_s=1.0)
 
     def finish(job: CampaignJob, document: Dict[str, object],
                elapsed_s: Optional[float] = None) -> None:
@@ -552,6 +567,7 @@ def run_grid_worker(
             record["elapsed_s"] = round(float(elapsed_s), 6)
         run.backend.append_record(job_shard, worker_id, record)
         held.discard(fingerprint)
+        lease_depth.set(len(held))
         # A done marker instead of a plain release: a concurrent worker whose
         # startup scan predates this completion must not re-claim the cell.
         leases.mark_done(fingerprint)
@@ -571,6 +587,7 @@ def run_grid_worker(
             "attempts": failure.attempts,
         })
         held.discard(fingerprint)
+        lease_depth.set(len(held))
         leases.release(fingerprint)
         report.failed += 1
         report.failures.append(failure)
@@ -840,6 +857,21 @@ def autoscale_hint(
     else:
         backlog = pending * median
         suggested = max(1, min(pending, math.ceil(backlog / target_drain_s)))
+    # The single code path exporting the hint as gauges: campaign-status
+    # --metrics and the serve /metrics endpoint both call through here, so
+    # the printed hint and the scraped numbers can never disagree.
+    registry = current_registry()
+    registry.gauge(
+        "repro_autoscale_pending", "Pending cells the autoscale hint saw."
+    ).set(pending)
+    registry.gauge(
+        "repro_autoscale_median_cell_cost_seconds",
+        "Median observed wall cost per executed cell (0 until one executes).",
+    ).set(median if median is not None else 0.0)
+    registry.gauge(
+        "repro_autoscale_suggested_workers",
+        "Worker count suggested to drain the backlog on target.",
+    ).set(suggested)
     return AutoscaleHint(
         pending=pending,
         leased=leased,

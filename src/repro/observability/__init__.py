@@ -1,0 +1,69 @@
+"""Dependency-free metrics + tracing for the reproduction platform.
+
+Five small modules:
+
+* :mod:`~repro.observability.metrics` -- ``Counter``/``Gauge``/``Histogram``
+  under a named :class:`MetricsRegistry`; the disabled
+  :data:`NULL_REGISTRY` default makes telemetry strictly opt-in.
+* :mod:`~repro.observability.runtime` -- the ambient registry
+  (:func:`current_registry`) and :func:`telemetry_session`, the
+  ``--telemetry DIR`` implementation.
+* :mod:`~repro.observability.spans` -- ``span(name)`` block timers.
+* :mod:`~repro.observability.sink` -- the JSONL structured-event stream.
+* :mod:`~repro.observability.prometheus` -- text-format exposition.
+* :mod:`~repro.observability.monitor` -- the engine's external
+  instrumentation seam (:class:`EngineMonitor`).
+
+Nothing here imports from the rest of ``repro``, so any layer may import
+observability without cycles; conversely ``sim/`` imports *nothing* from
+here (enforced by lint rule R009) -- the engine is instrumented through an
+externally attached monitor only.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .monitor import EngineMonitor
+from .prometheus import CONTENT_TYPE, parse_prometheus, render_prometheus
+from .runtime import (
+    current_registry,
+    load_latest_snapshots,
+    merge_directory,
+    set_registry,
+    telemetry_path,
+    telemetry_session,
+    use_registry,
+)
+from .sink import JsonlSink, iter_events
+from .spans import SPAN_HISTOGRAM, span
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EngineMonitor",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SPAN_HISTOGRAM",
+    "current_registry",
+    "iter_events",
+    "load_latest_snapshots",
+    "merge_directory",
+    "parse_prometheus",
+    "render_prometheus",
+    "set_registry",
+    "span",
+    "telemetry_path",
+    "telemetry_session",
+    "use_registry",
+]

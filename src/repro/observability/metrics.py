@@ -1,0 +1,356 @@
+"""Dependency-free metric primitives: Counter, Gauge, Histogram, registries.
+
+Two invariants shape everything here, in priority order:
+
+* **Zero overhead when disabled.**  The ambient default is
+  :data:`NULL_REGISTRY`, whose metric constructors hand back one shared
+  do-nothing metric object -- an instrumented call site pays a dictionary
+  lookup at *handle-creation* time and a no-op method call per update, and
+  the hot engine loop pays nothing at all (its seam is a ``None`` check, see
+  :meth:`repro.sim.engine.Environment.set_monitor`).
+* **Never perturbs simulation determinism.**  Metrics are strictly
+  write-only from the instrumented code's point of view: nothing in ``sim/``
+  or the campaign execution path reads a metric value back into control
+  flow (lint rule R009 enforces this), so goldens stay bit-identical with
+  telemetry on or off.
+
+Label sets are stored as sorted ``(key, value)`` string tuples, so sample
+identity is order-independent and snapshots serialise deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical sample identity of a label set (sorted string pairs)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+class _Metric:
+    """Shared name/help carrier of every concrete metric type."""
+
+    __slots__ = ("name", "help")
+    kind = ""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum per label set."""
+
+    __slots__ = ("_values",)
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._values.items())
+
+
+class Gauge(_Metric):
+    """A point-in-time value per label set (settable up and down)."""
+
+    __slots__ = ("_values",)
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._values.items())
+
+
+#: Default histogram boundaries: latencies from sub-millisecond engine spans
+#: up to minute-long campaign cells.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution per label set.
+
+    Per-bucket counts are stored *non-cumulative* (``counts[i]`` = values in
+    ``(bucket[i-1], bucket[i]]``, with one overflow slot at the end); the
+    Prometheus renderer cumulates on the way out.  Merging two histograms is
+    therefore plain elementwise addition, which is what makes per-shard
+    snapshot aggregation exact.
+    """
+
+    __slots__ = ("buckets", "_series")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not buckets:
+            raise ValueError(f"histogram {self.name} needs at least one bucket")
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        self._series: Dict[LabelKey, Dict[str, object]] = {}
+
+    def _slot(self, key: LabelKey) -> Dict[str, object]:
+        series = self._series.get(key)
+        if series is None:
+            series = {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        series = self._slot(_label_key(labels))
+        index = len(self.buckets)  # overflow slot unless a bound catches it
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        series["counts"][index] += 1  # type: ignore[index]
+        series["sum"] = float(series["sum"]) + float(value)
+        series["count"] = int(series["count"]) + 1
+
+    def sample_count(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return int(series["count"]) if series is not None else 0
+
+    def sample_sum(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return float(series["sum"]) if series is not None else 0.0
+
+    def samples(self) -> List[Tuple[LabelKey, Dict[str, object]]]:
+        return sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """A named family of metrics with get-or-create accessors.
+
+    ``sink`` (optional, see :class:`repro.observability.sink.JsonlSink`)
+    receives structured events -- span records and periodic ``snapshot``
+    dumps via :meth:`flush` -- so one registry serves both the in-process
+    Prometheus view and the on-disk JSONL stream.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "default", sink=None) -> None:
+        self.name = name
+        self.sink = sink
+        self._metrics: Dict[str, _Metric] = {}
+        self._last_flush: Optional[float] = None
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested as {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+
+    def metrics(self) -> List[_Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-able dump of every metric, mergeable via :meth:`merge_snapshot`."""
+        dump: Dict[str, Dict[str, object]] = {}
+        for metric in self.metrics():
+            entry: Dict[str, object] = {"kind": metric.kind, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["samples"] = [
+                    {
+                        "labels": dict(key),
+                        "counts": list(series["counts"]),  # type: ignore[arg-type]
+                        "sum": series["sum"],
+                        "count": series["count"],
+                    }
+                    for key, series in metric.samples()
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in metric.samples()  # type: ignore[union-attr]
+                ]
+            dump[metric.name] = entry
+        return dump
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold one :meth:`snapshot` dump into this registry.
+
+        Counters and histograms add (the cluster-wide total over per-shard
+        snapshots is exact); gauges add too -- per-shard point-in-time values
+        like in-flight cells and lease depth aggregate by summing, and the
+        status/serve paths overwrite the few whole-run gauges (autoscale
+        hints) with freshly computed values *after* merging.
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("kind")
+            help_text = str(entry.get("help", ""))
+            samples = entry.get("samples", ())
+            if kind == "counter":
+                metric = self.counter(name, help_text)
+                for sample in samples:  # type: ignore[union-attr]
+                    metric.inc(float(sample["value"]), **sample.get("labels", {}))
+            elif kind == "gauge":
+                metric = self.gauge(name, help_text)
+                for sample in samples:  # type: ignore[union-attr]
+                    metric.add(float(sample["value"]), **sample.get("labels", {}))
+            elif kind == "histogram":
+                buckets = tuple(entry.get("buckets", DEFAULT_BUCKETS))  # type: ignore[arg-type]
+                metric = self.histogram(name, help_text, buckets=buckets)
+                if metric.buckets != tuple(sorted(float(b) for b in buckets)):
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch while merging"
+                    )
+                for sample in samples:  # type: ignore[union-attr]
+                    key = _label_key(sample.get("labels", {}))
+                    series = metric._slot(key)
+                    counts = sample["counts"]
+                    series["counts"] = [
+                        int(a) + int(b)
+                        for a, b in zip(series["counts"], counts)  # type: ignore[arg-type]
+                    ]
+                    series["sum"] = float(series["sum"]) + float(sample["sum"])
+                    series["count"] = int(series["count"]) + int(sample["count"])
+
+    def flush(self, min_interval_s: float = 0.0) -> bool:
+        """Emit a ``snapshot`` event to the sink (rate-limited when asked).
+
+        Returns True when a snapshot was written.  Uses the monotonic clock
+        for rate limiting only -- measurement, never simulation state.
+        """
+        sink = self.sink
+        if sink is None:
+            return False
+        if min_interval_s > 0.0:
+            from time import perf_counter
+
+            now = perf_counter()
+            if self._last_flush is not None and now - self._last_flush < min_interval_s:
+                return False
+            self._last_flush = now
+        sink.emit("snapshot", registry=self.name, metrics=self.snapshot())
+        return True
+
+
+class _NoopMetric:
+    """The shared do-nothing metric every :class:`NullRegistry` accessor returns."""
+
+    __slots__ = ()
+    kind = "noop"
+    name = ""
+    help = ""
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def add(self, amount: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+    def sample_count(self, **labels: object) -> int:
+        return 0
+
+    def sample_sum(self, **labels: object) -> float:
+        return 0.0
+
+    def samples(self):
+        return []
+
+
+_NOOP_METRIC = _NoopMetric()
+
+
+class NullRegistry:
+    """The disabled registry: every accessor returns the shared no-op metric.
+
+    This is the ambient default (:func:`repro.observability.runtime.current_registry`),
+    so uninstrumented runs pay a no-op method call per metric update and the
+    engine pays nothing at all.
+    """
+
+    enabled = False
+    name = "null"
+    sink = None
+
+    def counter(self, name: str, help: str = "") -> _NoopMetric:
+        return _NOOP_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NoopMetric:
+        return _NOOP_METRIC
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> _NoopMetric:
+        return _NOOP_METRIC
+
+    def metrics(self) -> List[_Metric]:
+        return []
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        pass
+
+    def flush(self, min_interval_s: float = 0.0) -> bool:
+        return False
+
+
+#: The process-wide disabled registry (shared; it holds no state).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,53 @@
+"""The engine's sanctioned instrumentation seam.
+
+The sim engine never imports this package (lint rule R009 bans observability
+imports inside ``sim/`` outright); instead, an :class:`EngineMonitor` is
+attached *from outside* via
+:meth:`repro.sim.engine.Environment.set_monitor` -- the experiment runner
+does it per repetition when a recording registry is current, and the bench
+harness does it directly.  The engine publishes one duck-typed
+``run_complete(...)`` call per ``run()`` invocation: per-run cost, zero
+per-event cost, and nothing ever flows back into engine state.
+"""
+
+from __future__ import annotations
+
+from .runtime import current_registry
+
+
+class EngineMonitor:
+    """Per-run engine telemetry: events/sec, heap depth, batch-lane occupancy."""
+
+    __slots__ = ("_events", "_runs", "_rate", "_heap", "_lane")
+
+    def __init__(self, registry=None) -> None:
+        registry = registry if registry is not None else current_registry()
+        self._events = registry.counter(
+            "repro_engine_events_total", "Events processed by the sim engine."
+        )
+        self._runs = registry.counter(
+            "repro_engine_runs_total", "Completed Environment.run() invocations."
+        )
+        self._rate = registry.gauge(
+            "repro_engine_events_per_second",
+            "Throughput of the most recent engine run.",
+        )
+        self._heap = registry.gauge(
+            "repro_engine_heap_depth",
+            "Keys left in the scheduling heap after the most recent run.",
+        )
+        self._lane = registry.gauge(
+            "repro_engine_batch_lane_occupancy",
+            "Unconsumed presorted batch-lane keys after the most recent run.",
+        )
+
+    def run_complete(
+        self, events: int, elapsed: float, heap_depth: int, run_lane: int
+    ) -> None:
+        """Called by the engine once per ``run()`` exit (normal or raising)."""
+        self._events.inc(events)
+        self._runs.inc()
+        if elapsed > 0:
+            self._rate.set(events / elapsed)
+        self._heap.set(heap_depth)
+        self._lane.set(run_lane)

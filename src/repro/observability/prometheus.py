@@ -1,0 +1,134 @@
+"""Prometheus text exposition (format version 0.0.4) for a registry.
+
+Pure string assembly -- no client library, no HTTP.  ``repro-flow serve``
+returns this from ``/metrics``; tests parse it back with
+:func:`parse_prometheus` to prove the rendering round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from .metrics import Histogram, LabelKey
+
+#: The Content-Type a scraper expects for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(key: LabelKey, extra: Iterable[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def render_prometheus(registry) -> str:
+    """The registry as Prometheus text format (one trailing newline)."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key, series in metric.samples():
+                cumulative = 0
+                for bound, count in zip(metric.buckets, series["counts"]):  # type: ignore[arg-type]
+                    cumulative += int(count)
+                    labels = _format_labels(key, [("le", _format_bound(bound))])
+                    lines.append(
+                        f"{metric.name}_bucket{labels} {cumulative}"
+                    )
+                total = int(series["count"])
+                labels = _format_labels(key, [("le", "+Inf")])
+                lines.append(f"{metric.name}_bucket{labels} {total}")
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(key)} "
+                    f"{_format_value(float(series['sum']))}"
+                )
+                lines.append(f"{metric.name}_count{_format_labels(key)} {total}")
+        else:
+            for key, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_format_labels(key)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, LabelKey], float]:
+    """Parse exposition text back to ``{(name, labels): value}``.
+
+    Supports exactly what :func:`render_prometheus` emits (quoted label
+    values with ``\\"``/``\\\\``/``\\n`` escapes); used by the round-trip
+    tests and handy for asserting on scraped output in CI.
+    """
+    samples: Dict[Tuple[str, LabelKey], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_body, value_part = rest.rsplit("}", 1)
+            labels = _parse_labels(label_body)
+        else:
+            name, value_part = line.rsplit(" ", 1)
+            labels = ()
+        value_text = value_part.strip()
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        samples[(name.strip(), labels)] = value
+    return samples
+
+
+def _parse_labels(body: str) -> LabelKey:
+    pairs: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(body):
+        if body[index] == ",":
+            index += 1
+            continue
+        eq = body.index("=", index)
+        name = body[index:eq]
+        assert body[eq + 1] == '"', f"malformed label value near {body[eq:]!r}"
+        index = eq + 2
+        chars: List[str] = []
+        while body[index] != '"':
+            if body[index] == "\\":
+                escape = body[index + 1]
+                chars.append({"n": "\n", '"': '"', "\\": "\\"}[escape])
+                index += 2
+            else:
+                chars.append(body[index])
+                index += 1
+        index += 1  # closing quote
+        pairs.append((name, "".join(chars)))
+    return tuple(sorted(pairs))

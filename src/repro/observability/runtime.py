@@ -1,0 +1,108 @@
+"""The ambient registry and telemetry sessions.
+
+``current_registry()`` is the single read point every instrumented call site
+goes through; it defaults to :data:`~repro.observability.metrics.NULL_REGISTRY`
+so telemetry is strictly opt-in.  ``telemetry_session(dir)`` is what the CLI's
+``--telemetry DIR`` flag enters: a recording registry wired to a per-process
+JSONL sink, installed as current for the duration, with a final metrics
+snapshot emitted on the way out.
+
+Read-side helpers (:func:`load_latest_snapshots`, :func:`merge_directory`)
+assemble the cluster-wide view from the per-worker files for
+``campaign-status --metrics`` and ``repro-flow serve``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .sink import JsonlSink, iter_events
+
+_current = NULL_REGISTRY
+
+
+def current_registry():
+    """The registry instrumented code writes to (NullRegistry unless opted in)."""
+    return _current
+
+
+def set_registry(registry) -> object:
+    """Install ``registry`` (None restores the null registry); returns the previous."""
+    global _current
+    previous = _current
+    _current = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry):
+    """Scope ``registry`` as current for a with-block (restores on exit)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def telemetry_path(directory: Union[str, Path], label: str) -> Path:
+    """Where one process's telemetry stream lives (per-pid, so workers never clash)."""
+    return Path(directory) / f"telemetry-{label}-{os.getpid()}.jsonl"
+
+
+@contextmanager
+def telemetry_session(
+    directory: Union[str, Path], label: str = "run"
+) -> Iterator[MetricsRegistry]:
+    """A recording registry streaming JSONL into ``directory``, set as current.
+
+    On exit a final ``snapshot`` event holding the whole registry is
+    appended, so readers always find at least one complete snapshot even if
+    no periodic flush ever fired.
+    """
+    sink = JsonlSink(telemetry_path(directory, label))
+    registry = MetricsRegistry(name=label, sink=sink)
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+        try:
+            sink.emit("snapshot", registry=registry.name, metrics=registry.snapshot())
+        finally:
+            sink.close()
+
+
+def load_latest_snapshots(
+    directory: Union[str, Path],
+) -> List[Dict[str, Dict[str, object]]]:
+    """The newest ``snapshot`` event of every telemetry file in ``directory``.
+
+    One entry per file (i.e. per writer process); files without any complete
+    snapshot yet are skipped, which is exactly right mid-run.
+    """
+    snapshots: List[Dict[str, Dict[str, object]]] = []
+    root = Path(directory)
+    if not root.is_dir():
+        return snapshots
+    for path in sorted(root.glob("*.jsonl")):
+        latest: Optional[Dict[str, Dict[str, object]]] = None
+        for event in iter_events(path):
+            if event.get("kind") == "snapshot" and isinstance(
+                event.get("metrics"), dict
+            ):
+                latest = event["metrics"]  # type: ignore[assignment]
+        if latest is not None:
+            snapshots.append(latest)
+    return snapshots
+
+
+def merge_directory(registry: MetricsRegistry, directory: Union[str, Path]) -> int:
+    """Merge every writer's latest snapshot into ``registry``; returns the count."""
+    snapshots = load_latest_snapshots(directory)
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return len(snapshots)

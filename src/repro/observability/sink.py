@@ -1,0 +1,81 @@
+"""Append-only JSONL sink for structured telemetry events.
+
+One sink writes one file (``telemetry-<label>-<pid>.jsonl`` under a run
+directory's ``telemetry/`` folder, see
+:func:`repro.observability.runtime.telemetry_session`); every grid worker
+process therefore streams into its own file and the cluster-wide view is
+assembled read-side by merging the latest ``snapshot`` event of each file.
+
+Timestamps are wall-clock *presentation* data for humans and dashboards --
+they never feed back into fingerprints, result documents, or simulation
+state.  The clock is injectable (the same seam pattern as
+``GridBackend.clock``) so framing tests run on a fake clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Union
+
+
+def _wall_clock() -> float:
+    """Telemetry event timestamps (presentation only; injectable for tests)."""
+    return time.time()  # lint: allow[R001] -- sink timestamps are telemetry, not simulation state
+
+
+class JsonlSink:
+    """Streams one JSON object per line into an append-mode file.
+
+    Every :meth:`emit` flushes, so a scraper (``campaign-status --metrics``,
+    ``repro-flow serve``) tailing the file mid-run sees complete lines; a
+    torn final line from a crashed worker is skipped by :func:`iter_events`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        clock: Callable[[], float] = _wall_clock,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def emit(self, kind: str, **fields: object) -> None:
+        if self._file.closed:
+            return
+        record: Dict[str, object] = {"ts": round(self._clock(), 6), "kind": kind}
+        record.update(fields)
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
+    """Every parseable event of one telemetry file (torn lines skipped)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a crashed writer
+            if isinstance(event, dict):
+                yield event

@@ -1,0 +1,47 @@
+"""Lightweight span timers over the ambient registry.
+
+``span(name)`` times a with-block on the monotonic clock, records the
+duration into the shared ``repro_span_seconds`` histogram (labelled by span
+name) and emits a ``span`` event to the registry's sink when one is
+attached.  When the ambient registry is disabled the context manager is a
+bare yield -- no clock read, no allocation beyond the generator frame.
+
+Span durations are measurement, not simulation state: they never reach
+fingerprints or result documents (the ``elapsed_s`` precedent from the
+campaign worker applies here verbatim).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+from .runtime import current_registry
+
+#: Every span observes into this histogram, labelled ``span=<name>``.
+SPAN_HISTOGRAM = "repro_span_seconds"
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[None]:
+    """Time a block; free when telemetry is disabled.
+
+    ``attrs`` ride along on the sink event only (they would explode
+    histogram label cardinality otherwise).
+    """
+    registry = current_registry()
+    if not registry.enabled:
+        yield
+        return
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        seconds = perf_counter() - start
+        registry.histogram(
+            SPAN_HISTOGRAM, "Duration of named spans across the stack."
+        ).observe(seconds, span=name)
+        sink = registry.sink
+        if sink is not None:
+            sink.emit("span", name=name, seconds=round(seconds, 6), **attrs)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 
@@ -276,7 +277,8 @@ class Environment:
     the global firing order is exactly the single-heap order.
     """
 
-    __slots__ = ("_now", "_queue", "_pending", "_eid", "_run", "_run_head")
+    __slots__ = ("_now", "_queue", "_pending", "_eid", "_run", "_run_head",
+                 "_monitor")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = initial_time
@@ -285,10 +287,25 @@ class Environment:
         self._eid = 0
         self._run: List[Tuple[float, int]] = []
         self._run_head = 0
+        self._monitor: Any = None
 
     @property
     def now(self) -> float:
         return self._now
+
+    def set_monitor(self, monitor: Any) -> None:
+        """Attach (or detach with ``None``) an external run monitor.
+
+        This is the engine's *sanctioned instrumentation seam*: the engine
+        imports nothing from ``repro.observability`` (lint rule R009); an
+        attached monitor receives exactly one duck-typed
+        ``run_complete(events=..., elapsed=..., heap_depth=..., run_lane=...)``
+        call per :meth:`run` exit.  Information only flows out -- the monitor
+        can never perturb scheduling order, so seeded results stay
+        bit-identical with or without one attached.  With no monitor the hot
+        loop pays nothing (one ``None`` check per run, not per event).
+        """
+        self._monitor = monitor
 
     # -------------------------------------------------------------- scheduling
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -399,16 +416,57 @@ class Environment:
         # The body of step() is inlined (twice -- drain vs. awaited shape, so
         # the drain loop pays nothing for the `until` check): this loop IS the
         # simulator's hot path, and the per-event call/attribute overhead is
-        # measurable (see the engine cells of `repro-flow bench`).
+        # measurable (see the engine cells of `repro-flow bench`).  The
+        # monitor seam costs one None check and a try/finally per run() --
+        # never anything per event.
+        monitor = self._monitor
+        start = perf_counter() if monitor is not None else 0.0
         queue = self._queue
         pending_pop = self._pending.pop
         pop = heapq.heappop
         remaining = max_events
-        if until is None:
+        try:
+            if until is None:
+                while True:
+                    # _run/_run_head are re-read every iteration: a callback may
+                    # park a fresh batch mid-drain (only `_queue`'s identity is
+                    # stable enough to cache).
+                    run = self._run
+                    head = self._run_head
+                    if head < len(run) and (not queue or run[head] <= queue[0]):
+                        time, seq = run[head]
+                        self._run_head = head + 1
+                    elif queue:
+                        time, seq = pop(queue)
+                    else:
+                        break
+                    if remaining <= 0:
+                        raise SimulationError(
+                            f"simulation did not settle within {max_events} events"
+                        )
+                    remaining -= 1
+                    entry = pending_pop(seq, None)
+                    if entry is None:
+                        continue
+                    if time < self._now:
+                        raise SimulationError("event scheduled in the past")
+                    self._now = time
+                    if isinstance(entry, Event):
+                        entry.processed = True
+                        callbacks = entry.callbacks
+                        if callbacks is not None:
+                            entry.callbacks = None
+                            if type(callbacks) is list:
+                                for callback in callbacks:
+                                    callback(entry)
+                            else:
+                                callbacks(entry)
+                    else:
+                        entry()
+                return None
             while True:
-                # _run/_run_head are re-read every iteration: a callback may
-                # park a fresh batch mid-drain (only `_queue`'s identity is
-                # stable enough to cache).
+                if until.processed:
+                    break
                 run = self._run
                 head = self._run_head
                 if head < len(run) and (not queue or run[head] <= queue[0]):
@@ -441,49 +499,19 @@ class Environment:
                             callbacks(entry)
                 else:
                     entry()
-            return None
-        while True:
-            if until.processed:
-                break
-            run = self._run
-            head = self._run_head
-            if head < len(run) and (not queue or run[head] <= queue[0]):
-                time, seq = run[head]
-                self._run_head = head + 1
-            elif queue:
-                time, seq = pop(queue)
-            else:
-                break
-            if remaining <= 0:
-                raise SimulationError(
-                    f"simulation did not settle within {max_events} events"
-                )
-            remaining -= 1
-            entry = pending_pop(seq, None)
-            if entry is None:
-                continue
-            if time < self._now:
-                raise SimulationError("event scheduled in the past")
-            self._now = time
-            if isinstance(entry, Event):
-                entry.processed = True
-                callbacks = entry.callbacks
-                if callbacks is not None:
-                    entry.callbacks = None
-                    if type(callbacks) is list:
-                        for callback in callbacks:
-                            callback(entry)
-                    else:
-                        callbacks(entry)
-            else:
-                entry()
-        if until is not None:
             if not until.processed:
                 raise SimulationError("simulation ended before the awaited event fired")
             if until.exception is not None:
                 raise until.exception
             return until.value
-        return None
+        finally:
+            if monitor is not None:
+                monitor.run_complete(
+                    events=max_events - remaining,
+                    elapsed=perf_counter() - start,
+                    heap_depth=len(self._queue),
+                    run_lane=len(self._run) - self._run_head,
+                )
 
 
 class Resource:

@@ -260,3 +260,51 @@ class TestCheckedInDocument:
         assert optimized >= 10 * baseline, (
             f"engine.timeout_storm {optimized:,.0f}/s is below 10x the "
             f"recorded pre-optimization baseline {baseline:,.0f}/s")
+
+
+class TestTelemetryOverheadDocument:
+    """BENCH_9.json gates the observability layer's engine cost.
+
+    Two static claims over the checked-in numbers (both documents were
+    measured on the same container, so the comparison is apples to apples):
+    the engine's no-op telemetry path -- a try/finally and one None check
+    per ``run()`` -- costs under 2% of pre-instrumentation throughput, and
+    even the fully *enabled* path (recording registry, attached monitor,
+    wrapping span) stays within bench noise of the no-op storm.
+    """
+
+    def _load(self, name):
+        path = REPO_ROOT / name
+        assert path.exists(), f"{name} must be checked in at the repo root"
+        return load_document(path)
+
+    def test_document_is_complete(self):
+        document = self._load("BENCH_9.json")
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["bench_id"] == 9
+        required = {"engine.timeout_storm", "engine.telemetry_overhead",
+                    "engine.process_chain", "engine.resource_contention",
+                    "campaign.cells", "grid.merge",
+                    "grid.backend_ops.memory", "grid.backend_ops.file"}
+        assert required <= set(document["results"])
+        assert document["baseline"]["note"]
+
+    def test_noop_path_within_2_percent_of_pre_instrumentation(self):
+        nine = self._load("BENCH_9.json")
+        seven = self._load("BENCH_7.json")
+        instrumented = nine["results"]["engine.timeout_storm"]["median"]
+        pristine = seven["results"]["engine.timeout_storm"]["median"]
+        assert pristine > 0
+        assert instrumented >= 0.98 * pristine, (
+            f"engine.timeout_storm {instrumented:,.0f}/s with the monitor "
+            f"seam in place regressed more than 2% below the "
+            f"pre-observability {pristine:,.0f}/s of BENCH_7.json")
+
+    def test_enabled_path_within_noise_of_the_noop_storm(self):
+        document = self._load("BENCH_9.json")
+        enabled = document["results"]["engine.telemetry_overhead"]["median"]
+        noop = document["results"]["engine.timeout_storm"]["median"]
+        assert enabled >= 0.85 * noop, (
+            f"engine.telemetry_overhead {enabled:,.0f}/s fell more than 15% "
+            f"below the uninstrumented storm {noop:,.0f}/s -- enabled-path "
+            f"telemetry is no longer cheap")

@@ -263,3 +263,69 @@ class TestR008BackendProtocol:
         modules = sorted((root / "repro" / "faas" / "backends").glob("*.py"))
         assert modules
         assert run_lint(modules, [BackendProtocolRule()], root=root) == []
+
+
+class TestR009TelemetryPurity:
+    def test_flags_telemetry_inside_handlers(self):
+        from repro.devtools.lint.rules import TelemetryPurityRule
+
+        findings = lint_fixture("r009_bad.py", TelemetryPurityRule())
+        messages = [f.message for f in findings]
+        assert all(f.rule_id == "R009" for f in findings)
+        # One per instrumented handler: the span in the scheduled tick, the
+        # counter inc in the event callback, the span in the batch lambda.
+        assert any("'_tick' performs telemetry through 'span'" in m
+                   for m in messages)
+        assert any(
+            "'_on_done' performs telemetry through 'current_registry'" in m
+            for m in messages
+        )
+        assert any("'<lambda>' performs telemetry through 'span'" in m
+                   for m in messages)
+        assert len(findings) == 3
+        assert all("set_monitor" in f.hint for f in findings)
+
+    def test_clean_on_seam_attachment_and_non_handler_telemetry(self):
+        from repro.devtools.lint.rules import TelemetryPurityRule
+
+        assert lint_fixture("r009_good.py", TelemetryPurityRule()) == []
+
+    def test_sim_paths_ban_the_import_outright(self):
+        from repro.devtools.lint.rules import TelemetryPurityRule
+
+        findings = lint_fixture("sim/r009_sim_bad.py", TelemetryPurityRule())
+        assert len(findings) == 1
+        assert "simulation module imports the observability package" \
+            in findings[0].message
+        assert "set_monitor" not in findings[0].message
+        assert "EngineMonitor" in findings[0].hint
+
+    def test_observability_and_devtools_paths_are_skipped(self, tmp_path):
+        from repro.devtools.lint.framework import run_lint
+        from repro.devtools.lint.rules import TelemetryPurityRule
+
+        source = (
+            "from repro.observability import span\n"
+            "def handler():\n"
+            "    with span('x'):\n"
+            "        pass\n"
+            "def wire(env):\n"
+            "    env.schedule_call(1.0, handler)\n"
+        )
+        nested = tmp_path / "observability"
+        nested.mkdir()
+        allowed = nested / "spans.py"
+        allowed.write_text(source)
+        rule = TelemetryPurityRule()
+        assert run_lint([allowed], [rule], root=tmp_path) == []
+        flagged = tmp_path / "bench_like.py"
+        flagged.write_text(source)
+        assert len(run_lint([flagged], [rule], root=tmp_path)) == 1
+
+    def test_real_source_tree_lints_clean(self):
+        from repro.devtools.lint.rules import TelemetryPurityRule
+
+        root = Path(__file__).resolve().parents[2] / "src"
+        modules = sorted((root / "repro").rglob("*.py"))
+        assert modules
+        assert run_lint(modules, [TelemetryPurityRule()], root=root) == []

@@ -1,0 +1,18 @@
+"""R009 fixture: telemetry calls smuggled into event-handler bodies."""
+
+from repro.observability import current_registry, span
+
+
+def _tick():
+    with span("tick"):  # telemetry inside a scheduled handler
+        pass
+
+
+def _on_done(event):
+    current_registry().counter("repro_bad_total").inc()
+
+
+def install(env, event):
+    env.schedule_call(0.5, _tick)
+    env.add_callback(event, _on_done)
+    env.schedule_batch([0.1, 0.2], lambda: span("batch"))

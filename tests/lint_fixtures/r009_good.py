@@ -1,0 +1,23 @@
+"""R009 fixture: telemetry stays outside handlers, via the sanctioned seam."""
+
+from repro.observability import EngineMonitor, current_registry, span
+
+
+def attach(env):
+    # Per-run instrumentation from outside the engine: the sanctioned seam.
+    if current_registry().enabled:
+        env.set_monitor(EngineMonitor())
+
+
+def _tick():
+    pass  # pure simulation work; no telemetry
+
+
+def install(env):
+    env.schedule_call(0.5, _tick)
+
+
+def measure(fn):
+    # Telemetry around ordinary (non-handler) code is fine anywhere.
+    with span("measure"):
+        return fn()

@@ -1,0 +1,9 @@
+"""R009 fixture (under a ``sim/`` path): simulation importing observability."""
+
+from repro.observability import current_registry
+
+
+def decide(threshold):
+    # Reading a metric back into simulation control flow: the exact failure
+    # mode the import ban makes impossible in the real sim/ package.
+    return current_registry().counter("repro_engine_events_total").value() > threshold

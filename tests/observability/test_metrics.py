@@ -1,0 +1,167 @@
+"""Unit tests for the metric primitives and registry snapshots."""
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.observability.metrics import Counter, Gauge, Histogram, _NOOP_METRIC
+
+
+class TestCounter:
+    def test_increments_and_reads_per_label_set(self):
+        counter = Counter("jobs_total")
+        counter.inc()
+        counter.inc(2.5, backend="file")
+        counter.inc(backend="file")
+        assert counter.value() == 1.0
+        assert counter.value(backend="file") == 3.5
+        assert counter.value(backend="memory") == 0.0
+
+    def test_label_identity_is_order_independent(self):
+        counter = Counter("ops_total")
+        counter.inc(backend="file", op="claim")
+        counter.inc(op="claim", backend="file")
+        assert counter.value(op="claim", backend="file") == 2.0
+        assert len(counter.samples()) == 1
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("jobs_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_overwrites_and_add_accumulates(self):
+        gauge = Gauge("inflight")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value() == 2.0
+        gauge.add(3, shard=1)
+        gauge.add(-1, shard=1)
+        assert gauge.value(shard=1) == 2.0
+
+
+class TestHistogram:
+    def test_buckets_are_non_cumulative_with_overflow_slot(self):
+        hist = Histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        ((key, series),) = hist.samples()
+        assert key == ()
+        assert series["counts"] == [1, 2, 1]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(6.05)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = Histogram("latency", buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        ((_, series),) = hist.samples()
+        assert series["counts"] == [1, 0, 0]
+
+    def test_requires_buckets_and_sorts_them(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("latency", buckets=())
+        hist = Histogram("latency", buckets=(5.0, 1.0))
+        assert hist.buckets == (1.0, 5.0)
+
+    def test_sample_accessors_default_to_zero(self):
+        hist = Histogram("latency")
+        assert hist.sample_count(span="x") == 0
+        assert hist.sample_sum(span="x") == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("a")
+
+    def test_metrics_listing_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert [m.name for m in registry.metrics()] == ["a", "b"]
+
+    def test_snapshot_merge_round_trip_adds_counters_and_histograms(self):
+        source = MetricsRegistry(name="shard")
+        source.counter("ops_total", "ops").inc(3, backend="file")
+        source.gauge("depth").set(2)
+        source.histogram("cell_seconds", buckets=(1.0, 10.0)).observe(0.5)
+        snapshot = source.snapshot()
+
+        target = MetricsRegistry(name="cluster")
+        target.merge_snapshot(snapshot)
+        target.merge_snapshot(snapshot)
+
+        assert target.counter("ops_total").value(backend="file") == 6.0
+        # Gauges add on merge (per-shard depths aggregate by summing).
+        assert target.gauge("depth").value() == 4.0
+        hist = target.histogram("cell_seconds", buckets=(1.0, 10.0))
+        assert hist.sample_count() == 2
+        assert hist.sample_sum() == pytest.approx(1.0)
+
+    def test_merge_rejects_bucket_mismatch(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0,)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(2.0,))
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a").inc(backend="file")
+        registry.histogram("h").observe(0.2, span="x")
+        round_tripped = json.loads(json.dumps(registry.snapshot()))
+        fresh = MetricsRegistry()
+        fresh.merge_snapshot(round_tripped)
+        assert fresh.counter("a").value(backend="file") == 1.0
+
+    def test_flush_without_sink_is_a_noop(self):
+        assert MetricsRegistry().flush() is False
+
+    def test_flush_rate_limit(self, tmp_path):
+        from repro.observability import JsonlSink, iter_events
+
+        sink = JsonlSink(tmp_path / "t.jsonl", clock=lambda: 0.0)
+        registry = MetricsRegistry(sink=sink)
+        assert registry.flush(min_interval_s=60.0) is True
+        assert registry.flush(min_interval_s=60.0) is False
+        assert registry.flush() is True  # unthrottled flush always writes
+        sink.close()
+        kinds = [e["kind"] for e in iter_events(sink.path)]
+        assert kinds == ["snapshot", "snapshot"]
+
+
+class TestNullRegistry:
+    def test_disabled_and_stateless(self):
+        registry = NullRegistry()
+        assert registry.enabled is False
+        assert MetricsRegistry().enabled is True
+        registry.counter("a").inc(5)
+        registry.gauge("b").set(5)
+        registry.histogram("c").observe(5)
+        assert registry.metrics() == []
+        assert registry.snapshot() == {}
+        assert registry.flush() is False
+
+    def test_every_accessor_returns_the_shared_noop_metric(self):
+        registry = NULL_REGISTRY
+        metric = registry.counter("a")
+        assert metric is registry.gauge("b")
+        assert metric is registry.histogram("c", buckets=DEFAULT_BUCKETS)
+        assert metric is _NOOP_METRIC
+        assert metric.value() == 0.0
+        assert metric.sample_count() == 0
+        assert metric.samples() == []

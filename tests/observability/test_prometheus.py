@@ -1,0 +1,81 @@
+"""Prometheus text exposition: rendering, escaping, and exact round-trips."""
+
+import math
+
+from repro.observability import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_ops_total", "Lease ops.").inc(
+        4, backend="file", op="claim"
+    )
+    registry.counter("repro_ops_total").inc(1, backend="file", op="renew_lost")
+    registry.gauge("repro_depth", "Queue depth.").set(2.5)
+    registry.histogram("repro_cell_seconds", "Cell latency.", buckets=(0.1, 1.0))
+    registry.histogram("repro_cell_seconds").observe(0.05, shard="0")
+    registry.histogram("repro_cell_seconds").observe(0.5, shard="0")
+    registry.histogram("repro_cell_seconds").observe(7.0, shard="0")
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_content_type_is_the_0_0_4_text_format(self):
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(_populated_registry())
+        assert "# HELP repro_ops_total Lease ops." in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{backend="file",op="claim"} 4' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 2.5" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(_populated_registry())
+        assert 'repro_cell_seconds_bucket{shard="0",le="0.1"} 1' in text
+        assert 'repro_cell_seconds_bucket{shard="0",le="1"} 2' in text
+        assert 'repro_cell_seconds_bucket{shard="0",le="+Inf"} 3' in text
+        assert 'repro_cell_seconds_sum{shard="0"} 7.55' in text
+        assert 'repro_cell_seconds_count{shard="0"} 3' in text
+
+    def test_escapes_label_values_and_help_text(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "line one\nand a \\ slash").inc(
+            path='with "quotes"\nand\\more'
+        )
+        text = render_prometheus(registry)
+        assert "# HELP c line one\\nand a \\\\ slash" in text
+        parsed = parse_prometheus(text)
+        assert parsed[
+            ("c", (("path", 'with "quotes"\nand\\more'),))
+        ] == 1.0
+
+    def test_empty_registry_renders_a_bare_newline(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+class TestParseRoundTrip:
+    def test_every_rendered_sample_parses_back_exactly(self):
+        registry = _populated_registry()
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed[
+            ("repro_ops_total", (("backend", "file"), ("op", "claim")))
+        ] == 4.0
+        assert parsed[("repro_depth", ())] == 2.5
+        assert parsed[
+            ("repro_cell_seconds_bucket", (("le", "+Inf"), ("shard", "0")))
+        ] == 3.0
+        assert parsed[("repro_cell_seconds_count", (("shard", "0"),))] == 3.0
+
+    def test_parses_infinities_and_skips_comments(self):
+        parsed = parse_prometheus(
+            "# HELP x y\n# TYPE x gauge\nx +Inf\ny -Inf\n\n"
+        )
+        assert parsed[("x", ())] == math.inf
+        assert parsed[("y", ())] == -math.inf

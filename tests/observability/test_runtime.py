@@ -1,0 +1,162 @@
+"""Ambient registry, telemetry sessions, JSONL sinks, spans, and the monitor."""
+
+import json
+import os
+
+from repro.observability import (
+    EngineMonitor,
+    JsonlSink,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    SPAN_HISTOGRAM,
+    current_registry,
+    iter_events,
+    load_latest_snapshots,
+    merge_directory,
+    set_registry,
+    span,
+    telemetry_path,
+    telemetry_session,
+    use_registry,
+)
+
+
+class TestAmbientRegistry:
+    def test_defaults_to_the_null_registry(self):
+        assert current_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous_and_none_restores_null(self):
+        recording = MetricsRegistry()
+        previous = set_registry(recording)
+        try:
+            assert previous is NULL_REGISTRY
+            assert current_registry() is recording
+        finally:
+            set_registry(None)
+        assert current_registry() is NULL_REGISTRY
+
+    def test_use_registry_nests_and_restores_on_error(self):
+        outer, inner = MetricsRegistry("outer"), MetricsRegistry("inner")
+        with use_registry(outer):
+            with use_registry(inner):
+                assert current_registry() is inner
+            assert current_registry() is outer
+            try:
+                with use_registry(inner):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert current_registry() is outer
+        assert current_registry() is NULL_REGISTRY
+
+
+class TestJsonlSink:
+    def test_emit_writes_sorted_json_lines_with_timestamps(self, tmp_path):
+        ticks = iter((1.5, 2.5))
+        with JsonlSink(tmp_path / "t.jsonl", clock=lambda: next(ticks)) as sink:
+            sink.emit("span", name="x", seconds=0.25)
+            sink.emit("snapshot", metrics={})
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert [json.loads(line)["ts"] for line in lines] == [1.5, 2.5]
+        # sort_keys makes the stream byte-deterministic given the same fields
+        assert lines[0] == json.dumps(json.loads(lines[0]), sort_keys=True)
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        assert sink.closed
+        sink.emit("span", name="late")
+        assert (tmp_path / "t.jsonl").read_text() == ""
+
+    def test_iter_events_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "span"}\n{"kind": "snap\n\n[1, 2]\n')
+        events = list(iter_events(path))
+        assert events == [{"kind": "span"}]
+
+
+class TestTelemetrySession:
+    def test_records_to_a_per_pid_file_with_a_final_snapshot(self, tmp_path):
+        with telemetry_session(tmp_path, label="campaign") as registry:
+            assert current_registry() is registry
+            registry.counter("repro_test_total").inc(2)
+        assert current_registry() is NULL_REGISTRY
+        path = telemetry_path(tmp_path, "campaign")
+        assert path.name == f"telemetry-campaign-{os.getpid()}.jsonl"
+        events = list(iter_events(path))
+        assert events[-1]["kind"] == "snapshot"
+        samples = events[-1]["metrics"]["repro_test_total"]["samples"]
+        assert samples == [{"labels": {}, "value": 2.0}]
+
+    def test_merge_directory_folds_every_writers_latest_snapshot(self, tmp_path):
+        for label in ("worker-a", "worker-b"):
+            sink = JsonlSink(tmp_path / f"{label}.jsonl", clock=lambda: 0.0)
+            registry = MetricsRegistry(name=label, sink=sink)
+            registry.counter("repro_cells_total").inc(1)
+            registry.flush()  # stale snapshot: readers must take the newest
+            registry.counter("repro_cells_total").inc(2)
+            registry.flush()
+            sink.close()
+        (tmp_path / "crashed.jsonl").write_text('{"kind": "span", "name"')
+        (tmp_path / "notes.txt").write_text("ignored: not a jsonl stream\n")
+
+        assert len(load_latest_snapshots(tmp_path)) == 2
+        cluster = MetricsRegistry(name="cluster")
+        assert merge_directory(cluster, tmp_path) == 2
+        assert cluster.counter("repro_cells_total").value() == 6.0
+
+    def test_load_latest_snapshots_on_missing_directory(self, tmp_path):
+        assert load_latest_snapshots(tmp_path / "nope") == []
+
+
+class TestSpan:
+    def test_records_histogram_sample_and_sink_event(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl", clock=lambda: 0.0)
+        registry = MetricsRegistry(sink=sink)
+        with use_registry(registry):
+            with span("render", artifact="fig1"):
+                pass
+        sink.close()
+        hist = registry.histogram(SPAN_HISTOGRAM)
+        assert hist.sample_count(span="render") == 1
+        assert hist.sample_sum(span="render") >= 0.0
+        (event,) = list(iter_events(sink.path))
+        assert event["kind"] == "span"
+        assert event["name"] == "render"
+        assert event["artifact"] == "fig1"  # attrs ride on the sink event only
+
+    def test_disabled_registry_records_nothing(self, tmp_path):
+        with span("render"):
+            pass
+        assert current_registry().metrics() == []
+
+    def test_records_even_when_the_block_raises(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            try:
+                with span("failing"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        assert registry.histogram(SPAN_HISTOGRAM).sample_count(span="failing") == 1
+
+
+class TestEngineMonitor:
+    def test_run_complete_updates_all_five_metrics(self):
+        registry = MetricsRegistry()
+        monitor = EngineMonitor(registry)
+        monitor.run_complete(events=100, elapsed=0.5, heap_depth=3, run_lane=7)
+        monitor.run_complete(events=50, elapsed=0.0, heap_depth=0, run_lane=0)
+        assert registry.counter("repro_engine_events_total").value() == 150.0
+        assert registry.counter("repro_engine_runs_total").value() == 2.0
+        # zero-elapsed run leaves the previous throughput reading in place
+        assert registry.gauge("repro_engine_events_per_second").value() == 200.0
+        assert registry.gauge("repro_engine_heap_depth").value() == 0.0
+        assert registry.gauge("repro_engine_batch_lane_occupancy").value() == 0.0
+
+    def test_defaults_to_the_ambient_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            monitor = EngineMonitor()
+        monitor.run_complete(events=1, elapsed=1.0, heap_depth=0, run_lane=0)
+        assert registry.counter("repro_engine_runs_total").value() == 1.0
