@@ -94,11 +94,21 @@ class WorkflowMeasurement:
         return max(m.end for m in measurements) - min(m.start for m in measurements)
 
     def critical_path(self) -> float:
-        """Sum over phases of the maximum function runtime within the phase."""
+        """Sum over phases of the maximum function runtime within the phase.
+
+        Single pass over the measurements: the per-phase maxima accumulate in
+        first-seen phase order, so the float sum matches the per-phase scan
+        exactly.
+        """
+        maxima: Dict[str, float] = {}
+        for m in self.functions:
+            duration = m.end - m.start
+            previous = maxima.get(m.phase)
+            if previous is None or duration > previous:
+                maxima[m.phase] = duration
         total = 0.0
-        for phase in self.phases():
-            measurements = self.phase_measurements(phase)
-            total += max(m.duration for m in measurements)
+        for value in maxima.values():
+            total += value
         return total
 
     def overhead(self) -> float:
@@ -139,10 +149,14 @@ class RuntimeBreakdown:
 
     @classmethod
     def from_measurement(cls, measurement: WorkflowMeasurement) -> "RuntimeBreakdown":
+        # Compute runtime and the critical path once each; `overhead()` would
+        # redo both scans.  max(0.0, ...) mirrors WorkflowMeasurement.overhead.
+        runtime = measurement.runtime
+        critical_path = measurement.critical_path()
         return cls(
-            runtime=measurement.runtime,
-            critical_path=measurement.critical_path(),
-            overhead=measurement.overhead(),
+            runtime=runtime,
+            critical_path=critical_path,
+            overhead=max(0.0, runtime - critical_path),
             cold_start_fraction=measurement.cold_start_fraction(),
         )
 

@@ -1,14 +1,17 @@
 """The bench cell catalog: what ``repro-flow bench`` actually times.
 
-Three families of cells, one per layer of the stack the paper's campaigns
+Four families of cells, one per layer of the stack the paper's campaigns
 exercise:
 
 * ``engine.*`` -- raw event-engine throughput (events per second) on the
   dispatch shapes that dominate real campaigns: an open-loop arrival storm,
   a long yield/timeout process chain, and FIFO resource contention.
 * ``campaign.*`` -- whole cells per second through the real worker entry
-  (:func:`repro.faas.campaign.execute_job_inline`): parse the job, build the
-  platform, run the workload, serialise the result.
+  (:func:`repro.faas.campaign.execute_job_inline`), and the batched
+  ``run_cells`` dispatch path with a live worker pool
+  (``campaign.chunked_dispatch``).
+* ``metrics.*`` -- the vectorized open-loop reduction over synthetic
+  measurement lattices (percentiles, concurrency sweep, latency windows).
 * ``grid.*`` -- merge throughput of :func:`repro.faas.grid.merge_run` over a
   synthetic run directory whose shard logs replicate one genuine result
   document across every cell of an expanded sweep.
@@ -63,18 +66,26 @@ class BenchProfile:
     #: Lease round trips (claim/renew/append/done) in the backend-ops cells.
     #: Defaulted so older profile literals (tests, benchmarks/) still build.
     backend_ops: int = 100
+    #: Worker processes the chunked-dispatch cell drives ``run_cells`` with.
+    #: Defaulted so older profile literals (tests, benchmarks/) still build.
+    dispatch_workers: int = 2
+    #: Synthetic invocations per repetition in the metrics-reduction cell.
+    #: Defaulted so older profile literals (tests, benchmarks/) still build.
+    metrics_invocations: int = 2_000
 
 
 PROFILES: Dict[str, BenchProfile] = {
     "quick": BenchProfile(
         name="quick", engine_events=20_000, resource_ops=10_000,
         campaign_burst=4, merge_cells=16, repetitions=3, warmup=1,
-        figure_burst=12, backend_ops=120,
+        figure_burst=12, backend_ops=120, dispatch_workers=2,
+        metrics_invocations=1_000,
     ),
     "full": BenchProfile(
         name="full", engine_events=200_000, resource_ops=60_000,
         campaign_burst=6, merge_cells=48, repetitions=5, warmup=1,
-        figure_burst=30, backend_ops=600,
+        figure_burst=30, backend_ops=600, dispatch_workers=2,
+        metrics_invocations=5_000,
     ),
 }
 
@@ -257,28 +268,26 @@ def _execute_cell(job: object) -> object:
 def campaign_jobs(profile: BenchProfile) -> List[object]:
     """The real benchmark x platform x workload cells the campaign bench runs.
 
-    Three cells spanning both workload families (closed-loop burst and
-    open-loop poisson) and three platforms, each sized by the profile's
-    ``campaign_burst``.  Import is local so ``repro.devtools.bench`` stays
-    importable without the faas layer loaded.
+    A 16-cell burst sweep -- {function_chain, parallel_sleep} x every builtin
+    platform x two seeds -- sized by the profile's ``campaign_burst``.  This
+    is the shape real campaigns are dominated by: many modest closed-loop
+    cells per worker, where per-cell setup (profile compilation, benchmark
+    construction, platform build) is a visible fraction of the cost.  The
+    heavier shapes (storage-heavy cells, open-loop poisson) moved to
+    ``campaign.chunked_dispatch``, which times them through the batched
+    ``run_cells`` path instead of one-at-a-time inline execution.  Import is
+    local so ``repro.devtools.bench`` stays importable without the faas layer
+    loaded.
     """
     from ...faas.campaign import CampaignSpec
 
     burst = profile.campaign_burst
-    jobs: List[object] = []
-    jobs.extend(CampaignSpec(
-        benchmarks=("function_chain",), platforms=("aws",), seeds=(0,),
+    return list(CampaignSpec(
+        benchmarks=("function_chain", "parallel_sleep"),
+        platforms=("aws", "gcp", "azure", "hpc"),
+        seeds=(0, 1),
         workloads=(f"burst:burst_size={burst}",),
     ).expand())
-    jobs.extend(CampaignSpec(
-        benchmarks=("storage_io",), platforms=("gcp",), seeds=(0,),
-        workloads=(f"burst:burst_size={burst}",),
-    ).expand())
-    jobs.extend(CampaignSpec(
-        benchmarks=("function_chain",), platforms=("azure",), seeds=(0,),
-        workloads=(f"poisson:rate=2,duration={2 * burst}",),
-    ).expand())
-    return jobs
 
 
 def _setup_campaign(profile: BenchProfile) -> object:
@@ -292,6 +301,112 @@ def _measure_campaign(profile: BenchProfile, state: object) -> BenchSample:
         _execute_cell(job)
     elapsed = perf_counter() - start
     return BenchSample(units=len(jobs), seconds=elapsed)
+
+
+def chunked_dispatch_jobs(profile: BenchProfile) -> List[object]:
+    """The heavier cell mix the chunked-dispatch bench pushes through a pool.
+
+    Storage-heavy bursts on every builtin platform plus open-loop poisson
+    cells -- the shapes that left ``campaign.cells`` when it became the
+    16-cell setup-bound sweep -- so between the two campaign cells the bench
+    still covers every workload family end to end.
+    """
+    from ...faas.campaign import CampaignSpec
+
+    burst = profile.campaign_burst
+    jobs: List[object] = []
+    jobs.extend(CampaignSpec(
+        benchmarks=("storage_io",), platforms=("aws", "gcp", "azure", "hpc"),
+        seeds=(0, 1), workloads=(f"burst:burst_size={burst}",),
+    ).expand())
+    jobs.extend(CampaignSpec(
+        benchmarks=("function_chain",), platforms=("azure",), seeds=(0, 1),
+        workloads=(f"poisson:rate=2,duration={2 * burst}",),
+    ).expand())
+    return jobs
+
+
+def _setup_chunked_dispatch(profile: BenchProfile) -> object:
+    return chunked_dispatch_jobs(profile)
+
+
+def _measure_chunked_dispatch(profile: BenchProfile,
+                              state: object) -> BenchSample:
+    """Time ``run_cells`` itself: pool spawn, chunked submission, settle.
+
+    Unlike ``campaign.cells`` this includes the dispatch machinery --
+    process-pool startup, adaptive chunk sizing from observed cell cost, and
+    per-cell result delivery -- so it tracks the throughput a multi-worker
+    campaign actually sees, not just the per-cell simulation cost.
+    """
+    from ...faas.campaign import run_cells
+
+    jobs = state
+    finished = [0]
+    failures: List[object] = []
+
+    def finish(job: object, document: object, elapsed_s: float) -> None:
+        finished[0] += 1
+
+    start = perf_counter()
+    run_cells(jobs, profile.dispatch_workers, finish, failures.append)
+    elapsed = perf_counter() - start
+    if failures or finished[0] != len(jobs):
+        raise RuntimeError(
+            f"chunked dispatch lost cells: {finished[0]}/{len(jobs)} done, "
+            f"{len(failures)} failed")
+    return BenchSample(units=len(jobs), seconds=elapsed)
+
+
+# -- metrics reduction cell -------------------------------------------------
+
+def _setup_metrics_summary(profile: BenchProfile) -> object:
+    """Synthetic open-loop measurements on a fixed deterministic lattice.
+
+    Two repetition groups of ``metrics_invocations`` single-function
+    workflows each, with arrival anchors and staggered start/end offsets --
+    enough spread that percentile picks, the concurrency sweep, and window
+    bucketing all do real work.
+    """
+    from ...core.critical_path import FunctionMeasurement, WorkflowMeasurement
+
+    count = profile.metrics_invocations
+    groups: List[List[object]] = []
+    for repetition in range(2):
+        measurements: List[object] = []
+        for index in range(count):
+            arrival = index * 0.05
+            start = arrival + 0.002 + (index % 7) * 0.001
+            end = start + 0.05 + ((index * 13) % 11) * 0.003
+            measurement = WorkflowMeasurement(
+                workflow="bench", platform="bench",
+                invocation_id=f"inv-{repetition}-{index}",
+            )
+            measurement.metadata["arrival_s"] = arrival
+            measurement.add(FunctionMeasurement(
+                function="f", phase="run", start=start, end=end,
+                cold_start=(index % 17 == 0),
+            ))
+            measurements.append(measurement)
+        groups.append(measurements)
+    return groups
+
+
+def _measure_metrics_summary(profile: BenchProfile,
+                             state: object) -> BenchSample:
+    from ...faas.metrics import open_loop_summary_over_repetitions
+
+    groups = state
+    total = sum(len(group) for group in groups)
+    duration = profile.metrics_invocations * 0.05
+    start = perf_counter()
+    summary = open_loop_summary_over_repetitions(
+        "bench", "bench", groups, duration_per_repetition_s=duration)
+    elapsed = perf_counter() - start
+    if summary.invocations != total:
+        raise RuntimeError(
+            f"metrics bench lost invocations: {summary.invocations}/{total}")
+    return BenchSample(units=total, seconds=elapsed)
 
 
 # -- grid merge cell --------------------------------------------------------
@@ -414,7 +529,15 @@ _CELL_PARAMS: Dict[str, Callable[[BenchProfile], Dict[str, object]]] = {
         "workers": CONTENTION_WORKERS,
         "capacity": CONTENTION_CAPACITY,
     },
-    "campaign.cells": lambda p: {"cells": 3, "burst_size": p.campaign_burst},
+    "campaign.cells": lambda p: {"cells": 16, "burst_size": p.campaign_burst},
+    "campaign.chunked_dispatch": lambda p: {
+        "cells": 10, "burst_size": p.campaign_burst,
+        "workers": p.dispatch_workers,
+    },
+    "metrics.open_loop_summary": lambda p: {
+        "invocations": 2 * p.metrics_invocations,
+        "repetitions": 2,
+    },
     "grid.merge": lambda p: {"cells": p.merge_cells},
     "grid.backend_ops.memory": lambda p: {"ops": p.backend_ops},
     "grid.backend_ops.file": lambda p: {"ops": p.backend_ops},
@@ -449,8 +572,23 @@ ALL_CELLS: Tuple[BenchCell, ...] = (
     BenchCell(
         name="campaign.cells", unit="cells/s",
         measure=_measure_campaign, setup=_setup_campaign,
-        description="three real benchmark x platform x workload cells through "
-                    "the worker entry (parse, build platform, run, serialise)",
+        description="16 real burst cells ({function_chain, parallel_sleep} x "
+                    "4 platforms x 2 seeds) through the worker entry (parse, "
+                    "build platform, run, serialise)",
+    ),
+    BenchCell(
+        name="campaign.chunked_dispatch", unit="cells/s",
+        measure=_measure_chunked_dispatch, setup=_setup_chunked_dispatch,
+        description="storage-heavy burst + open-loop poisson cells through "
+                    "run_cells with a worker pool: pool spawn, adaptive "
+                    "chunking, per-cell delivery included",
+    ),
+    BenchCell(
+        name="metrics.open_loop_summary", unit="invocations/s",
+        measure=_measure_metrics_summary, setup=_setup_metrics_summary,
+        description="vectorized open-loop reduction (percentiles, concurrency "
+                    "sweep, latency windows) over synthetic measurement "
+                    "lattices",
     ),
     BenchCell(
         name="grid.merge", unit="cells/s",

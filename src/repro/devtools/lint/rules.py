@@ -10,7 +10,9 @@ R002 fingerprint-drift       fingerprinted field sets match the checked-in
 R003 frozen-spec             ``*Spec`` dataclasses are ``frozen=True`` with no
                              mutable default fields
 R004 worker-pickle-safety    callables submitted to process pools are picklable
-                             module-level functions with picklable arguments
+                             module-level functions with picklable arguments;
+                             per-process memo/cache state is rebuilt in the
+                             worker, never pickled into a payload
 R005 mutable-default-arg     no mutable default argument values anywhere
 R006 deprecated-kwarg        no internal call sites of the deprecated
                              ``mode=``/``burst_size=``/``era=`` trigger kwargs
@@ -348,13 +350,20 @@ class WorkerPickleSafetyRule(Rule):
     Module-level functions that *read* module-level mutable state are flagged
     as warnings: each spawned worker sees its own copy, so mutations diverge
     silently between parent and workers.
+
+    Passing that mutable state *itself* through a submitted payload is an
+    error: per-process memo/cache state (warm benchmark factories, resolved
+    profiles, arrival vectors) must be rebuilt inside each worker -- a
+    pickled snapshot goes stale the moment the parent's copy changes, and
+    shipping a large memo on every chunk task erases the batching win.
     """
 
     rule_id = "R004"
     name = "worker-pickle-safety"
     description = (
         "callables submitted to pools must be module-level functions; no "
-        "lambdas, closures, locks, or open files in submitted payloads"
+        "lambdas, closures, locks, open files, or module-level mutable "
+        "state in submitted payloads"
     )
 
     SUBMIT_METHODS = ("submit", "apply_async")
@@ -401,7 +410,7 @@ class WorkerPickleSafetyRule(Rule):
             yield from self._check_callable(module, target, top_level, nested,
                                             mutable_globals)
             for arg in payload + [kw.value for kw in node.keywords]:
-                yield from self._check_payload(module, arg)
+                yield from self._check_payload(module, arg, mutable_globals)
 
     def _check_callable(
         self,
@@ -447,9 +456,26 @@ class WorkerPickleSafetyRule(Rule):
                 severity=Severity.WARNING,
             )
 
-    def _check_payload(self, module: LintModule, arg: ast.expr) -> Iterator[Finding]:
+    def _check_payload(
+        self,
+        module: LintModule,
+        arg: ast.expr,
+        mutable_globals: Set[str],
+    ) -> Iterator[Finding]:
         for node in ast.walk(arg):
-            if isinstance(node, ast.Lambda):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in mutable_globals
+            ):
+                yield self.finding(
+                    module, node,
+                    f"per-process state {node.id!r} pickled into a "
+                    f"worker-pool payload",
+                    hint="workers must rebuild memo/cache state in-process; "
+                         "pass the inputs needed to rebuild it instead",
+                )
+            elif isinstance(node, ast.Lambda):
                 yield self.finding(
                     module, node,
                     "lambda in a worker-pool payload is not picklable",

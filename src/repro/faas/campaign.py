@@ -365,6 +365,28 @@ class CampaignSpec:
         )
 
 
+#: Per-process memo of constructed benchmarks, keyed by the cell's benchmark
+#: spec string.  The registry is module-static (no runtime registration API)
+#: and a constructed :class:`WorkflowBenchmark` is read-only configuration --
+#: runs accumulate state on the platform/deployment, never on the benchmark --
+#: so a warm worker can hand the same object to every cell that names it.
+#: Rebuilt from scratch in each worker process; never pickled across the
+#: process boundary.
+_BENCHMARK_MEMO: Dict[str, object] = {}
+
+
+def _warm_benchmark(name: str):
+    from ..benchmarks import get_benchmark
+
+    benchmark = _BENCHMARK_MEMO.get(name)
+    if benchmark is None:
+        benchmark = get_benchmark(name)
+        if len(_BENCHMARK_MEMO) >= 128:
+            _BENCHMARK_MEMO.clear()
+        _BENCHMARK_MEMO[name] = benchmark
+    return benchmark
+
+
 def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
     """Worker entry point: run one cell and return its serialised result.
 
@@ -373,11 +395,10 @@ def _execute_job(payload: Dict[str, object]) -> Dict[str, object]:
     cache document.  Imports are local so a fresh worker process only pays for
     what it uses.
     """
-    from ..benchmarks import get_benchmark
     from .experiment import ExperimentRunner
 
     job = CampaignJob.from_dict(payload)
-    benchmark = get_benchmark(job.benchmark)
+    benchmark = _warm_benchmark(job.benchmark)
     result = ExperimentRunner(job.experiment_config()).run(benchmark)
     return result_to_dict(result)
 
@@ -393,6 +414,32 @@ def _execute_job_timed(payload: Dict[str, object]) -> Dict[str, object]:
     start = perf_counter()
     document = _execute_job(payload)
     return {"document": document, "elapsed_s": perf_counter() - start}
+
+
+#: Wall-clock budget one chunk task aims for.  Small enough that progress
+#: reporting and grid lease heartbeats stay responsive, large enough that
+#: sub-millisecond cells amortise the per-task pickle/dispatch overhead.
+CHUNK_TARGET_S = 0.2
+#: Hard ceiling on cells per chunk, whatever the observed cell cost.
+MAX_CHUNK_CELLS = 32
+
+
+def _execute_chunk(payloads: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Worker entry point for a batch of cells: one envelope per payload.
+
+    Faults stay per-cell: a raising cell contributes an ``{"error": ...}``
+    envelope while its chunk-mates still return ``{"document", "elapsed_s"}``
+    envelopes, so batching never couples one cell's fate to another's.  The
+    parent maps error envelopes back onto the retry/fail path exactly as if
+    the cell had been submitted alone.
+    """
+    envelopes: List[Dict[str, object]] = []
+    for payload in payloads:
+        try:
+            envelopes.append(_execute_job_timed(payload))
+        except Exception as exc:  # noqa: BLE001 - isolate per-cell faults
+            envelopes.append({"error": f"{type(exc).__name__}: {exc}"})
+    return envelopes
 
 
 def execute_job_inline(job: "CampaignJob") -> Dict[str, object]:
@@ -743,6 +790,26 @@ def _load_cached(cache_dir: Optional[Path], job: CampaignJob) -> Optional[Experi
         return None
 
 
+def scan_cache_fingerprints(cache_dir: Optional[Union[str, Path]]) -> frozenset:
+    """Fingerprints that have a cache entry file, from one directory scan.
+
+    A batched existence probe: campaign and grid cache sweeps consult this
+    set before paying a per-cell open+parse, which turns N per-cell stat
+    calls on a cold or sparse cache into a single ``scandir``.  Membership is
+    only a hint -- entries are still validated per cell on load (version and
+    fingerprint match), so a stale or truncated file is merely a miss.
+    """
+    if cache_dir is None:
+        return frozenset()
+    try:
+        with os.scandir(Path(cache_dir)) as entries:
+            return frozenset(
+                entry.name[:-5] for entry in entries if entry.name.endswith(".json")
+            )
+    except OSError:
+        return frozenset()
+
+
 def probe_cache(cache_dir: Optional[Union[str, Path]], job: CampaignJob) -> bool:
     """True when the cell cache already holds this job's result (dry runs)."""
     if cache_dir is None:
@@ -943,24 +1010,53 @@ def run_cells(
     # Submission happens in windows rather than all at once so that, on the
     # grid, a cell is only lease-claimed shortly before it can actually run
     # -- late-joining workers pick up the unclaimed remainder of a shard.
+    # The window counts chunk *tasks*: cells are batched so cheap cells
+    # amortise the per-task pickle/dispatch cost, sized from the observed
+    # median cell cost to keep each task near CHUNK_TARGET_S of work.
     window = workers * 2
+    observed: List[float] = []
+
+    def chunk_size() -> int:
+        if not observed:
+            return 1  # no cost signal yet: stay responsive, learn fast
+        median = statistics.median(observed)
+        if median <= 0.0:
+            return MAX_CHUNK_CELLS
+        return max(1, min(MAX_CHUNK_CELLS, int(CHUNK_TARGET_S / median)))
+
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(portable))) as pool:
-            live: Dict[Future, CampaignJob] = {}
+            live: Dict[Future, List[CampaignJob]] = {}
 
             def refill() -> None:
                 while queue and len(live) < window:
-                    job = queue.popleft()
-                    if admit is not None and not admit(job):
-                        settle(job)
-                        if skip is not None:
-                            skip(job)
-                        continue
-                    admitted.add(job.fingerprint())
-                    cells_started.inc()
-                    attempts[job.fingerprint()] = 1
-                    live[pool.submit(_execute_job_timed, job.to_dict())] = job
-                inflight.set(len(live))
+                    chunk: List[CampaignJob] = []
+                    while queue and len(chunk) < chunk_size():
+                        job = queue.popleft()
+                        if admit is not None and not admit(job):
+                            settle(job)
+                            if skip is not None:
+                                skip(job)
+                            continue
+                        admitted.add(job.fingerprint())
+                        cells_started.inc()
+                        attempts[job.fingerprint()] = 1
+                        chunk.append(job)
+                    if chunk:
+                        payloads = [job.to_dict() for job in chunk]
+                        live[pool.submit(_execute_chunk, payloads)] = chunk
+                inflight.set(sum(len(chunk) for chunk in live.values()))
+
+            def retry_or_fail(job: CampaignJob, error: str) -> None:
+                count = attempts.get(job.fingerprint(), 1)
+                if count <= max_retries:
+                    attempts[job.fingerprint()] = count + 1
+                    # Retries go out as single-cell chunks: the failure may
+                    # be cost- or state-dependent, so don't gamble siblings.
+                    live[pool.submit(_execute_chunk, [job.to_dict()])] = [job]
+                else:
+                    settle(job)
+                    fail(CellFailure(job=job, error=error, attempts=count))
 
             refill()
             while live:
@@ -968,24 +1064,36 @@ def run_cells(
                 if tick is not None:
                     tick()
                 for future in done:
-                    job = live.pop(future)
+                    chunk = live.pop(future)
                     try:
-                        envelope = future.result()
+                        envelopes = future.result()
                     except BrokenProcessPool:
                         raise  # the pool died, not the cell: drain serially below
                     except Exception as exc:  # noqa: BLE001 - isolate per-cell faults
-                        count = attempts.get(job.fingerprint(), 1)
-                        if count <= max_retries:
-                            attempts[job.fingerprint()] = count + 1
-                            live[pool.submit(_execute_job_timed, job.to_dict())] = job
+                        # A whole-chunk failure (pickling, worker teardown)
+                        # charges every member one attempt, like a cell-level
+                        # exception would have under unbatched dispatch.
+                        envelopes = [
+                            {"error": f"{type(exc).__name__}: {exc}"} for _ in chunk
+                        ]
+                    if len(envelopes) != len(chunk):
+                        # A worker returning the wrong shape is a worker bug;
+                        # treat unmatched cells as failed rather than lost.
+                        returned = len(envelopes)
+                        envelopes = list(envelopes[: len(chunk)])
+                        envelopes += [
+                            {"error": "ChunkProtocolError: worker returned "
+                                      f"{returned} envelope(s) for {len(chunk)} cell(s)"}
+                            for _ in range(len(chunk) - len(envelopes))
+                        ]
+                    for job, envelope in zip(chunk, envelopes):
+                        error = envelope.get("error")
+                        if error is not None:
+                            retry_or_fail(job, str(error))
                         else:
                             settle(job)
-                            fail(CellFailure(job=job,
-                                             error=f"{type(exc).__name__}: {exc}",
-                                             attempts=count))
-                    else:
-                        settle(job)
-                        finish(job, envelope["document"], envelope["elapsed_s"])
+                            observed.append(envelope["elapsed_s"])
+                            finish(job, envelope["document"], envelope["elapsed_s"])
                 refill()
             # Local cells run in the parent *after* the pooled loop: while
             # the pool churns, the parent sits in wait() firing tick()
@@ -1019,8 +1127,11 @@ def load_cached_campaign(
     holds without simulating anything.
     """
     cache_path = Path(cache_dir)
+    cached_fingerprints = scan_cache_fingerprints(cache_path)
     cells = []
     for job in spec.expand():
+        if job.fingerprint() not in cached_fingerprints:
+            continue
         cached = _load_cached(cache_path, job)
         if cached is not None:
             cells.append(CampaignCell(job=job, result=cached, from_cache=True))
@@ -1065,8 +1176,13 @@ def run_campaign(
 
     results: Dict[str, Tuple[ExperimentResult, bool]] = {}
     pending: List[CampaignJob] = []
+    cached_fingerprints = scan_cache_fingerprints(cache_path)
     for job in jobs:
-        cached = _load_cached(cache_path, job)
+        cached = (
+            _load_cached(cache_path, job)
+            if job.fingerprint() in cached_fingerprints
+            else None
+        )
         if cached is not None:
             results[job.fingerprint()] = (cached, True)
             cache_hits.inc()

@@ -24,7 +24,7 @@ from ..core.critical_path import WorkflowMeasurement
 from ..observability import EngineMonitor, current_registry
 from ..sim.orchestration.events import OrchestrationStats
 from ..sim.platforms.base import Platform, PlatformProfile
-from ..sim.platforms.spec import DEFAULT_ERA, PlatformSpec
+from ..sim.platforms.spec import DEFAULT_ERA, PlatformSpec, is_builtin_spec
 from .benchmark import WorkflowBenchmark
 from .cost import CostReport, combine_cost_reports, compute_cost_report
 from .deployment import Deployment
@@ -191,6 +191,35 @@ def _attach_engine_monitor(platform: Platform) -> None:
         set_monitor(EngineMonitor())
 
 
+#: Per-process memo of compiled platform profiles, keyed by
+#: ``(spec.canonical(), memory_mb)``.  Only specs resolving against the
+#: builtin registry are memoised: runtime-registered platforms (and runtime
+#: overwrites of builtin names) may change between cells, and
+#: ``is_builtin_spec`` flips to False the moment that happens.  Profiles are
+#: shared across Platform instances -- safe because nothing mutates a profile
+#: after construction (``with_overrides`` copies).  Rebuilt per worker
+#: process; never pickled across the process boundary.
+_PROFILE_MEMO: Dict[object, PlatformProfile] = {}
+
+
+def _compiled_profile(spec: PlatformSpec, memory_mb: Optional[int]) -> PlatformProfile:
+    if not is_builtin_spec(spec):
+        profile = spec.resolve()
+        if memory_mb is not None:
+            profile = profile.with_overrides(default_memory_mb=memory_mb)
+        return profile
+    key = (spec.canonical(), memory_mb)
+    profile = _PROFILE_MEMO.get(key)
+    if profile is None:
+        profile = spec.resolve()
+        if memory_mb is not None:
+            profile = profile.with_overrides(default_memory_mb=memory_mb)
+        if len(_PROFILE_MEMO) >= 256:
+            _PROFILE_MEMO.clear()
+        _PROFILE_MEMO[key] = profile
+    return profile
+
+
 class ExperimentRunner:
     """Runs benchmark experiments on simulated platforms."""
 
@@ -202,9 +231,7 @@ class ExperimentRunner:
         return self._config
 
     def _make_platform(self, repetition: int) -> Platform:
-        profile = self._config.platform_spec.resolve()
-        if self._config.memory_mb is not None:
-            profile = profile.with_overrides(default_memory_mb=self._config.memory_mb)
+        profile = _compiled_profile(self._config.platform_spec, self._config.memory_mb)
         platform = Platform(profile, seed=derive_platform_seed(self._config.seed, repetition))
         _attach_engine_monitor(platform)
         return platform

@@ -60,6 +60,7 @@ from .campaign import (
     _load_cached_document,
     _store_cached,
     run_cells,
+    scan_cache_fingerprints,
 )
 from .experiment import ExperimentResult
 from .results import ResultLog, result_from_dict  # noqa: F401  (ResultLog re-exported)
@@ -494,6 +495,7 @@ def run_grid_worker(
     )
 
     scan = run.scan(shard)
+    cached_fingerprints = scan_cache_fingerprints(cache_path)
     pending: List[CampaignJob] = []
     for job in run.spec.expand():
         fingerprint = job.fingerprint()
@@ -503,7 +505,11 @@ def run_grid_worker(
         if fingerprint in scan.completed:
             report.already_done += 1
             continue
-        cached_document = _load_cached_document(cache_path, job)
+        cached_document = (
+            _load_cached_document(cache_path, job)
+            if fingerprint in cached_fingerprints
+            else None
+        )
         if cached_document is not None:
             # Log cache-served cells too, so a merge needs only the logs.
             run.backend.append_record(job_shard, worker_id, {

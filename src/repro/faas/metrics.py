@@ -14,11 +14,14 @@ under load.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.stats import interquartile_range, percentile
+import numpy as np
+
+from ..analysis.stats import interquartile_range, percentile, sample_stdev
 from ..core.critical_path import RuntimeBreakdown, WorkflowMeasurement, scaling_profile
 
 
@@ -65,7 +68,7 @@ class BenchmarkSummary:
     def coefficient_of_variation(self) -> float:
         if len(self.runtimes) < 2 or self.mean_runtime == 0:
             return 0.0
-        return statistics.stdev(self.runtimes) / self.mean_runtime
+        return sample_stdev(self.runtimes) / self.mean_runtime
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -194,6 +197,17 @@ def open_loop_summary(
     )
 
 
+def _nearest_rank(sorted_values: Sequence[float], count: int, fraction: float) -> float:
+    """Nearest-rank pick from an ascending sequence.
+
+    Index arithmetic is byte-for-byte the one in
+    :func:`repro.analysis.stats.percentile`; callers sort once and pick three
+    ranks instead of sorting per percentile.
+    """
+    rank = min(count, max(1, math.ceil(fraction * count)))
+    return float(sorted_values[rank - 1])
+
+
 def open_loop_summary_over_repetitions(
     benchmark: str,
     platform: str,
@@ -210,6 +224,134 @@ def open_loop_summary_over_repetitions(
     repetition (max of maxima, busy time over observed time); the
     latency-over-time windows overlay the repetitions on a common axis
     relative to each repetition's first arrival.
+
+    This is the vectorized reduction: percentiles come from one numpy sort,
+    the concurrency sweep from a lexsort + cumulative sum, and latencies from
+    elementwise array arithmetic.  Every operation either is performed on
+    Python floats in the original order or is a bit-exact array counterpart
+    (sort/index, elementwise subtract, integer cumsum), so the result is
+    bit-identical to :func:`_open_loop_summary_python`, which is kept as the
+    reference oracle and pinned by tests.
+    """
+    if window_s <= 0:
+        raise ValueError("window width must be positive")
+    groups = [
+        [m for m in group if m.functions] for group in repetition_groups
+    ]
+    groups = [group for group in groups if group]
+    summary = OpenLoopSummary(benchmark=benchmark, platform=platform, window_s=window_s)
+    if not groups:
+        summary.duration_s = float(duration_per_repetition_s or 0.0)
+        return summary
+
+    # One pass over the measurements builds per-group arrival/end arrays; all
+    # per-sample arithmetic below runs on these.
+    group_arrays: List[Tuple[List[WorkflowMeasurement], np.ndarray, np.ndarray]] = []
+    for group in groups:
+        arrivals = np.empty(len(group))
+        ends = np.empty(len(group))
+        for i, m in enumerate(group):
+            value = m.metadata.get("arrival_s")
+            arrivals[i] = float(value) if value is not None else m.start  # type: ignore[arg-type]
+            ends[i] = m.end
+        group_arrays.append((group, arrivals, ends))
+
+    populated = [m for group in groups for m in group]
+    # Python-float sum in group order: np.sum would pairwise-sum and drift.
+    observed = sum(
+        float(ends.max()) - float(arrivals.min())
+        for _, arrivals, ends in group_arrays
+    )
+    if duration_per_repetition_s:
+        summary.duration_s = float(duration_per_repetition_s) * len(groups)
+    else:
+        summary.duration_s = observed
+    summary.invocations = len(populated)
+    if summary.duration_s > 0:
+        summary.throughput_per_s = len(populated) / summary.duration_s
+
+    latency_arrays = [ends - arrivals for _, arrivals, ends in group_arrays]
+    pooled = np.concatenate(latency_arrays)
+    sorted_latencies = np.sort(pooled)
+    count = len(populated)
+    summary.latency_p50_s = _nearest_rank(sorted_latencies, count, 0.50)
+    summary.latency_p95_s = _nearest_rank(sorted_latencies, count, 0.95)
+    summary.latency_p99_s = _nearest_rank(sorted_latencies, count, 0.99)
+
+    total_functions = sum(len(m.functions) for m in populated)
+    cold_functions = sum(
+        1 for m in populated for f in m.functions if f.cold_start
+    )
+    if total_functions:
+        summary.cold_start_fraction = cold_functions / total_functions
+
+    # Concurrency (queueing behaviour): sweep each repetition independently
+    # over the in-flight [arrival, end] intervals, so invocations queued for a
+    # container count as outstanding load.  The stable lexsort on
+    # (time, delta) reproduces sorted()'s boundary order exactly (ends, delta
+    # -1, precede arrivals at time ties).
+    for group, arrivals, ends in group_arrays:
+        size = len(group)
+        times = np.concatenate((arrivals, ends))
+        deltas = np.concatenate(
+            (np.ones(size, dtype=np.int64), np.full(size, -1, dtype=np.int64))
+        )
+        order = np.lexsort((deltas, times))
+        running = np.cumsum(deltas[order])
+        summary.max_concurrency = max(summary.max_concurrency, int(running.max()))
+    # Left-to-right Python sum in populated order, as above.
+    in_flight_time = sum(
+        value for latencies in latency_arrays for value in latencies.tolist()
+    )
+    if observed > 0:
+        summary.mean_concurrency = in_flight_time / observed
+
+    # Latency-over-time windows, bucketed by each invocation's arrival offset
+    # within its own repetition (so replicates overlay, not concatenate).
+    # Bucket indices use Python-float floor division: numpy floor_divide
+    # rounds the quotient before flooring and can land one bucket off.
+    buckets: Dict[int, List[Tuple[WorkflowMeasurement, float]]] = {}
+    for (group, arrivals, _), latencies in zip(group_arrays, latency_arrays):
+        arrival_list = arrivals.tolist()
+        latency_list = latencies.tolist()
+        group_start = min(arrival_list)
+        for m, arrival, latency in zip(group, arrival_list, latency_list):
+            buckets.setdefault(int((arrival - group_start) // window_s), []).append(
+                (m, latency)
+            )
+    for index in sorted(buckets):
+        members = buckets[index]
+        window_sorted = sorted(latency for _, latency in members)
+        window_count = len(window_sorted)
+        window_functions = sum(len(m.functions) for m, _ in members)
+        window_cold = sum(1 for m, _ in members for f in m.functions if f.cold_start)
+        summary.windows.append(
+            {
+                "window_start_s": round(index * window_s, 3),
+                "invocations": window_count,
+                "latency_p50_s": round(_nearest_rank(window_sorted, window_count, 0.50), 3),
+                "latency_p95_s": round(_nearest_rank(window_sorted, window_count, 0.95), 3),
+                "latency_p99_s": round(_nearest_rank(window_sorted, window_count, 0.99), 3),
+                "cold_start_fraction": round(
+                    window_cold / window_functions if window_functions else 0.0, 4
+                ),
+            }
+        )
+    return summary
+
+
+def _open_loop_summary_python(
+    benchmark: str,
+    platform: str,
+    repetition_groups: Sequence[Sequence[WorkflowMeasurement]],
+    duration_per_repetition_s: Optional[float] = None,
+    window_s: float = 10.0,
+) -> OpenLoopSummary:
+    """Pure-Python reference for :func:`open_loop_summary_over_repetitions`.
+
+    The pre-vectorization implementation, kept verbatim as the oracle the
+    tests compare the array path against -- any drift between the two is a
+    bit-identity regression in the vectorized reduction.
     """
     if window_s <= 0:
         raise ValueError("window width must be positive")

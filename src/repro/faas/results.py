@@ -272,20 +272,42 @@ class ResultLog:
             handle.flush()
             os.fsync(handle.fileno())
 
+    #: Block size for buffered log reads.  One syscall per MiB instead of
+    #: text-mode line iteration keeps merge passes over large grid logs cheap.
+    READ_BLOCK_BYTES = 1 << 20
+
     def __iter__(self) -> Iterator[Dict[str, object]]:
         if not self.path.exists():
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    document = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if isinstance(document, dict):
-                    yield document
+        with open(self.path, "rb") as handle:
+            tail = b""
+            while True:
+                block = handle.read(self.READ_BLOCK_BYTES)
+                if not block:
+                    break
+                # Carry the trailing partial line into the next block; only
+                # newline-terminated lines are complete records.
+                lines = (tail + block).split(b"\n")
+                tail = lines.pop()
+                yield from self._parse_lines(lines)
+            if tail:
+                # Final unterminated line: either the last record of a log
+                # whose writer exited before the trailing newline, or a
+                # truncated crash remnant -- _parse_lines skips the latter.
+                yield from self._parse_lines([tail])
+
+    @staticmethod
+    def _parse_lines(lines: List[bytes]) -> Iterator[Dict[str, object]]:
+        for raw in lines:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(document, dict):
+                yield document
 
     def __len__(self) -> int:
         return sum(1 for _ in self)

@@ -49,6 +49,22 @@ MAX_ARRIVALS = 100_000
 #: repetition, so a single stream name suffices).
 ARRIVAL_STREAM = "workload:arrivals"
 
+#: Per-process memo of compiled arrival schedules.  Poisson schedules are a
+#: pure function of (spec canonical form, platform seed): the draws come from
+#: the dedicated ARRIVAL_STREAM, which no other simulator component reads, so
+#: serving a memoised copy leaves every other named stream's state untouched.
+#: Constant and ramp schedules depend on the spec alone.  Trace workloads are
+#: never memoised (their timestamps may come from a file that can change
+#: between runs).  Rebuilt per worker process; never pickled across the
+#: process boundary.
+_ARRIVAL_MEMO: Dict[Tuple[str, Optional[int]], Tuple[float, ...]] = {}
+
+
+def _memoize_arrivals(key: Tuple[str, Optional[int]], arrivals: List[float]) -> None:
+    if len(_ARRIVAL_MEMO) >= 128:
+        _ARRIVAL_MEMO.clear()
+    _ARRIVAL_MEMO[key] = tuple(arrivals)
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -326,6 +342,10 @@ class WorkloadSpec:
         methodology exactly) and raise.
         """
         if self.kind == "poisson":
+            key = (self.canonical(), streams.seed)
+            cached = _ARRIVAL_MEMO.get(key)
+            if cached is not None:
+                return list(cached)
             rate = float(self.param("rate"))  # type: ignore[arg-type]
             duration = float(self.param("duration"))  # type: ignore[arg-type]
             arrivals: List[float] = []
@@ -343,14 +363,27 @@ class WorkloadSpec:
                         f"at t={clock:.1f}s of {duration:g}s; lower rate or duration"
                     )
                 arrivals.append(clock)
+            _memoize_arrivals(key, arrivals)
             return arrivals
         if self.kind == "constant":
+            key = (self.canonical(), None)
+            cached = _ARRIVAL_MEMO.get(key)
+            if cached is not None:
+                return list(cached)
             rate = float(self.param("rate"))  # type: ignore[arg-type]
             duration = float(self.param("duration"))  # type: ignore[arg-type]
             count = int(math.ceil(rate * duration - 1e-9))
-            return [index / rate for index in range(count)]
+            arrivals = [index / rate for index in range(count)]
+            _memoize_arrivals(key, arrivals)
+            return arrivals
         if self.kind == "ramp":
-            return self._ramp_arrivals()
+            key = (self.canonical(), None)
+            cached = _ARRIVAL_MEMO.get(key)
+            if cached is not None:
+                return list(cached)
+            arrivals = self._ramp_arrivals()
+            _memoize_arrivals(key, arrivals)
+            return arrivals
         if self.kind == "trace":
             return [float(t) for t in self.param("timestamps", ())]  # type: ignore[union-attr]
         raise ValueError(f"closed-loop workload {self.kind!r} has no arrival schedule")

@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Deque, Dict, Generator, List, Optional, Tuple
 
 from .engine import Environment, Event
@@ -66,6 +67,8 @@ class Container:
     active: int = 0
     invocations: int = 0
     last_used_at: float = 0.0
+    #: Position of this container in its pool's list (free-list index).
+    index: int = 0
 
     @property
     def is_new(self) -> bool:
@@ -100,6 +103,13 @@ class ContainerPool:
         self._waiters: Dict[str, Deque[Event]] = {}
         self._id_counter = itertools.count()
         self._last_provision_time = -1e9
+        # Flat bookkeeping replacing per-request object scans: busy slots and
+        # busy-container counts per pool, plus (single-tenant pools only) a
+        # lazily-validated free-list heap of (-last_used_at, index) entries.
+        self._cap = max(1, policy.concurrency_per_container)
+        self._busy: Dict[str, int] = {}
+        self._active_total = 0
+        self._free: Dict[str, List[Tuple[float, int]]] = {}
 
     # ------------------------------------------------------------------ stats
     def pool_key(self, function: str) -> str:
@@ -111,15 +121,12 @@ class ContainerPool:
         return len(self._containers.get(self.pool_key(function), []))
 
     def active_containers(self) -> int:
-        return sum(
-            1 for pool in self._containers.values() for container in pool if container.active > 0
-        )
+        return self._active_total
 
     def outstanding(self, function: str) -> int:
         """Requests currently holding or waiting for a sandbox in this pool."""
         key = self.pool_key(function)
-        busy = sum(c.active for c in self._containers.get(key, []))
-        return busy + len(self._waiters.get(key, []))
+        return self._busy.get(key, 0) + len(self._waiters.get(key, []))
 
     # --------------------------------------------------------------- acquire
     def acquire(self, function: str) -> Generator[Event, object, AcquireResult]:
@@ -131,15 +138,17 @@ class ContainerPool:
         pool = self._containers.setdefault(key, [])
         waiters = self._waiters.setdefault(key, deque())
         requested_at = self._env.now
-        cap = max(1, self._policy.concurrency_per_container)
+        cap = self._cap
 
         while True:
-            usable = [c for c in pool if c.active < cap]
-            if usable:
+            container = self._take_usable(key, pool, cap)
+            if container is not None:
                 # Reuse the most recently used sandbox (LIFO keeps the rest idle,
                 # matching observed provider behaviour).
-                container = max(usable, key=lambda c: (c.last_used_at, -c.active))
+                if container.active == 0:
+                    self._active_total += 1
                 container.active += 1
+                self._busy[key] = self._busy.get(key, 0) + 1
                 yield self._env.timeout(self._policy.warm_dispatch_s)
                 container.last_used_at = self._env.now
                 return AcquireResult(
@@ -149,7 +158,7 @@ class ContainerPool:
                     wait_time=self._env.now - requested_at,
                 )
 
-            outstanding = sum(c.active for c in pool) + len(waiters) + 1
+            outstanding = self._busy.get(key, 0) + len(waiters) + 1
             target = min(
                 self._policy.max_containers,
                 max(1, int(-(-outstanding * self._policy.scale_out_factor // 1))),
@@ -157,6 +166,8 @@ class ContainerPool:
             if len(pool) < target:
                 container = self._provision(key, function)
                 container.active = 1
+                self._active_total += 1
+                self._busy[key] = self._busy.get(key, 0) + 1
                 # Rate-limit sandbox creation (scale-up speed differs per platform).
                 provisioning_gap = max(
                     0.0,
@@ -189,18 +200,53 @@ class ContainerPool:
         container.last_used_at = self._env.now
         key = container.function if self._policy.per_function_pools else None
         key = key if key is not None else "__app__"
+        self._busy[key] -= 1
+        if container.active == 0:
+            self._active_total -= 1
+            if self._cap == 1:
+                heappush(
+                    self._free.setdefault(key, []),
+                    (-container.last_used_at, container.index),
+                )
         waiters = self._waiters.get(key)
         if waiters:
             waiters.popleft().succeed()
 
     # --------------------------------------------------------------- internal
+    def _take_usable(self, key: str, pool: List[Container], cap: int) -> Optional[Container]:
+        """Pick the sandbox a warm dispatch would reuse, or ``None``.
+
+        Single-tenant pools (``cap == 1``) consult a lazy free-list heap of
+        ``(-last_used_at, index)`` entries pushed on release.  Entries are
+        validated on pop: a sandbox that was re-acquired since its entry was
+        pushed is busy again (or carries a newer ``last_used_at``) and is
+        discarded.  Ties on ``last_used_at`` pop the smallest pool index,
+        matching ``max()``'s first-maximal choice over the scan order.
+        Multi-tenant pools (Azure keeps <= ~10 sandboxes) keep the scan.
+        """
+        if cap == 1:
+            heap = self._free.get(key)
+            while heap:
+                negative_time, index = heap[0]
+                heappop(heap)
+                container = pool[index]
+                if container.active == 0 and container.last_used_at == -negative_time:
+                    return container
+            return None
+        usable = [c for c in pool if c.active < cap]
+        if not usable:
+            return None
+        return max(usable, key=lambda c: (c.last_used_at, -c.active))
+
     def _provision(self, key: str, function: str) -> Container:
+        pool = self._containers[key]
         container = Container(
             container_id=f"{self._platform}-{key}-{next(self._id_counter)}",
             function=function if self._policy.per_function_pools else None,
             created_at=self._env.now,
+            index=len(pool),
         )
-        self._containers[key].append(container)
+        pool.append(container)
         return container
 
     def _cold_start_latency(self, function: str) -> float:

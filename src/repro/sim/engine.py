@@ -540,7 +540,10 @@ class Resource:
         event = Event(self.env)
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed()
+            # Inlined Event.succeed: the event is freshly built, so the
+            # already-triggered guard can never fire on this path.
+            event.triggered = True
+            self.env._schedule(event)
         else:
             self._waiters.append(event)
         return event
@@ -550,8 +553,10 @@ class Resource:
             raise SimulationError("release without matching acquire")
         if self._waiters:
             # Fast-path handoff: the slot moves straight to the next waiter
-            # without ever decrementing `_in_use`.
+            # without ever decrementing `_in_use`.  Waiters are enqueued
+            # untriggered, so succeed is inlined here as well.
             waiter = self._waiters.popleft()
-            waiter.succeed()
+            waiter.triggered = True
+            self.env._schedule(waiter)
         else:
             self._in_use -= 1

@@ -1,15 +1,51 @@
 """Tests for the statistics helpers (confidence intervals, CV, speedups)."""
 
+import statistics
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.stats import (
     coefficient_of_variation,
     interquartile_range,
     median_confidence_interval,
     required_repetitions,
+    sample_stdev,
     speedup,
     strong_scaling_speedups,
 )
+
+
+class TestSampleStdev:
+    """sample_stdev is only admissible as a bit-identical statistics.stdev."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(
+        st.floats(min_value=-1e300, max_value=1e300,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=40,
+    ))
+    def test_bit_identical_with_stdlib(self, values):
+        assert sample_stdev(values) == statistics.stdev(values)
+
+    def test_pathological_cases(self):
+        for values in (
+            [1.0, 1.0],
+            [0.0, 0.0, 0.0],
+            [1e308, 1e308, -1e308],
+            [2.0 ** -1060, 2.0 ** -1070, 3.0],  # subnormal spread
+            [5e-324, 5e-324, 1.0],
+            [0.1, 0.2, 0.3],
+        ):
+            assert sample_stdev(values) == statistics.stdev(values)
+
+    def test_non_float_input_falls_back_to_stdlib(self):
+        from fractions import Fraction
+
+        values = [Fraction(1, 3), Fraction(2, 3), Fraction(1, 2)]
+        assert sample_stdev(values) == statistics.stdev(values)
+        assert sample_stdev([1, 2, 3, 4]) == statistics.stdev([1, 2, 3, 4])
 
 
 class TestMedianConfidenceInterval:

@@ -74,7 +74,7 @@ class TestR004WorkerPickleSafety:
     def test_flags_unpicklable_submissions(self):
         findings = lint_fixture("r004_bad.py", WorkerPickleSafetyRule())
         messages = [f.message for f in findings]
-        assert len(findings) == 6
+        assert len(findings) == 7
         assert sum("lambda submitted" in m for m in messages) == 1
         assert sum("nested function 'scaled'" in m for m in messages) == 1
         assert sum("reads module-level mutable state 'PENDING'" in m
@@ -82,13 +82,23 @@ class TestR004WorkerPickleSafety:
         assert sum("lambda in a worker-pool payload" in m for m in messages) == 1
         assert sum("open file handle" in m for m in messages) == 1
         assert sum("a lock in a worker-pool payload" in m for m in messages) == 1
+        assert sum("per-process state 'PENDING' pickled" in m
+                   for m in messages) == 1
 
     def test_mutable_global_read_is_a_warning(self):
         findings = lint_fixture("r004_bad.py", WorkerPickleSafetyRule())
-        global_reads = [f for f in findings if "mutable state" in f.message]
+        global_reads = [f for f in findings
+                        if "reads module-level mutable state" in f.message]
         assert all(f.severity is Severity.WARNING for f in global_reads)
-        rest = [f for f in findings if "mutable state" not in f.message]
+        rest = [f for f in findings
+                if "reads module-level mutable state" not in f.message]
         assert all(f.severity is Severity.ERROR for f in rest)
+
+    def test_pickled_memo_state_is_an_error(self):
+        findings = lint_fixture("r004_bad.py", WorkerPickleSafetyRule())
+        pickled = [f for f in findings if "pickled into" in f.message]
+        assert len(pickled) == 1
+        assert pickled[0].severity is Severity.ERROR
 
     def test_clean_on_module_level_workers(self):
         assert lint_fixture("r004_good.py", WorkerPickleSafetyRule()) == []

@@ -4,6 +4,8 @@ import json
 import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faas import (
     CampaignError,
@@ -47,6 +49,11 @@ def _always_crash_pool_worker(payload):
     if payload["benchmark"] == "mapreduce" and os.getpid() != _PARENT_PID:
         os._exit(1)
     return _real_execute_job(payload)
+
+
+def _short_chunk(payloads):
+    """Protocol-violating chunk worker: drops every envelope."""
+    return []
 
 
 def small_spec(**overrides) -> CampaignSpec:
@@ -306,6 +313,99 @@ class TestFaultIsolation:
         partial = excinfo.value.partial
         assert [cell.job.benchmark for cell in partial.cells] == \
             ["function_chain", "function_chain"]
+
+
+class TestChunkedDispatch:
+    """The batched run_cells path: per-cell isolation inside multi-cell chunks."""
+
+    def test_chunk_worker_isolates_per_cell_faults(self):
+        """_execute_chunk returns one envelope per payload; a raising cell
+        yields an error envelope while chunk-mates still return results."""
+        from repro.faas.campaign import _execute_chunk
+
+        spec = small_spec(benchmarks=("function_chain",), platforms=("aws",),
+                          seeds=(0,))
+        good = spec.expand()[0].to_dict()
+        bad = dict(good, benchmark="no_such_benchmark")
+        envelopes = _execute_chunk([good, bad, good])
+        assert len(envelopes) == 3
+        assert "document" in envelopes[0] and "elapsed_s" in envelopes[0]
+        assert "error" in envelopes[1] and "no_such_benchmark" in envelopes[1]["error"]
+        assert envelopes[2]["document"] == envelopes[0]["document"]
+
+    def test_bad_cell_fails_alone_with_full_attempt_count(self):
+        """Enough cheap cells that the adaptive chunker batches several per
+        task: the bad cells must burn max_retries+1 attempts and become the
+        only CellFailures, while every sibling in their chunks completes."""
+        from repro.faas.campaign import run_cells
+
+        spec = small_spec(
+            benchmarks=("function_chain", "no_such_benchmark"),
+            platforms=("aws",), seeds=tuple(range(6)),
+        )
+        jobs = spec.expand()
+        finished, failures = {}, []
+        run_cells(jobs, 2,
+                  lambda job, document, elapsed: finished.setdefault(
+                      job.fingerprint(), document),
+                  failures.append, max_retries=1)
+        assert len(finished) == 6
+        assert len(failures) == 6
+        assert all(f.job.benchmark == "no_such_benchmark" for f in failures)
+        assert all(f.attempts == 2 for f in failures)
+
+    def test_chunk_protocol_mismatch_becomes_cell_failures(self, monkeypatch):
+        """A worker returning the wrong envelope count is a bug, but the
+        affected cells must surface as failures, never vanish."""
+        from repro.faas import campaign as campaign_module
+
+        monkeypatch.setattr(campaign_module, "_execute_chunk", _short_chunk)
+        spec = small_spec(benchmarks=("function_chain",), platforms=("aws",),
+                          seeds=(0, 1))
+        jobs = spec.expand()
+        finished, failures = {}, []
+        campaign_module.run_cells(
+            jobs, 2,
+            lambda job, document, elapsed: finished.setdefault(
+                job.fingerprint(), document),
+            failures.append, max_retries=0)
+        assert not finished
+        assert len(failures) == 2
+        assert all("ChunkProtocolError" in f.error for f in failures)
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        benchmarks=st.sets(
+            st.sampled_from(["function_chain", "parallel_sleep"]),
+            min_size=1, max_size=2),
+        platforms=st.sets(
+            st.sampled_from(["aws", "gcp", "azure"]), min_size=1, max_size=2),
+        seed_count=st.integers(min_value=1, max_value=3),
+        burst=st.integers(min_value=1, max_value=3),
+    )
+    def test_chunked_documents_identical_to_unchunked(
+            self, benchmarks, platforms, seed_count, burst):
+        """Batched pool dispatch is pure plumbing: every cell's document must
+        be byte-identical to inline (unchunked, single-process) execution."""
+        from repro.faas.campaign import execute_job_inline, run_cells
+
+        spec = CampaignSpec(
+            benchmarks=tuple(sorted(benchmarks)),
+            platforms=tuple(sorted(platforms)),
+            seeds=tuple(range(seed_count)), burst_size=burst,
+        )
+        jobs = spec.expand()
+        inline = {job.fingerprint(): execute_job_inline(job) for job in jobs}
+        chunked, failures = {}, []
+        run_cells(jobs, 2,
+                  lambda job, document, elapsed: chunked.setdefault(
+                      job.fingerprint(), document),
+                  failures.append)
+        assert not failures
+        assert chunked.keys() == inline.keys()
+        for fingerprint, document in inline.items():
+            assert json.dumps(chunked[fingerprint], sort_keys=True) == \
+                json.dumps(document, sort_keys=True)
 
 
 class TestSpecRoundTrip:

@@ -471,6 +471,52 @@ class TestOpenLoopSummaryMath:
         assert summary.throughput_per_s == 0.0
         assert summary.windows == []
 
+    def test_vectorized_summary_matches_python_oracle(self):
+        """The numpy reduction must agree bit-for-bit with the pure-Python
+        reference (`_open_loop_summary_python`), which is kept verbatim as the
+        oracle of record.  Exact equality, not approx: the vectorized path is
+        only admissible because it changes nothing."""
+        import random
+
+        from repro.core.critical_path import FunctionMeasurement, WorkflowMeasurement
+        from repro.faas.metrics import (
+            _open_loop_summary_python,
+            open_loop_summary_over_repetitions,
+        )
+
+        rng = random.Random(1234)
+        for trial in range(25):
+            groups = []
+            for repetition in range(rng.randint(1, 3)):
+                measurements = []
+                for index in range(rng.randint(0, 40)):
+                    arrival = rng.uniform(0.0, 60.0)
+                    start = arrival + rng.uniform(0.0, 5.0)
+                    end = start + rng.uniform(0.001, 30.0)
+                    m = WorkflowMeasurement(
+                        workflow="w", platform="aws",
+                        invocation_id=f"w-{repetition}-{index}",
+                    )
+                    m.add(FunctionMeasurement(
+                        function="f", phase="p", start=start, end=end,
+                        cold_start=rng.random() < 0.3,
+                    ))
+                    if rng.random() < 0.8:
+                        m.metadata["arrival_s"] = arrival
+                    if rng.random() < 0.1:
+                        m.functions.clear()  # empty invocations are skipped
+                    measurements.append(m)
+                groups.append(measurements)
+            duration = rng.choice([None, 60.0])
+            window = rng.choice([5.0, 10.0])
+            fast = open_loop_summary_over_repetitions(
+                "w", "aws", groups,
+                duration_per_repetition_s=duration, window_s=window)
+            oracle = _open_loop_summary_python(
+                "w", "aws", groups,
+                duration_per_repetition_s=duration, window_s=window)
+            assert fast.__dict__ == oracle.__dict__, f"trial {trial} diverged"
+
     def test_windows_partition_the_run(self):
         result = run_benchmark(
             get_benchmark("function_chain"), "aws", seed=3,

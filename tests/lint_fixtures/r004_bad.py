@@ -35,3 +35,9 @@ def submit_bad_arguments(pool: ProcessPoolExecutor):
     second = pool.submit(job, open("results.json"))
     third = pool.submit(job, threading.Lock())
     return first, second, third
+
+
+def submit_memo_snapshot(pool: ProcessPoolExecutor):
+    # Pickling per-process memo state into a payload: workers must rebuild
+    # caches in-process, not inherit a stale parent snapshot.
+    return pool.submit(job, {"pending": PENDING})

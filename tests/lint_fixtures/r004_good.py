@@ -5,8 +5,30 @@ from concurrent.futures import ProcessPoolExecutor
 LIMIT = 4  # immutable module state is fine to read from a worker
 
 
+_FACTORY_MEMO = {}  # per-process cache, rebuilt inside each worker
+
+
+def _warm_factory(name):
+    factory = _FACTORY_MEMO.get(name)
+    if factory is None:
+        factory = {"name": name}
+        _FACTORY_MEMO[name] = factory
+    return factory
+
+
 def execute_cell(document):
     return {"cells": min(len(document), LIMIT)}
+
+
+def execute_warm_cell(payload):
+    # The memo is consulted and (re)built in-process; only the picklable
+    # inputs needed to rebuild it cross the process boundary.
+    factory = _warm_factory(payload["name"])
+    return {"factory": factory["name"]}
+
+
+def submit_warm_cells(pool: ProcessPoolExecutor, names):
+    return [pool.submit(execute_warm_cell, {"name": name}) for name in names]
 
 
 def submit_cells(pool: ProcessPoolExecutor, jobs):
